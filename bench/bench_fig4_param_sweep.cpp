@@ -1,0 +1,123 @@
+// Experiment F4 — paper Fig. 4: parameter determination (§IV-B-1).
+//   (a) sweep clustering resolution s: normalized displacement, HPWL and ILP
+//       runtime (0-1 normalized per testcase, averaged over the 14-testcase
+//       tuning subset);
+//   (b) sweep cost weight alpha: normalized displacement and HPWL.
+// The paper picks s = 0.2 and alpha = 0.75 (red arrows in the figure).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "mth/db/metrics.hpp"
+#include "mth/report/table.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/str.hpp"
+
+namespace {
+
+struct SweepPoint {
+  double disp = 0.0;
+  double hpwl = 0.0;
+  double ilp_s = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mth;
+  set_log_level(LogLevel::Warn);
+  flows::FlowOptions opt = bench::bench_options();
+  // Fig. 4 runs 14 testcases x (|S| + |A|) RAP solves; use a reduced scale
+  // relative to the table benches unless overridden.
+  if (bench::env_int("MTH_FULL_SCALE", 0) == 0 &&
+      bench::env_double("MTH_SCALE", -1.0) < 0.0) {
+    opt.scale = 0.02;
+  }
+  opt.rap.ilp.time_limit_s = bench::env_double("MTH_ILP_SECONDS", 3.0);
+  opt.rap.ilp.rel_gap = 0.02;  // CPLEX-like practical gap for sweep points
+  std::cout << "=== Fig. 4: parameter sweeps over the 14-testcase tuning"
+               " subset ===\nscale=" << opt.scale
+            << " (MTH_SCALE / MTH_FULL_SCALE / MTH_ILP_SECONDS to tune)\n\n";
+
+  const std::vector<double> s_values{0.05, 0.1, 0.2, 0.4, 0.8};
+  const std::vector<double> a_values{0.0, 0.25, 0.5, 0.75, 1.0};
+
+  const auto tuning = synth::tuning_specs();
+  std::vector<flows::PreparedCase> cases;
+  for (const auto& spec : tuning) {
+    std::cerr << "[fig4] preparing " << spec.short_name << "...\n";
+    cases.push_back(flows::prepare_case(spec, opt));
+  }
+
+  auto run_point = [&](const flows::PreparedCase& pc, double s, double alpha) {
+    flows::FlowOptions o = opt;
+    o.rap.s = s;
+    o.rap.alpha = alpha;
+    pc.rap_cache = nullptr;  // each sweep point re-solves
+    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, o, false);
+    return SweepPoint{static_cast<double>(r.displacement),
+                      static_cast<double>(r.hpwl),
+                      r.cluster_seconds + r.ilp_seconds};
+  };
+
+  // ---- (a) sweep s at alpha = 0.75 -------------------------------------------
+  {
+    std::vector<std::vector<SweepPoint>> pts(cases.size());
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      std::cerr << "[fig4a] " << tuning[c].short_name << "...\n";
+      for (double s : s_values) pts[c].push_back(run_point(cases[c], s, 0.75));
+    }
+    report::Table t({"s", "norm disp", "norm HPWL", "norm ILP runtime"});
+    for (std::size_t k = 0; k < s_values.size(); ++k) {
+      double nd = 0, nh = 0, nt = 0;
+      for (std::size_t c = 0; c < cases.size(); ++c) {
+        std::vector<double> d, h, ts;
+        for (const SweepPoint& p : pts[c]) {
+          d.push_back(p.disp);
+          h.push_back(p.hpwl);
+          ts.push_back(p.ilp_s);
+        }
+        nd += bench::normalize01(d)[k];
+        nh += bench::normalize01(h)[k];
+        nt += bench::normalize01(ts)[k];
+      }
+      const double n = static_cast<double>(cases.size());
+      t.add_row({format_fixed(s_values[k], 2), format_fixed(nd / n, 3),
+                 format_fixed(nh / n, 3), format_fixed(nt / n, 3)});
+    }
+    std::cout << "(a) sweep of clustering resolution s (alpha = 0.75):\n";
+    t.print(std::cout);
+    std::cout << "Paper picks s = 0.2: low displacement & HPWL at the least"
+                 " runtime (runtime grows steeply with s).\n\n";
+  }
+
+  // ---- (b) sweep alpha at s = 0.2 ---------------------------------------------
+  {
+    std::vector<std::vector<SweepPoint>> pts(cases.size());
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      std::cerr << "[fig4b] " << tuning[c].short_name << "...\n";
+      for (double a : a_values) pts[c].push_back(run_point(cases[c], 0.2, a));
+    }
+    report::Table t({"alpha", "norm disp", "norm HPWL"});
+    for (std::size_t k = 0; k < a_values.size(); ++k) {
+      double nd = 0, nh = 0;
+      for (std::size_t c = 0; c < cases.size(); ++c) {
+        std::vector<double> d, h;
+        for (const SweepPoint& p : pts[c]) {
+          d.push_back(p.disp);
+          h.push_back(p.hpwl);
+        }
+        nd += bench::normalize01(d)[k];
+        nh += bench::normalize01(h)[k];
+      }
+      const double n = static_cast<double>(cases.size());
+      t.add_row({format_fixed(a_values[k], 2), format_fixed(nd / n, 3),
+                 format_fixed(nh / n, 3)});
+    }
+    std::cout << "(b) sweep of cost weight alpha (s = 0.2):\n";
+    t.print(std::cout);
+    std::cout << "Paper picks alpha = 0.75: reduces both displacement and"
+                 " HPWL.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment P1 — micro-benchmarks of the substrate kernels (google-
+// benchmark): bounded-variable simplex, MILP branch & bound, 2-D k-means,
+// Abacus legalization, Steiner routing, Elmore STA. These quantify where
+// flow runtime goes and guard against performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "mth/cluster/kmeans.hpp"
+#include "mth/ilp/solver.hpp"
+#include "mth/legal/abacus.hpp"
+#include "mth/lp/simplex.hpp"
+#include "mth/rap/rap.hpp"
+#include "mth/route/router.hpp"
+#include "mth/timing/sta.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/rng.hpp"
+
+namespace {
+
+using namespace mth;
+
+// Shared small prepared case (built once).
+const flows::PreparedCase& micro_case() {
+  static const flows::PreparedCase pc = [] {
+    set_log_level(LogLevel::Error);
+    flows::FlowOptions opt;
+    opt.scale = 0.04;
+    return flows::prepare_case(synth::spec_by_name("aes_360"), opt);
+  }();
+  return pc;
+}
+
+lp::Model make_assignment_lp(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::Model m;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(n),
+                                  std::vector<int>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          m.add_var(0, 1, rng.uniform_real(0, 10));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<lp::RowEntry> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+      col.push_back({x[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], 1.0});
+    }
+    m.add_row(lp::Sense::EQ, 1.0, row);
+    m.add_row(lp::Sense::EQ, 1.0, col);
+  }
+  return m;
+}
+
+void BM_SimplexAssignment(benchmark::State& state) {
+  const lp::Model m = make_assignment_lp(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(m));
+  }
+}
+BENCHMARK(BM_SimplexAssignment)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IlpKnapsack(benchmark::State& state) {
+  Rng rng(7);
+  lp::Model m;
+  std::vector<lp::RowEntry> row;
+  std::vector<int> ints;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const int v = m.add_var(0, 1, -rng.uniform_real(1, 10));
+    ints.push_back(v);
+    row.push_back({v, rng.uniform_real(1, 10)});
+  }
+  m.add_row(lp::Sense::LE, static_cast<double>(state.range(0)), row);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve(m, ints));
+  }
+}
+BENCHMARK(BM_IlpKnapsack)->Arg(16)->Arg(32);
+
+void BM_Kmeans2d(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    pts.push_back({rng.uniform_int(0, 100000), rng.uniform_int(0, 100000)});
+  }
+  const int k = static_cast<int>(pts.size() / 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::kmeans_2d(pts, k));
+  }
+}
+BENCHMARK(BM_Kmeans2d)->Arg(500)->Arg(2000);
+
+void BM_AbacusLegalize(benchmark::State& state) {
+  const Design& base = micro_case().initial;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Design d = base;
+    Rng rng(3);
+    for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+      d.netlist.instance(i).pos.x += rng.uniform_int(-500, 500);
+      d.netlist.instance(i).pos.y += rng.uniform_int(-500, 500);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(legal::abacus_legalize(d, {}));
+  }
+}
+BENCHMARK(BM_AbacusLegalize);
+
+void BM_RouteDesign(benchmark::State& state) {
+  const Design& d = micro_case().initial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::route_design(d));
+  }
+}
+BENCHMARK(BM_RouteDesign);
+
+void BM_StaAnalyze(benchmark::State& state) {
+  const Design& d = micro_case().initial;
+  const route::RouteResult routes = route::route_design(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::analyze(d, &routes));
+  }
+}
+BENCHMARK(BM_StaAnalyze);
+
+void BM_SolveRap(benchmark::State& state) {
+  const flows::PreparedCase& pc = micro_case();
+  rap::RapOptions ro;
+  ro.n_min_pairs = pc.n_min_pairs;
+  ro.width_library = pc.original_library.get();
+  ro.ilp.time_limit_s = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rap::solve_rap(pc.initial, ro));
+  }
+}
+BENCHMARK(BM_SolveRap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

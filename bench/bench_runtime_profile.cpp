@@ -1,0 +1,63 @@
+// Experiment A3 — paper §IV-B-3: Flow (5) runtime profile by testcase size
+// class. The paper reports, for small/medium/large minority-instance sets,
+// RAP share of 4.95% / 30.57% / 72.60% and legalization share of 95.04% /
+// 69.41% / 27.37%.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "mth/report/table.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/str.hpp"
+
+int main() {
+  using namespace mth;
+  set_log_level(LogLevel::Warn);
+  std::cout << "=== §IV-B-3: Flow (5) runtime profile (RAP vs legalization)"
+               " by size class ===\n"
+            << bench::scale_banner() << "\n\n";
+
+  const flows::FlowOptions opt = bench::bench_options();
+  double rap_share[3] = {}, legal_share[3] = {};
+  int count[3] = {};
+
+  report::Table detail({"Testcase", "class", "RAP (s)", "legalization (s)",
+                        "RAP %", "legal %"});
+  for (const synth::TestcaseSpec& spec : bench::bench_specs()) {
+    std::cerr << "[profile] " << spec.short_name << "...\n";
+    const flows::PreparedCase pc = flows::prepare_case(spec, opt);
+    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+    const double rap_s = r.assign_seconds;
+    const double legal_s = r.legal_seconds;
+    const double total = rap_s + legal_s;
+    if (total <= 0) continue;
+    const int cls = static_cast<int>(synth::size_class_of(spec));
+    rap_share[cls] += rap_s / total;
+    legal_share[cls] += legal_s / total;
+    ++count[cls];
+    const char* cname[] = {"small", "medium", "large"};
+    detail.add_row({spec.short_name, cname[cls], format_fixed(rap_s, 2),
+                    format_fixed(legal_s, 2),
+                    format_fixed(100.0 * rap_s / total, 1),
+                    format_fixed(100.0 * legal_s / total, 1)});
+  }
+  detail.print(std::cout);
+
+  report::Table t({"Set", "testcases", "RAP share", "legalization share"});
+  const char* cname[] = {"small (<3000 minority)", "medium (3000-5000)",
+                         "large (>5000)"};
+  for (int c = 0; c < 3; ++c) {
+    if (count[c] == 0) continue;
+    t.add_row({cname[c], std::to_string(count[c]),
+               format_fixed(100.0 * rap_share[c] / count[c], 2) + "%",
+               format_fixed(100.0 * legal_share[c] / count[c], 2) + "%"});
+  }
+  std::cout << "\n";
+  t.print(std::cout);
+  std::cout << "\nPaper: RAP share grows with minority count (4.95% -> 30.57%"
+               " -> 72.60%), legalization share shrinks correspondingly."
+               " Size classes use the paper's full-scale thresholds, so at"
+               " reduced bench scale the absolute shares shift but the"
+               " monotone trend must hold.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Explores the paper's future-work directions on one testcase:
+//   1. track-height swapping at the netlist stage (opt::optimize_track_heights)
+//   2. placement on pre-determined row patterns vs ILP-customized rows.
+//
+// Usage: finflex_explorer [testcase] [scale]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mth/db/metrics.hpp"
+#include "mth/flows/flow.hpp"
+#include "mth/liberty/asap7.hpp"
+#include "mth/opt/heightswap.hpp"
+#include "mth/rap/patterns.hpp"
+#include "mth/rap/rclegal.hpp"
+#include "mth/report/table.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mth;
+  set_log_level(LogLevel::Warn);
+  const std::string name = argc > 1 ? argv[1] : "aes_340";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.08;
+
+  // --- 1. netlist-stage track-height swapping --------------------------------
+  synth::GeneratorOptions gen;
+  gen.scale = scale;
+  Design netlist =
+      synth::generate_testcase(synth::spec_by_name(name), liberty::library_ref(), gen)
+          .design;
+  std::cout << "Track-height swapping on " << name << " (clock "
+            << netlist.clock_ps << " ps):\n";
+  const int min_before = netlist.num_minority();
+  const opt::HeightSwapResult hs = opt::optimize_track_heights(netlist);
+  std::cout << "  7.5T instances: " << min_before << " -> "
+            << netlist.num_minority() << "  (+" << hs.promoted_to_tall
+            << " promoted, -" << hs.demoted_to_short << " demoted, "
+            << hs.passes << " passes)\n";
+  std::cout << "  WNS: " << format_fixed(hs.before.wns_ns, 3) << " -> "
+            << format_fixed(hs.after.wns_ns, 3) << " ns;  power: "
+            << format_fixed(hs.before.total_power_mw(), 2) << " -> "
+            << format_fixed(hs.after.total_power_mw(), 2) << " mW\n\n";
+
+  // --- 2. pre-determined patterns vs customized rows ---------------------------
+  flows::FlowOptions fopt;
+  fopt.scale = scale;
+  const flows::PreparedCase pc =
+      flows::prepare_case(synth::spec_by_name(name), fopt);
+  const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, fopt, false);
+
+  report::Table t({"Row assignment", "HPWL (um)", "Displacement (um)"});
+  t.add_row({"customized (Flow 5, ILP)",
+             format_count(static_cast<long long>(f5.hpwl / 1000)),
+             format_count(static_cast<long long>(f5.displacement / 1000))});
+  for (auto p : {rap::RowPattern::EvenlySpread, rap::RowPattern::Alternating,
+                 rap::RowPattern::BottomBlock, rap::RowPattern::CenterBlock}) {
+    Design d = pc.initial;
+    const RowAssignment ra = rap::pattern_assignment(
+        d.floorplan.num_pairs(), pc.n_min_pairs, p);
+    if (!rap::rc_legalize(d, ra, fopt.rclegal).success) continue;
+    t.add_row({to_string(p),
+               format_count(static_cast<long long>(total_hpwl(d) / 1000)),
+               format_count(static_cast<long long>(
+                   total_displacement(d, pc.initial_positions) / 1000))});
+  }
+  t.print(std::cout);
+  return 0;
+}

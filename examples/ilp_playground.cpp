@@ -1,0 +1,64 @@
+// Direct use of the MILP solver API (the CPLEX stand-in) on a miniature
+// hand-built RAP: 4 clusters, 3 row pairs, one of which must be minority.
+// Shows the exact Eq. (1)-(5) formulation without the placement machinery.
+
+#include <iostream>
+
+#include "mth/ilp/solver.hpp"
+
+int main() {
+  using namespace mth;
+
+  // Clusters with widths and per-row costs f_cr (rows r0, r1, r2).
+  const double width[4] = {30, 20, 25, 10};
+  const double cost[4][3] = {
+      {5, 9, 21},   // cluster 0 prefers r0
+      {7, 4, 16},   // cluster 1 prefers r1
+      {12, 6, 8},   // cluster 2 prefers r1, then r2
+      {20, 11, 3},  // cluster 3 prefers r2
+  };
+  const double row_cap = 60;
+  const int n_min_rows = 2;
+
+  lp::Model m;
+  int x[4][3];
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 3; ++r) x[c][r] = m.add_var(0, 1, cost[c][r]);
+  }
+  int y[3];
+  for (int r = 0; r < 3; ++r) y[r] = m.add_var(0, 1, 0);
+
+  for (int c = 0; c < 4; ++c) {  // Eq. 3: unique assignment
+    m.add_row(lp::Sense::EQ, 1, {{x[c][0], 1}, {x[c][1], 1}, {x[c][2], 1}});
+  }
+  for (int r = 0; r < 3; ++r) {  // Eq. 4 + linking: sum w_c x_cr <= cap * y_r
+    m.add_row(lp::Sense::LE, 0,
+              {{x[0][r], width[0]},
+               {x[1][r], width[1]},
+               {x[2][r], width[2]},
+               {x[3][r], width[3]},
+               {y[r], -row_cap}});
+  }
+  m.add_row(lp::Sense::EQ, n_min_rows, {{y[0], 1}, {y[1], 1}, {y[2], 1}});  // Eq. 5
+
+  std::vector<int> ints;
+  for (int v = 0; v < m.num_vars(); ++v) ints.push_back(v);
+  const ilp::Result res = ilp::solve(m, ints);
+
+  std::cout << "status: " << to_string(res.status) << ", objective "
+            << res.objective << " (bound " << res.best_bound << ", "
+            << res.nodes << " nodes)\n";
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 3; ++r) {
+      if (res.x[static_cast<std::size_t>(x[c][r])] > 0.5) {
+        std::cout << "  cluster " << c << " -> row " << r << "\n";
+      }
+    }
+  }
+  std::cout << "  minority rows:";
+  for (int r = 0; r < 3; ++r) {
+    if (res.x[static_cast<std::size_t>(y[r])] > 0.5) std::cout << " r" << r;
+  }
+  std::cout << "\n";
+  return res.status == ilp::Status::Optimal ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Quickstart: one testcase through the full proposed flow (Flow 5).
+//
+//   synthesize (Table II spec) -> mLEF -> global place -> RAP (k-means +
+//   ILP) -> fence-region legalization -> mLEF revert -> route -> STA.
+//
+// Usage: quickstart [testcase] [scale]
+//   testcase: a Table II short name (default aes_360)
+//   scale:    cell-count scale factor (default 0.12)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mth/flows/flow.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mth;
+  set_log_level(LogLevel::Info);
+
+  const std::string name = argc > 1 ? argv[1] : "aes_360";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.12;
+
+  const synth::TestcaseSpec& spec = synth::spec_by_name(name);
+  std::cout << "Testcase " << spec.short_name << " (" << spec.circuit
+            << "): clock " << spec.clock_ps << " ps, " << spec.num_cells
+            << " cells at full scale, " << spec.pct_75t << "% 7.5T\n"
+            << "Running at scale " << scale << "\n\n";
+
+  flows::FlowOptions opt;
+  opt.scale = scale;
+
+  const flows::PreparedCase pc = flows::prepare_case(spec, opt);
+  std::cout << "Prepared: " << pc.initial.netlist.num_instances() << " cells, "
+            << pc.minority_cells << " minority (7.5T), "
+            << pc.initial.floorplan.num_pairs() << " row pairs, N_minR = "
+            << pc.n_min_pairs << "\n";
+
+  const flows::FlowResult r =
+      flows::run_flow(pc, flows::FlowId::F5, opt, /*with_route=*/true);
+
+  std::cout << "\n=== " << to_string(r.flow) << " on " << r.testcase << " ===\n";
+  std::cout << "post-place  displacement : "
+            << format_fixed(static_cast<double>(r.displacement) / 1e8, 3)
+            << " x10^5 um\n";
+  std::cout << "post-place  HPWL         : "
+            << format_fixed(static_cast<double>(r.hpwl) / 1e8, 3) << " x10^5 um\n";
+  std::cout << "RAP clusters             : " << r.num_clusters << " (ILP "
+            << ilp::to_string(r.ilp_status) << ", "
+            << format_fixed(r.ilp_seconds, 2) << " s)\n";
+  std::cout << "post-route  wirelength   : "
+            << format_fixed(static_cast<double>(r.post.routed_wl) / 1e8, 3)
+            << " x10^5 um\n";
+  std::cout << "post-route  total power  : "
+            << format_fixed(r.post.timing.total_power_mw(), 2) << " mW\n";
+  std::cout << "post-route  WNS          : " << format_fixed(r.post.timing.wns_ns, 3)
+            << " ns,  TNS: " << format_fixed(r.post.timing.tns_ns, 1) << " ns\n";
+  std::cout << "runtime     assign/legal : " << format_fixed(r.assign_seconds, 2)
+            << " / " << format_fixed(r.legal_seconds, 2) << " s\n";
+  return 0;
+}

@@ -1,0 +1,223 @@
+#include "mth/cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "mth/util/error.hpp"
+
+namespace mth::cluster {
+namespace {
+
+double sq(double v) { return v * v; }
+
+double dist2(const std::pair<double, double>& c, const Point& p) {
+  return sq(c.first - static_cast<double>(p.x)) +
+         sq(c.second - static_cast<double>(p.y));
+}
+
+/// Bucket grid over centroids for accelerated nearest-centroid queries.
+class CentroidGrid {
+ public:
+  explicit CentroidGrid(const std::vector<std::pair<double, double>>& cs)
+      : cs_(cs) {
+    xmin_ = ymin_ = std::numeric_limits<double>::max();
+    xmax_ = ymax_ = std::numeric_limits<double>::lowest();
+    for (const auto& c : cs) {
+      xmin_ = std::min(xmin_, c.first);
+      xmax_ = std::max(xmax_, c.first);
+      ymin_ = std::min(ymin_, c.second);
+      ymax_ = std::max(ymax_, c.second);
+    }
+    g_ = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(cs.size()))));
+    dx_ = std::max((xmax_ - xmin_) / g_, 1e-9);
+    dy_ = std::max((ymax_ - ymin_) / g_, 1e-9);
+    buckets_.assign(static_cast<std::size_t>(g_) * static_cast<std::size_t>(g_), {});
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      buckets_[bucket_of(cs[i].first, cs[i].second)].push_back(static_cast<int>(i));
+    }
+  }
+
+  /// Index of the centroid nearest to p (exact; rings expand until the best
+  /// squared distance is within the scanned ring radius).
+  int nearest(const Point& p) const {
+    const int bx = clamp_idx((static_cast<double>(p.x) - xmin_) / dx_);
+    const int by = clamp_idx((static_cast<double>(p.y) - ymin_) / dy_);
+    int best = -1;
+    double best_d2 = std::numeric_limits<double>::max();
+    for (int ring = 0; ring < g_; ++ring) {
+      bool scanned_any = false;
+      for (int ix = bx - ring; ix <= bx + ring; ++ix) {
+        if (ix < 0 || ix >= g_) continue;
+        for (int iy = by - ring; iy <= by + ring; ++iy) {
+          if (iy < 0 || iy >= g_) continue;
+          // Only the ring boundary (interior was scanned in earlier rings).
+          if (ring > 0 && std::abs(ix - bx) != ring && std::abs(iy - by) != ring) {
+            continue;
+          }
+          scanned_any = true;
+          for (int ci : buckets_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(g_) +
+                                 static_cast<std::size_t>(ix)]) {
+            const double d2 = dist2(cs_[static_cast<std::size_t>(ci)], p);
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best = ci;
+            }
+          }
+        }
+      }
+      if (best >= 0) {
+        // Safe stop: any centroid beyond this ring is at least `ring` cells
+        // away in x or y.
+        const double ring_dist = static_cast<double>(ring) * std::min(dx_, dy_);
+        if (best_d2 <= sq(ring_dist)) break;
+      }
+      if (!scanned_any && ring > 0 && best >= 0) break;
+    }
+    // Fallback scan (tiny k or degenerate geometry).
+    if (best < 0) {
+      for (std::size_t i = 0; i < cs_.size(); ++i) {
+        const double d2 = dist2(cs_[i], p);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = static_cast<int>(i);
+        }
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::size_t bucket_of(double x, double y) const {
+    const int ix = clamp_idx((x - xmin_) / dx_);
+    const int iy = clamp_idx((y - ymin_) / dy_);
+    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(g_) +
+           static_cast<std::size_t>(ix);
+  }
+  int clamp_idx(double v) const {
+    return std::clamp(static_cast<int>(v), 0, g_ - 1);
+  }
+
+  const std::vector<std::pair<double, double>>& cs_;
+  double xmin_, xmax_, ymin_, ymax_, dx_, dy_;
+  int g_;
+  std::vector<std::vector<int>> buckets_;
+};
+
+}  // namespace
+
+std::vector<std::pair<double, double>> grid_seeds(
+    const std::vector<Point>& points, int k) {
+  MTH_ASSERT(k >= 1, "kmeans: k < 1");
+  MTH_ASSERT(!points.empty(), "kmeans: no points");
+  BBox bb;
+  for (const Point& p : points) bb.add(p);
+  const int p = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(k))));
+
+  const double cx = 0.5 * static_cast<double>(bb.xmin + bb.xmax);
+  const double cy = 0.5 * static_cast<double>(bb.ymin + bb.ymax);
+  struct Seed {
+    double x, y, center_d2;
+  };
+  std::vector<Seed> seeds;
+  seeds.reserve(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      // Grid points at cell centers of a p x p tiling of the bbox.
+      const double x = static_cast<double>(bb.xmin) +
+                       (static_cast<double>(bb.xmax - bb.xmin)) * (i + 0.5) / p;
+      const double y = static_cast<double>(bb.ymin) +
+                       (static_cast<double>(bb.ymax - bb.ymin)) * (j + 0.5) / p;
+      seeds.push_back({x, y, sq(x - cx) + sq(y - cy)});
+    }
+  }
+  // Drop the (p^2 - k) outermost grid points (paper: "exclude ... from the
+  // outer region of the grid"). Stable ordering keeps this deterministic.
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const Seed& a, const Seed& b) { return a.center_d2 < b.center_d2; });
+  seeds.resize(static_cast<std::size_t>(k));
+  std::vector<std::pair<double, double>> out;
+  out.reserve(seeds.size());
+  for (const Seed& s : seeds) out.emplace_back(s.x, s.y);
+  return out;
+}
+
+KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
+                       const KMeansOptions& options) {
+  MTH_ASSERT(k >= 1 && k <= static_cast<int>(points.size()),
+             "kmeans: k out of range");
+  KMeansResult res;
+  res.centroids = grid_seeds(points, k);
+  res.assignment.assign(points.size(), -1);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    CentroidGrid grid(res.centroids);
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const int c = grid.nearest(points[i]);
+      if (c != res.assignment[i]) {
+        res.assignment[i] = c;
+        changed = true;
+      }
+    }
+
+    // Recompute centroids.
+    std::vector<double> sx(static_cast<std::size_t>(k), 0.0);
+    std::vector<double> sy(static_cast<std::size_t>(k), 0.0);
+    std::vector<int> cnt(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(res.assignment[i]);
+      sx[c] += static_cast<double>(points[i].x);
+      sy[c] += static_cast<double>(points[i].y);
+      ++cnt[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (cnt[ci] > 0) {
+        res.centroids[ci] = {sx[ci] / cnt[ci], sy[ci] / cnt[ci]};
+      }
+    }
+
+    // Re-seed empty clusters on the point farthest from its own centroid
+    // (splits the loosest cluster; keeps all k clusters non-empty).
+    for (int c = 0; c < k; ++c) {
+      if (cnt[static_cast<std::size_t>(c)] != 0) continue;
+      double worst = -1.0;
+      std::size_t worst_i = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto a = static_cast<std::size_t>(res.assignment[i]);
+        if (cnt[a] <= 1) continue;  // don't empty another cluster
+        const double d2 = dist2(res.centroids[a], points[i]);
+        if (d2 > worst) {
+          worst = d2;
+          worst_i = i;
+        }
+      }
+      if (worst >= 0.0) {
+        const auto old = static_cast<std::size_t>(res.assignment[worst_i]);
+        --cnt[old];
+        res.assignment[worst_i] = c;
+        cnt[static_cast<std::size_t>(c)] = 1;
+        res.centroids[static_cast<std::size_t>(c)] = {
+            static_cast<double>(points[worst_i].x),
+            static_cast<double>(points[worst_i].y)};
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return res;
+}
+
+KMeansResult kmeans_1d(const std::vector<Dbu>& values, int k,
+                       const KMeansOptions& options) {
+  std::vector<Point> pts;
+  pts.reserve(values.size());
+  for (Dbu v : values) pts.push_back({0, v});
+  // 1-D case: same machinery with x pinned to zero.
+  return kmeans_2d(pts, k, options);
+}
+
+}  // namespace mth::cluster

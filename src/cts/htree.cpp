@@ -1,0 +1,131 @@
+#include "mth/cts/htree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mth/util/error.hpp"
+
+namespace mth::cts {
+namespace {
+
+struct Sink {
+  InstId inst;
+  Point p;  ///< CK pin position
+};
+
+/// Recursive top-down means partitioning: split the sink set at the median
+/// of the longer bbox axis, route a trunk from this node's tapping point to
+/// the two child tapping points, recurse. Classic MMM (Jackson-Srinivasan-
+/// Kuh) topology; wirelength uses Manhattan trunks.
+class HTreeBuilder {
+ public:
+  HTreeBuilder(const CtsOptions& opt, CtsResult& out) : opt_(opt), out_(out) {}
+
+  /// Returns the tapping point of the subtree over sinks[lo, hi).
+  Point build(std::vector<Sink>& sinks, std::size_t lo, std::size_t hi,
+              int level, double delay_so_far) {
+    out_.levels = std::max(out_.levels, level);
+    const std::size_t n = hi - lo;
+    // Tapping point: center of mass (balanced-ish Manhattan center).
+    long long sx = 0, sy = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sx += sinks[i].p.x;
+      sy += sinks[i].p.y;
+    }
+    const Point tap{static_cast<Dbu>(sx / static_cast<long long>(n)),
+                    static_cast<Dbu>(sy / static_cast<long long>(n))};
+
+    if (n <= static_cast<std::size_t>(opt_.max_sinks_per_leaf)) {
+      // Leaf: star from the tap to each sink; no further buffers.
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Dbu wl = manhattan(tap, sinks[i].p);
+        out_.total_wirelength += wl;
+        const double t = delay_so_far + wire_delay_ps(wl);
+        out_.sink_insertion_ps[static_cast<std::size_t>(sinks[i].inst)] = t;
+      }
+      return tap;
+    }
+
+    // Split at the median of the longer axis.
+    BBox bb;
+    for (std::size_t i = lo; i < hi; ++i) bb.add(sinks[i].p);
+    const bool split_x = (bb.xmax - bb.xmin) >= (bb.ymax - bb.ymin);
+    const std::size_t mid = lo + n / 2;
+    std::nth_element(sinks.begin() + static_cast<std::ptrdiff_t>(lo),
+                     sinks.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sinks.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [split_x](const Sink& a, const Sink& b) {
+                       return split_x ? a.p.x < b.p.x : a.p.y < b.p.y;
+                     });
+
+    // Each internal node holds a buffer driving two child trunks.
+    ++out_.buffers;
+    const double child_delay = delay_so_far + opt_.buffer_delay_ps;
+    const Point left = build(sinks, lo, mid, level + 1,
+                             child_delay + 0.0 /* trunk added below */);
+    const Point right = build(sinks, mid, hi, level + 1, child_delay);
+    out_.total_wirelength += manhattan(tap, left) + manhattan(tap, right);
+    return tap;
+  }
+
+  static double wire_delay_ps(Dbu wl) {
+    // First-order: buffered clock wire flies at ~1 ps / 2 um.
+    return static_cast<double>(wl) / 2000.0;
+  }
+
+ private:
+  const CtsOptions& opt_;
+  CtsResult& out_;
+};
+
+}  // namespace
+
+CtsResult build_clock_tree(const Design& design, const CtsOptions& opt) {
+  MTH_ASSERT(opt.max_sinks_per_leaf >= 1, "cts: bad leaf capacity");
+  CtsResult res;
+  res.sink_insertion_ps.assign(
+      static_cast<std::size_t>(design.netlist.num_instances()), 0.0);
+
+  std::vector<Sink> sinks;
+  for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+    const CellMaster& m = design.master_of(i);
+    const int ck = m.clock_pin();
+    if (ck < 0) continue;
+    const Instance& inst = design.netlist.instance(i);
+    sinks.push_back(
+        Sink{i, inst.pos + m.pins[static_cast<std::size_t>(ck)].offset});
+  }
+  if (sinks.empty()) return res;
+
+  HTreeBuilder builder(opt, res);
+  builder.build(sinks, 0, sinks.size(), 0, 0.0);
+
+  double min_t = 1e300, max_t = 0.0;
+  for (const Sink& s : sinks) {
+    const double t = res.sink_insertion_ps[static_cast<std::size_t>(s.inst)];
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  res.max_insertion_ps = max_t;
+  res.skew_ps = max_t - min_t;
+
+  // Clock power: full-rate switching of tree wire + buffer + CK pin caps.
+  const Tech& tech = design.library->tech();
+  const double f_hz = 1.0e12 / design.clock_ps;
+  const double v2 = tech.vdd * tech.vdd;
+  double cap_ff = static_cast<double>(res.total_wirelength) / 1000.0 *
+                  tech.unit_cap_ff_um;
+  cap_ff += res.buffers * opt.buffer_cap_ff;
+  for (const Sink& s : sinks) {
+    cap_ff += design.master_of(s.inst).input_cap_ff;
+  }
+  // Clock toggles twice per cycle's worth of energy accounting convention:
+  // activity 1.0 (one full charge/discharge per cycle).
+  const double wire_w = cap_ff * 1e-15 * v2 * f_hz;
+  const double buf_w = res.buffers * opt.buffer_energy_fj * 1e-15 * f_hz;
+  res.clock_power_mw = (wire_w + buf_w) * 1e3;
+  return res;
+}
+
+}  // namespace mth::cts

@@ -1,0 +1,40 @@
+#include "mth/db/design.hpp"
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+
+int Design::num_minority() const {
+  int n = 0;
+  for (InstId i = 0; i < netlist.num_instances(); ++i) {
+    if (is_minority(i)) ++n;
+  }
+  return n;
+}
+
+Dbu Design::total_cell_area() const {
+  Dbu a = 0;
+  for (const Instance& inst : netlist.instances()) {
+    a += library->master(inst.master).area();
+  }
+  return a;
+}
+
+Dbu Design::total_width(TrackHeight th) const {
+  Dbu w = 0;
+  for (const Instance& inst : netlist.instances()) {
+    const CellMaster& m = library->master(inst.master);
+    if (m.track_height == th) w += m.width;
+  }
+  return w;
+}
+
+void Design::check() const {
+  MTH_ASSERT(library != nullptr, "design: no library");
+  netlist.check(*library);
+  // Freshly synthesized designs carry no floorplan yet (rows are created by
+  // the flow's mLEF/floorplanning step).
+  if (!floorplan.rows().empty()) floorplan.check();
+}
+
+}  // namespace mth

@@ -1,0 +1,100 @@
+#include "mth/db/library.hpp"
+
+#include <utility>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+
+int num_inputs(CellFunc f) {
+  switch (f) {
+    case CellFunc::Inv:
+    case CellFunc::Buf:
+      return 1;
+    case CellFunc::Nand2:
+    case CellFunc::Nor2:
+    case CellFunc::And2:
+    case CellFunc::Or2:
+    case CellFunc::Xor2:
+    case CellFunc::Xnor2:
+      return 2;
+    case CellFunc::Aoi21:
+    case CellFunc::Oai21:
+    case CellFunc::Mux2:
+      return 3;
+    case CellFunc::HalfAdder:
+      return 2;
+    case CellFunc::FullAdder:
+      return 3;
+    case CellFunc::Dff:
+      return 1;  // D (clock handled separately)
+  }
+  return 1;
+}
+
+const char* to_string(CellFunc f) {
+  switch (f) {
+    case CellFunc::Inv: return "INV";
+    case CellFunc::Buf: return "BUF";
+    case CellFunc::Nand2: return "NAND2";
+    case CellFunc::Nor2: return "NOR2";
+    case CellFunc::And2: return "AND2";
+    case CellFunc::Or2: return "OR2";
+    case CellFunc::Aoi21: return "AOI21";
+    case CellFunc::Oai21: return "OAI21";
+    case CellFunc::Xor2: return "XOR2";
+    case CellFunc::Xnor2: return "XNOR2";
+    case CellFunc::Mux2: return "MUX2";
+    case CellFunc::HalfAdder: return "HA";
+    case CellFunc::FullAdder: return "FA";
+    case CellFunc::Dff: return "DFF";
+  }
+  return "?";
+}
+
+int CellMaster::output_pin() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].is_output) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CellMaster::clock_pin() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].is_clock) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Library::Library(std::string name, Tech tech, std::vector<CellMaster> masters)
+    : name_(std::move(name)), tech_(tech), masters_(std::move(masters)) {
+  tech_.check();
+  by_name_.reserve(masters_.size());
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    const CellMaster& m = masters_[i];
+    MTH_ASSERT(m.width > 0 && m.height > 0, "library: degenerate master " + m.name);
+    MTH_ASSERT(m.width % tech_.site_width == 0,
+               "library: master width off site grid: " + m.name);
+    MTH_ASSERT(!m.pins.empty(), "library: master without pins: " + m.name);
+    MTH_ASSERT(m.output_pin() >= 0 || m.func == CellFunc::Dff,
+               "library: master without output pin: " + m.name);
+    const bool inserted =
+        by_name_.emplace(m.name, static_cast<int>(i)).second;
+    MTH_ASSERT(inserted, "library: duplicate master name " + m.name);
+  }
+}
+
+int Library::find(const std::string& master_name) const {
+  const auto it = by_name_.find(master_name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::vector<int> Library::masters_with(CellFunc func) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    if (masters_[i].func == func) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace mth

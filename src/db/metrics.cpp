@@ -1,0 +1,119 @@
+#include "mth/db/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+
+Dbu net_hpwl(const Design& design, NetId net_id) {
+  const Net& n = design.netlist.net(net_id);
+  if (n.is_clock) return 0;  // ideal clock: distributed by CTS, not placement
+  BBox bb;
+  for (const PinRef& ref : n.pins) {
+    bb.add(design.netlist.pin_position(ref, *design.library));
+  }
+  return bb.half_perimeter();
+}
+
+Dbu total_hpwl(const Design& design) {
+  Dbu sum = 0;
+  for (NetId n = 0; n < design.netlist.num_nets(); ++n) {
+    sum += net_hpwl(design, n);
+  }
+  return sum;
+}
+
+std::vector<Point> placement_snapshot(const Design& design) {
+  std::vector<Point> out;
+  out.reserve(static_cast<std::size_t>(design.netlist.num_instances()));
+  for (const Instance& inst : design.netlist.instances()) {
+    out.push_back(inst.pos);
+  }
+  return out;
+}
+
+Dbu total_displacement(const Design& design, const std::vector<Point>& from) {
+  MTH_ASSERT(from.size() ==
+                 static_cast<std::size_t>(design.netlist.num_instances()),
+             "displacement: snapshot size mismatch");
+  Dbu sum = 0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    sum += manhattan(from[i], design.netlist.instances()[i].pos);
+  }
+  return sum;
+}
+
+namespace {
+
+/// Instances bucketed by the row their bottom edge sits in.
+std::map<int, std::vector<InstId>> bucket_by_row(const Design& design) {
+  std::map<int, std::vector<InstId>> rows;
+  for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+    const Instance& inst = design.netlist.instance(i);
+    rows[design.floorplan.row_at_y(inst.pos.y)].push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int count_overlaps(const Design& design) {
+  int overlaps = 0;
+  auto rows = bucket_by_row(design);
+  for (auto& [row, ids] : rows) {
+    std::sort(ids.begin(), ids.end(), [&](InstId a, InstId b) {
+      return design.netlist.instance(a).pos.x < design.netlist.instance(b).pos.x;
+    });
+    for (std::size_t k = 0; k + 1 < ids.size(); ++k) {
+      const Instance& a = design.netlist.instance(ids[k]);
+      const Instance& b = design.netlist.instance(ids[k + 1]);
+      const Dbu a_end = a.pos.x + design.master_of(ids[k]).width;
+      if (a_end > b.pos.x) ++overlaps;
+    }
+  }
+  return overlaps;
+}
+
+bool placement_is_legal(const Design& design, std::string* why,
+                        bool require_track_match) {
+  bool ok = true;
+  auto complain = [&](const std::string& msg) {
+    ok = false;
+    if (why) {
+      if (!why->empty()) *why += "; ";
+      *why += msg;
+    }
+  };
+
+  const Floorplan& fp = design.floorplan;
+  for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+    const Instance& inst = design.netlist.instance(i);
+    const CellMaster& m = design.master_of(i);
+    if (inst.pos.x < fp.core().lo.x || inst.pos.x + m.width > fp.core().hi.x ||
+        inst.pos.y < fp.core().lo.y || inst.pos.y + m.height > fp.core().hi.y) {
+      complain("inst " + inst.name + " outside core");
+      continue;
+    }
+    if ((inst.pos.x - fp.core().lo.x) % fp.site_width() != 0) {
+      complain("inst " + inst.name + " off site grid");
+    }
+    const int row = fp.row_at_y(inst.pos.y);
+    const Row& r = fp.row(row);
+    if (r.y != inst.pos.y) {
+      complain("inst " + inst.name + " not on a row boundary");
+    } else {
+      if (m.height != r.height) {
+        complain("inst " + inst.name + " height mismatch with its row");
+      }
+      if (require_track_match && m.track_height != r.track_height) {
+        complain("inst " + inst.name + " track-height violates row-constraint");
+      }
+    }
+  }
+  if (count_overlaps(design) > 0) complain("overlapping cells");
+  return ok;
+}
+
+}  // namespace mth

@@ -1,0 +1,72 @@
+#include "mth/db/mlef.hpp"
+
+#include <cmath>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+
+MlefTransform::MlefTransform(std::shared_ptr<const Library> original,
+                             double minority_area_fraction)
+    : original_(std::move(original)) {
+  MTH_ASSERT(original_ != nullptr, "mlef: null library");
+  MTH_ASSERT(minority_area_fraction >= 0.0 && minority_area_fraction <= 1.0,
+             "mlef: fraction out of range");
+  const Tech& tech = original_->tech();
+
+  // mLEF height: area-weighted mix of the two row heights, snapped to the
+  // manufacturing grid (paper §III-A "considering the ratio of different
+  // track-height cells in the design and manufacturing grid").
+  const double h = (1.0 - minority_area_fraction) *
+                       static_cast<double>(tech.row_height_6t) +
+                   minority_area_fraction *
+                       static_cast<double>(tech.row_height_75t);
+  height_ = snap_near(static_cast<Dbu>(std::llround(h)), tech.mfg_grid);
+  MTH_ASSERT(height_ > 0, "mlef: degenerate height");
+
+  // Build the parallel library: same master order, normalized geometry.
+  std::vector<CellMaster> masters;
+  masters.reserve(static_cast<std::size_t>(original_->num_masters()));
+  for (const CellMaster& m : original_->masters()) {
+    CellMaster mm = m;  // keep function/electrical/track-height tags
+    mm.name = m.name + "_mlef";
+    mm.height = height_;
+    // Preserve area: width' = area / h', rounded *up* to the site grid so a
+    // legal mLEF placement never under-reserves room for the real cell.
+    const double w = static_cast<double>(m.area()) / static_cast<double>(height_);
+    mm.width = snap_up(static_cast<Dbu>(std::ceil(w)), tech.site_width);
+    if (mm.width <= 0) mm.width = tech.site_width;
+    // Rescale pin offsets into the new outline (proportional, grid-snapped).
+    for (PinDef& pd : mm.pins) {
+      const double fx = m.width > 0
+                            ? static_cast<double>(pd.offset.x) /
+                                  static_cast<double>(m.width)
+                            : 0.5;
+      const double fy = m.height > 0
+                            ? static_cast<double>(pd.offset.y) /
+                                  static_cast<double>(m.height)
+                            : 0.5;
+      pd.offset.x = snap_near(
+          static_cast<Dbu>(std::llround(fx * static_cast<double>(mm.width))),
+          tech.mfg_grid);
+      pd.offset.y = snap_near(
+          static_cast<Dbu>(std::llround(fy * static_cast<double>(mm.height))),
+          tech.mfg_grid);
+    }
+    masters.push_back(std::move(mm));
+  }
+  mlef_ = std::make_shared<Library>(original_->name() + "_mlef", tech,
+                                    std::move(masters));
+}
+
+void MlefTransform::to_mlef(Design& design) const {
+  MTH_ASSERT(design.library == original_, "mlef: design not in original space");
+  design.library = mlef_;
+}
+
+void MlefTransform::revert(Design& design) const {
+  MTH_ASSERT(design.library == mlef_, "mlef: design not in mLEF space");
+  design.library = original_;
+}
+
+}  // namespace mth

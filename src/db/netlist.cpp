@@ -1,0 +1,92 @@
+#include "mth/db/netlist.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+
+InstId Netlist::add_instance(std::string name, std::int32_t master, Point pos) {
+  uses_valid_ = false;
+  instances_.push_back(Instance{std::move(name), master, pos, false});
+  return static_cast<InstId>(instances_.size()) - 1;
+}
+
+PortId Netlist::add_port(std::string name, Point pos, bool is_input) {
+  ports_.push_back(Port{std::move(name), pos, is_input});
+  return static_cast<PortId>(ports_.size()) - 1;
+}
+
+NetId Netlist::add_net(std::string name) {
+  uses_valid_ = false;
+  nets_.push_back(Net{std::move(name), {}, 0.1});
+  return static_cast<NetId>(nets_.size()) - 1;
+}
+
+void Netlist::connect(NetId net_id, PinRef pin) {
+  uses_valid_ = false;
+  net(net_id).pins.push_back(pin);
+}
+
+const std::vector<std::vector<InstUse>>& Netlist::inst_uses() const {
+  if (!uses_valid_) {
+    inst_uses_.assign(instances_.size(), {});
+    for (std::size_t n = 0; n < nets_.size(); ++n) {
+      const Net& nn = nets_[n];
+      for (std::size_t p = 0; p < nn.pins.size(); ++p) {
+        const PinRef& ref = nn.pins[p];
+        if (!ref.is_port()) {
+          inst_uses_[static_cast<std::size_t>(ref.inst)].push_back(
+              InstUse{static_cast<NetId>(n), static_cast<std::int32_t>(p)});
+        }
+      }
+    }
+    uses_valid_ = true;
+  }
+  return inst_uses_;
+}
+
+Point Netlist::pin_position(const PinRef& ref, const Library& lib) const {
+  if (ref.is_port()) return port(ref.pin).pos;
+  const Instance& inst = instance(ref.inst);
+  const CellMaster& m = lib.master(inst.master);
+  const PinDef& pd = m.pins.at(static_cast<std::size_t>(ref.pin));
+  return inst.pos + pd.offset;
+}
+
+void Netlist::check(const Library& lib) const {
+  for (const Instance& inst : instances_) {
+    MTH_ASSERT(inst.master >= 0 && inst.master < lib.num_masters(),
+               "netlist: instance with bad master: " + inst.name);
+  }
+  for (const Net& n : nets_) {
+    MTH_ASSERT(!n.pins.empty(), "netlist: empty net " + n.name);
+    int drivers = 0;
+    for (std::size_t p = 0; p < n.pins.size(); ++p) {
+      const PinRef& ref = n.pins[p];
+      bool drives = false;
+      if (ref.is_port()) {
+        MTH_ASSERT(ref.pin >= 0 && ref.pin < num_ports(),
+                   "netlist: bad port ref on net " + n.name);
+        drives = port(ref.pin).is_input;
+      } else {
+        MTH_ASSERT(ref.inst >= 0 && ref.inst < num_instances(),
+                   "netlist: bad inst ref on net " + n.name);
+        const CellMaster& m = lib.master(instance(ref.inst).master);
+        MTH_ASSERT(ref.pin >= 0 &&
+                       ref.pin < static_cast<std::int32_t>(m.pins.size()),
+                   "netlist: bad pin index on net " + n.name);
+        drives = m.pins[static_cast<std::size_t>(ref.pin)].is_output;
+      }
+      if (drives) {
+        ++drivers;
+        MTH_ASSERT(p == 0, "netlist: driver not first on net " + n.name);
+      }
+    }
+    MTH_ASSERT(drivers == 1, "netlist: net " + n.name + " has " +
+                                 std::to_string(drivers) + " drivers");
+  }
+}
+
+}  // namespace mth

@@ -1,0 +1,213 @@
+#include "mth/ilp/solver.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <cmath>
+#include <utility>
+
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/timer.hpp"
+
+namespace mth::ilp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Feasible: return "feasible";
+    case Status::Infeasible: return "infeasible";
+    case Status::NoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BoundChange {
+  int var = 0;
+  double lb = 0.0;
+  double ub = 0.0;
+};
+
+struct Node {
+  std::vector<BoundChange> changes;  ///< cumulative path from the root
+  double parent_bound = -lp::kInf;   ///< LP bound inherited from the parent
+};
+
+/// Most-fractional integer variable in `x`; -1 when integral.
+int pick_branch_var(const std::vector<double>& x,
+                    const std::vector<int>& int_vars, double int_tol) {
+  int best = -1;
+  double best_frac_dist = int_tol;
+  for (int v : int_vars) {
+    const double xv = x[static_cast<std::size_t>(v)];
+    const double frac = xv - std::floor(xv);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool is_integral(const std::vector<double>& x, const std::vector<int>& int_vars,
+                 double int_tol) {
+  return pick_branch_var(x, int_vars, int_tol) < 0;
+}
+
+std::vector<double> rounded(const std::vector<double>& x,
+                            const std::vector<int>& int_vars) {
+  std::vector<double> out = x;
+  for (int v : int_vars) {
+    out[static_cast<std::size_t>(v)] =
+        std::round(out[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result solve(lp::Model model, const std::vector<int>& integer_vars,
+             const Options& options, const std::vector<double>* warm_start) {
+  WallTimer timer;
+  Result res;
+
+  for (int v : integer_vars) {
+    MTH_ASSERT(v >= 0 && v < model.num_vars(), "ilp: bad integer var index");
+  }
+
+  // Root bounds (restored around every node solve).
+  std::vector<double> root_lb(static_cast<std::size_t>(model.num_vars()));
+  std::vector<double> root_ub(static_cast<std::size_t>(model.num_vars()));
+  for (int v = 0; v < model.num_vars(); ++v) {
+    root_lb[static_cast<std::size_t>(v)] = model.lb(v);
+    root_ub[static_cast<std::size_t>(v)] = model.ub(v);
+  }
+
+  bool have_incumbent = false;
+  double incumbent = lp::kInf;
+  std::vector<double> incumbent_x;
+
+  auto try_incumbent = [&](const std::vector<double>& x) {
+    if (model.max_violation(x) > 1e-6) return;
+    if (!is_integral(x, integer_vars, options.int_tol)) return;
+    const double obj = model.objective_value(x);
+    if (!have_incumbent || obj < incumbent - 1e-12) {
+      have_incumbent = true;
+      incumbent = obj;
+      incumbent_x = x;
+      MTH_DEBUG << "ilp: new incumbent " << obj << " after " << res.nodes
+                << " nodes";
+    }
+  };
+
+  if (warm_start != nullptr) try_incumbent(*warm_start);
+
+  // Best-first search: always expand the open node with the weakest
+  // (smallest) inherited bound, so the proven global bound — the top of the
+  // heap — rises monotonically and the gap actually closes (depth-first
+  // would pin it at the root LP value until subtrees finish).
+  auto worse = [](const Node& a, const Node& b) {
+    return a.parent_bound > b.parent_bound ||
+           (a.parent_bound == b.parent_bound && a.changes.size() < b.changes.size());
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(worse)> open(worse);
+  open.push(Node{{}, -lp::kInf});
+
+  auto open_bound = [&]() {
+    return open.empty() ? lp::kInf : open.top().parent_bound;
+  };
+
+  bool exhausted = true;
+  while (!open.empty()) {
+    if (timer.seconds() > options.time_limit_s || res.nodes >= options.max_nodes) {
+      exhausted = false;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+
+    // Bound-based prune without solving.
+    if (have_incumbent && node.parent_bound >= incumbent * (1.0 - options.rel_gap) - 1e-12 &&
+        node.parent_bound > -lp::kInf) {
+      const double denom = std::abs(incumbent) > 1e-12 ? std::abs(incumbent) : 1.0;
+      if ((incumbent - node.parent_bound) / denom <= options.rel_gap) continue;
+    }
+
+    // Apply node bounds.
+    for (const BoundChange& bc : node.changes) model.set_bounds(bc.var, bc.lb, bc.ub);
+    const lp::Result rel = lp::solve(model, options.lp);
+    // Restore root bounds.
+    for (const BoundChange& bc : node.changes) {
+      model.set_bounds(bc.var, root_lb[static_cast<std::size_t>(bc.var)],
+                       root_ub[static_cast<std::size_t>(bc.var)]);
+    }
+    ++res.nodes;
+    res.lp_iterations += rel.iterations;
+
+    if (rel.status == lp::Status::Infeasible) continue;
+    if (rel.status != lp::Status::Optimal) {
+      // Unbounded/iteration-limited relaxation: treat conservatively as an
+      // unexplorable subtree with no bound (cannot prune siblings).
+      MTH_WARN << "ilp: node relaxation " << lp::to_string(rel.status);
+      exhausted = false;
+      continue;
+    }
+    if (have_incumbent) {
+      const double denom = std::abs(incumbent) > 1e-12 ? std::abs(incumbent) : 1.0;
+      if ((incumbent - rel.objective) / denom <= options.rel_gap) continue;
+    }
+
+    if (is_integral(rel.x, integer_vars, options.int_tol)) {
+      try_incumbent(rounded(rel.x, integer_vars));
+      continue;
+    }
+
+    // Heuristics: naive rounding, then the caller's repair hook.
+    try_incumbent(rounded(rel.x, integer_vars));
+    if (options.heuristic) {
+      std::vector<double> h;
+      if (options.heuristic(rel.x, h)) try_incumbent(h);
+    }
+
+    int bv = options.priority_vars.empty()
+                 ? -1
+                 : pick_branch_var(rel.x, options.priority_vars, options.int_tol);
+    if (bv < 0) bv = pick_branch_var(rel.x, integer_vars, options.int_tol);
+    MTH_ASSERT(bv >= 0, "ilp: fractional point with no branch var");
+    const double xv = rel.x[static_cast<std::size_t>(bv)];
+    const double fl = std::floor(xv);
+
+    Node down = node;
+    down.parent_bound = rel.objective;
+    down.changes.push_back(
+        {bv, root_lb[static_cast<std::size_t>(bv)], fl});
+    Node up = node;
+    up.parent_bound = rel.objective;
+    up.changes.push_back(
+        {bv, fl + 1.0, root_ub[static_cast<std::size_t>(bv)]});
+
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  res.solve_seconds = timer.seconds();
+  res.best_bound = exhausted && open.empty()
+                       ? (have_incumbent ? incumbent : lp::kInf)
+                       : open_bound();
+  if (have_incumbent) {
+    res.objective = incumbent;
+    res.x = std::move(incumbent_x);
+    res.best_bound = std::min(res.best_bound, incumbent);
+    res.status = (exhausted && open.empty()) || res.gap() <= options.rel_gap
+                     ? Status::Optimal
+                     : Status::Feasible;
+  } else {
+    res.status = (exhausted && open.empty()) ? Status::Infeasible
+                                             : Status::NoSolution;
+  }
+  return res;
+}
+
+}  // namespace mth::ilp

@@ -1,0 +1,55 @@
+#pragma once
+// Reimplementation of the previous state-of-the-art row-constraint placement,
+// Lin & Chang, "A Row-Based Algorithm for Non-Integer Multiple-Cell-Height
+// Placement", ICCAD 2021 — reference [10] of the paper and its Flow (2)/(3)
+// row assignment + Flow (2)/(4) legalization. (The paper's authors also
+// reimplemented it: "No code or executable was available".)
+//
+// Row assignment: 1-D k-means over minority-cell y coordinates with
+// k = N_minR; each cluster center claims the nearest free row pair.
+// Legalization: Abacus modified under the row constraint — minority cells
+// may only enter minority pairs, majority cells only majority pairs, with
+// displacement-minimizing movement from the initial placement.
+
+#include "mth/db/design.hpp"
+#include "mth/db/rowassign.hpp"
+#include "mth/legal/abacus.hpp"
+
+namespace mth::baseline {
+
+struct BaselineOptions {
+  /// Target fill of minority rows when auto-sizing N_minR.
+  double minority_row_fill = 0.80;
+  int kmeans_max_iterations = 60;
+};
+
+/// Number of minority row pairs needed for the design's minority cells
+/// (original widths; ceil of demand / (pair capacity * fill)).
+/// `width_library` supplies original cell widths when the design is in mLEF
+/// space (paper §III-C: minority width is "the width of the original cell").
+int auto_minority_pairs(const Design& design, const Library& width_library,
+                        double fill);
+
+/// Row assignment plus the per-cell binding the baseline's legalization
+/// consumes ("move the cells to fit into rows with corresponding
+/// track-heights": each minority cell follows its y-cluster's row pair).
+struct KmeansAssignment {
+  RowAssignment rows;
+  std::vector<InstId> minority_cells;
+  std::vector<int> cell_pair;  ///< parallel to minority_cells
+};
+
+/// Lin & Chang row assignment: k-means of minority y positions.
+KmeansAssignment assign_rows_kmeans(const Design& design, int n_min_pairs,
+                                    const BaselineOptions& options = {});
+
+/// Lin & Chang legalization: seed each minority cell onto its bound row pair
+/// (when a binding is given), then row-constrained Abacus — minimal movement
+/// from the initial placement. Works in mLEF space with a RowAssignment, or
+/// in mixed-height space where floorplan rows carry real track heights.
+legal::AbacusResult legalize_with_assignment(
+    Design& design, const RowAssignment& assignment,
+    const std::vector<InstId>* bound_cells = nullptr,
+    const std::vector<int>* bound_pairs = nullptr);
+
+}  // namespace mth::baseline

@@ -1,0 +1,46 @@
+#pragma once
+// 2-D k-means clustering of minority cells (paper §III-B).
+//
+// Seeding follows the paper: centroids start on a p x p grid over the point
+// bounding box with p = ceil(sqrt(N_C)); the (p^2 - N_C) grid points farthest
+// from the box center ("the outer region of the grid") are dropped. Lloyd
+// iterations then run to convergence with a bucket-grid accelerated
+// nearest-centroid search (k can be a large fraction of n; the naive O(n*k)
+// scan would dominate flow runtime).
+
+#include <vector>
+
+#include "mth/util/geometry.hpp"
+
+namespace mth::cluster {
+
+struct KMeansOptions {
+  int max_iterations = 50;
+  /// Stop when no point changes cluster in an iteration.
+};
+
+struct KMeansResult {
+  std::vector<int> assignment;              ///< point -> cluster index [0, k)
+  std::vector<std::pair<double, double>> centroids;
+  int iterations = 0;
+
+  int k() const { return static_cast<int>(centroids.size()); }
+};
+
+/// Paper-style grid seeds for k clusters over the bounding box of `points`.
+/// Exposed separately for testing; kmeans_2d calls it internally.
+std::vector<std::pair<double, double>> grid_seeds(
+    const std::vector<Point>& points, int k);
+
+/// Cluster `points` into exactly `k` groups (1 <= k <= points.size()).
+/// Deterministic. Empty clusters are re-seeded on the point farthest from
+/// its current centroid, so every cluster in the result is non-empty.
+KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
+                       const KMeansOptions& options = {});
+
+/// 1-D k-means on y-coordinates (used by the baseline [10], which clusters
+/// minority-cell y positions to choose minority rows).
+KMeansResult kmeans_1d(const std::vector<Dbu>& values, int k,
+                       const KMeansOptions& options = {});
+
+}  // namespace mth::cluster

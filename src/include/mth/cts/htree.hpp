@@ -1,0 +1,40 @@
+#pragma once
+// Clock tree synthesis (H-tree).
+//
+// SUBSTITUTION (DESIGN.md §2): the paper's Innovus flow synthesizes a clock
+// tree between placement and routing; our STA treats the clock as ideal.
+// This module closes that gap for power/wirelength accounting: it builds a
+// recursive H-tree over the register placement (top-down means partitioning
+// into 4 quadrants until leaf capacity), estimates the clock wirelength,
+// buffer count, per-sink insertion delay and global skew, and can fold the
+// result into the power report. The row-assignment algorithms do not depend
+// on it; it quantifies one more PPA component the flows affect.
+
+#include <vector>
+
+#include "mth/db/design.hpp"
+
+namespace mth::cts {
+
+struct CtsOptions {
+  int max_sinks_per_leaf = 16;   ///< leaf cluster capacity
+  double buffer_delay_ps = 18.0; ///< insertion delay per tree level
+  double buffer_cap_ff = 1.2;    ///< input cap of a clock buffer
+  double buffer_energy_fj = 1.8; ///< internal energy per toggle
+};
+
+struct CtsResult {
+  Dbu total_wirelength = 0;      ///< clock tree wire (DBU)
+  int buffers = 0;               ///< inserted clock buffers (tree nodes)
+  int levels = 0;                ///< tree depth
+  double max_insertion_ps = 0.0; ///< source -> latest sink
+  double skew_ps = 0.0;          ///< max - min sink insertion delay
+  double clock_power_mw = 0.0;   ///< wire + buffer switching at f_clk
+  std::vector<double> sink_insertion_ps;  ///< per register (design order)
+};
+
+/// Build an H-tree over all registers (DFF CK pins) of the placed design.
+/// Returns a zeroed result when the design has no registers.
+CtsResult build_clock_tree(const Design& design, const CtsOptions& options = {});
+
+}  // namespace mth::cts

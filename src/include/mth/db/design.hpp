@@ -1,0 +1,47 @@
+#pragma once
+// Design: the unit every flow stage consumes and produces.
+//
+// A Design bundles a (shared, immutable) library, a netlist with placement,
+// and a floorplan. Copies are cheap-ish (netlist vectors copy; library is
+// shared), which the flow drivers exploit to branch one initial placement
+// into the five compared flows.
+
+#include <memory>
+#include <string>
+
+#include "mth/db/floorplan.hpp"
+#include "mth/db/library.hpp"
+#include "mth/db/netlist.hpp"
+
+namespace mth {
+
+struct Design {
+  std::string name;
+  double clock_ps = 1000.0;
+  std::shared_ptr<const Library> library;
+  Netlist netlist;
+  Floorplan floorplan;
+
+  const CellMaster& master_of(InstId id) const {
+    return library->master(netlist.instance(id).master);
+  }
+
+  /// Minority (tall, 7.5T) instance test; valid in both mLEF and original
+  /// space because mLEF masters keep their logical track-height tag.
+  bool is_minority(InstId id) const {
+    return master_of(id).track_height == TrackHeight::H75T;
+  }
+
+  int num_minority() const;
+
+  /// Total placed cell area (DBU^2).
+  Dbu total_cell_area() const;
+
+  /// Sum of instance widths for one track-height class.
+  Dbu total_width(TrackHeight th) const;
+
+  /// Full structural + placement-container validation.
+  void check() const;
+};
+
+}  // namespace mth

@@ -1,0 +1,106 @@
+#pragma once
+// Standard-cell library model.
+//
+// A CellMaster carries the geometric and electrical attributes the
+// placement/timing substrates consume. Libraries are immutable after
+// construction; the mLEF transform builds a parallel library with identical
+// master indexing so designs can swap libraries without re-indexing.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mth/db/tech.hpp"
+#include "mth/util/geometry.hpp"
+
+namespace mth {
+
+/// Threshold-voltage flavor; both are mixed in each design (paper §IV-A).
+enum class Vt : std::uint8_t { RVT = 0, LVT = 1 };
+
+inline const char* to_string(Vt vt) { return vt == Vt::RVT ? "RVT" : "LVT"; }
+
+/// Logical function class of a master (drives netlist construction & timing).
+enum class CellFunc : std::uint8_t {
+  Inv,
+  Buf,
+  Nand2,
+  Nor2,
+  And2,
+  Or2,
+  Aoi21,
+  Oai21,
+  Xor2,
+  Xnor2,
+  Mux2,
+  HalfAdder,
+  FullAdder,
+  Dff,
+};
+
+inline bool is_sequential(CellFunc f) { return f == CellFunc::Dff; }
+
+/// Number of logic input pins for a function (excludes clock).
+int num_inputs(CellFunc f);
+
+const char* to_string(CellFunc f);
+
+/// A physical pin of a master: offset from the cell's lower-left corner.
+struct PinDef {
+  std::string name;
+  Point offset;        ///< relative to instance origin (lower-left)
+  bool is_output = false;
+  bool is_clock = false;
+};
+
+/// One standard-cell master (e.g. NAND2_X2_75T_LVT).
+struct CellMaster {
+  std::string name;
+  CellFunc func = CellFunc::Inv;
+  TrackHeight track_height = TrackHeight::H6T;
+  Vt vt = Vt::RVT;
+  int drive = 1;            ///< drive strength index (X1, X2, ...)
+  Dbu width = 0;            ///< cell width (nm), multiple of site width
+  Dbu height = 0;           ///< cell height (nm), equals row height
+  std::vector<PinDef> pins; ///< inputs first, then output(s)
+
+  // Electrical model (NLDM-free linear model; see timing/).
+  double input_cap_ff = 1.0;      ///< cap per input pin (fF)
+  double drive_res_kohm = 5.0;    ///< output drive resistance (kΩ)
+  double intrinsic_delay_ps = 10; ///< parasitic/unloaded delay (ps)
+  double leakage_nw = 1.0;        ///< leakage power (nW)
+  double internal_energy_fj = 1.0;///< internal energy per output toggle (fJ)
+
+  Dbu area() const { return width * height; }
+  int output_pin() const;      ///< index of the (single) output pin; -1 if none
+  int clock_pin() const;       ///< index of the clock pin; -1 if none
+};
+
+/// Immutable collection of masters with name lookup.
+class Library {
+ public:
+  Library() = default;
+  explicit Library(std::string name, Tech tech, std::vector<CellMaster> masters);
+
+  const std::string& name() const { return name_; }
+  const Tech& tech() const { return tech_; }
+  int num_masters() const { return static_cast<int>(masters_.size()); }
+  const CellMaster& master(int id) const { return masters_.at(static_cast<std::size_t>(id)); }
+  const std::vector<CellMaster>& masters() const { return masters_; }
+
+  /// Index of the master with this name; -1 when absent.
+  int find(const std::string& master_name) const;
+
+  /// All master ids matching a predicate-style filter (any-of semantics when
+  /// a filter is left unset).
+  std::vector<int> masters_with(CellFunc func) const;
+
+ private:
+  std::string name_;
+  Tech tech_;
+  std::vector<CellMaster> masters_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace mth

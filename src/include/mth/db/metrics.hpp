@@ -1,0 +1,36 @@
+#pragma once
+// Placement quality metrics: HPWL and displacement (Table IV columns).
+
+#include <vector>
+
+#include "mth/db/design.hpp"
+
+namespace mth {
+
+/// Half-perimeter wirelength of one net (DBU).
+Dbu net_hpwl(const Design& design, NetId net);
+
+/// Sum of HPWL over all nets (DBU).
+Dbu total_hpwl(const Design& design);
+
+/// Snapshot of all instance positions (index == InstId).
+std::vector<Point> placement_snapshot(const Design& design);
+
+/// Total displacement between a snapshot and the design's current placement:
+/// sum over instances of the Manhattan distance moved (Table IV definition).
+Dbu total_displacement(const Design& design, const std::vector<Point>& from);
+
+/// Count of pairs of overlapping placed cells (0 for a legal placement).
+/// Quadratic fallback avoided via row bucketing; intended for tests.
+int count_overlaps(const Design& design);
+
+/// True when every instance sits inside the core, x on the site grid, bottom
+/// edge on a row boundary, with its height equal to the row height, and no
+/// overlaps. `require_track_match` additionally demands the row's
+/// track-height tag equals the cell's (meaningless in mLEF space, where rows
+/// are tagged 6T but tall cells keep their logical 7.5T tag).
+/// Violation descriptions are appended to `why` when provided.
+bool placement_is_legal(const Design& design, std::string* why = nullptr,
+                        bool require_track_match = false);
+
+}  // namespace mth

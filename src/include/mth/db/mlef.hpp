@@ -1,0 +1,42 @@
+#pragma once
+// Modified-LEF (mLEF) transform [Dobre TCAD'18; Lin ICCAD'21; paper §III-A].
+//
+// mLEF normalizes cells of different track-heights to a *single* height so an
+// existing placer can produce the unconstrained initial placement. Each
+// master keeps its area: width' = area / h_mLEF, rounded up to the site grid.
+// Master *indices are preserved*, so converting a design between spaces only
+// swaps the library pointer and rescales nothing in the netlist structure.
+
+#include <memory>
+
+#include "mth/db/design.hpp"
+
+namespace mth {
+
+class MlefTransform {
+ public:
+  /// Build the mLEF library for `original`. `minority_area_fraction` is the
+  /// fraction of total cell area in 7.5T masters for the target design; the
+  /// mLEF height is the area-weighted mix of the two row heights snapped to
+  /// the manufacturing grid (paper §III-A).
+  MlefTransform(std::shared_ptr<const Library> original,
+                double minority_area_fraction);
+
+  const std::shared_ptr<const Library>& original_library() const { return original_; }
+  const std::shared_ptr<const Library>& mlef_library() const { return mlef_; }
+  Dbu mlef_height() const { return height_; }
+
+  /// Swap `design` into mLEF space (library pointer + nothing else; caller
+  /// re-legalizes because widths changed).
+  void to_mlef(Design& design) const;
+
+  /// Swap back to the original mixed-height library (paper step (v)).
+  void revert(Design& design) const;
+
+ private:
+  std::shared_ptr<const Library> original_;
+  std::shared_ptr<const Library> mlef_;
+  Dbu height_ = 0;
+};
+
+}  // namespace mth

@@ -1,0 +1,110 @@
+#pragma once
+// Gate-level netlist: instances, nets, external ports.
+//
+// Structure-of-vectors layout; ids are dense 32-bit indices. Convention:
+// `Net::pins[0]` is the driver (an instance output pin or an input port).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mth/db/library.hpp"
+#include "mth/util/geometry.hpp"
+
+namespace mth {
+
+using InstId = std::int32_t;
+using NetId = std::int32_t;
+using PortId = std::int32_t;
+
+constexpr InstId kInvalidId = -1;
+
+/// A connection endpoint: either (inst >= 0, pin = master pin index) or an
+/// external port (inst == kInvalidId, pin = port index).
+struct PinRef {
+  InstId inst = kInvalidId;
+  std::int32_t pin = 0;
+
+  bool is_port() const { return inst == kInvalidId; }
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// A placed cell instance.
+struct Instance {
+  std::string name;
+  std::int32_t master = 0;  ///< index into the design's Library
+  Point pos;                ///< lower-left corner (DBU)
+  bool fixed = false;       ///< true for pre-placed blocks (unused by synth)
+};
+
+/// An external port, pinned to the die boundary.
+struct Port {
+  std::string name;
+  Point pos;
+  bool is_input = false;  ///< design input (drives its net)
+};
+
+/// A signal net. pins[0] is the driver.
+struct Net {
+  std::string name;
+  std::vector<PinRef> pins;
+  double activity = 0.1;  ///< toggle rate per clock cycle (power model)
+  bool is_clock = false;  ///< ideal clock net: excluded from HPWL/routing
+
+  int degree() const { return static_cast<int>(pins.size()); }
+};
+
+/// Per-instance reverse index: which (net, position) pairs touch it.
+struct InstUse {
+  NetId net = kInvalidId;
+  std::int32_t pin_pos = 0;  ///< index into Net::pins
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  // --- construction -------------------------------------------------------
+  InstId add_instance(std::string name, std::int32_t master, Point pos = {});
+  PortId add_port(std::string name, Point pos, bool is_input);
+  NetId add_net(std::string name);
+  /// Append a pin to a net. Driver must be added first.
+  void connect(NetId net, PinRef pin);
+
+  // --- access --------------------------------------------------------------
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  Instance& instance(InstId id) { return instances_.at(static_cast<std::size_t>(id)); }
+  const Instance& instance(InstId id) const { return instances_.at(static_cast<std::size_t>(id)); }
+  Net& net(NetId id) { return nets_.at(static_cast<std::size_t>(id)); }
+  const Net& net(NetId id) const { return nets_.at(static_cast<std::size_t>(id)); }
+  Port& port(PortId id) { return ports_.at(static_cast<std::size_t>(id)); }
+  const Port& port(PortId id) const { return ports_.at(static_cast<std::size_t>(id)); }
+
+  std::vector<Instance>& instances() { return instances_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Port>& ports() const { return ports_; }
+
+  /// Reverse index instance -> uses; built on first call, invalidated by
+  /// structural edits (add_*/connect).
+  const std::vector<std::vector<InstUse>>& inst_uses() const;
+
+  /// Physical location of a pin reference, given the owning library.
+  Point pin_position(const PinRef& ref, const Library& lib) const;
+
+  /// Structural sanity: every net driven exactly once, pin indices in range.
+  void check(const Library& lib) const;
+
+ private:
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+  std::vector<Port> ports_;
+  mutable std::vector<std::vector<InstUse>> inst_uses_;  // lazy cache
+  mutable bool uses_valid_ = false;
+};
+
+}  // namespace mth

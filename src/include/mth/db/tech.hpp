@@ -1,0 +1,49 @@
+#pragma once
+// Technology description for the built-in ASAP7-like node.
+//
+// The paper uses ASAP7 7.5T (v28) and 6T (v26) cells. We model the two
+// track-heights with ASAP7-plausible geometry: 54 nm placement sites,
+// 270 nm (7.5T) and 216 nm (6T) row heights, 1 nm manufacturing grid.
+
+#include <cstdint>
+
+#include "mth/util/error.hpp"
+#include "mth/util/geometry.hpp"
+
+namespace mth {
+
+/// Standard-cell track-height class. H6T is the short "majority" height,
+/// H75T the tall "minority" height (high-drive instances).
+enum class TrackHeight : std::uint8_t { H6T = 0, H75T = 1 };
+
+constexpr int kNumTrackHeights = 2;
+
+inline const char* to_string(TrackHeight th) {
+  return th == TrackHeight::H6T ? "6T" : "7.5T";
+}
+
+/// Process/technology constants shared by every design in a run.
+struct Tech {
+  Dbu site_width = 54;        ///< placement site pitch (nm)
+  Dbu mfg_grid = 1;           ///< manufacturing grid (nm)
+  Dbu row_height_6t = 216;    ///< 6-track row height (nm)
+  Dbu row_height_75t = 270;   ///< 7.5-track row height (nm)
+  double unit_res_ohm_um = 28.0;   ///< wire resistance per µm (Mx average)
+  double unit_cap_ff_um = 0.18;    ///< wire capacitance per µm
+  double vdd = 0.7;                ///< supply voltage (V)
+
+  Dbu row_height(TrackHeight th) const {
+    return th == TrackHeight::H6T ? row_height_6t : row_height_75t;
+  }
+
+  /// Validate internal consistency (positive pitches, grid-aligned heights).
+  void check() const {
+    MTH_ASSERT(site_width > 0 && mfg_grid > 0, "tech: non-positive pitch");
+    MTH_ASSERT(row_height_6t > 0 && row_height_75t > row_height_6t,
+               "tech: 7.5T rows must be taller than 6T rows");
+    MTH_ASSERT(row_height_6t % mfg_grid == 0 && row_height_75t % mfg_grid == 0,
+               "tech: row heights must sit on the manufacturing grid");
+  }
+};
+
+}  // namespace mth

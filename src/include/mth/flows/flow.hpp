@@ -1,0 +1,121 @@
+#pragma once
+// The five placement flows of paper Table III, sharing one prepared
+// unconstrained initial placement per testcase:
+//
+//   Flow (1): no row assignment, no row-constraint (mLEF placement as-is;
+//             invalid as silicon but the standard baseline).
+//   Flow (2): [10] k-means row assignment + [10] row-constrained Abacus.
+//   Flow (3): [10] row assignment + proposed row-constraint legalization.
+//   Flow (4): proposed ILP row assignment + [10] legalization.
+//   Flow (5): proposed ILP row assignment + proposed legalization (ours).
+//
+// Flows (2)-(5) finish with the mLEF revert: the floorplan is rebuilt with
+// real mixed-height row pairs from the row assignment, cells return to their
+// original masters, and a track-height-aware Abacus absorbs the width
+// changes (paper Fig. 2, step (v)). Post-route metrics (Table V) come from
+// the global router + Elmore STA on the reverted design.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mth/baseline/linchang.hpp"
+#include "mth/cts/htree.hpp"
+#include "mth/db/design.hpp"
+#include "mth/db/mlef.hpp"
+#include "mth/place/placer.hpp"
+#include "mth/rap/rap.hpp"
+#include "mth/rap/rclegal.hpp"
+#include "mth/route/router.hpp"
+#include "mth/synth/generator.hpp"
+#include "mth/timing/sta.hpp"
+
+namespace mth::flows {
+
+enum class FlowId { F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5 };
+
+const char* to_string(FlowId id);
+
+struct FlowOptions {
+  double scale = 1.0;  ///< testcase cell-count scale (bench default << 1)
+  std::uint64_t seed = 1;
+  double utilization = 0.60;   ///< paper §IV-A
+  double aspect_ratio = 1.0;
+  synth::GeneratorOptions gen;
+  place::GlobalPlaceOptions gp;
+  rap::RapOptions rap;
+  baseline::BaselineOptions baseline;
+  rap::RcLegalOptions rclegal;
+  route::RouterOptions router;
+  timing::StaOptions sta;
+};
+
+/// One testcase prepared through synthesis, mLEF and initial placement; all
+/// five flows branch from this shared state (paper: "All flows start from
+/// the same initial unconstrained placement").
+struct PreparedCase {
+  synth::TestcaseSpec spec;
+  std::shared_ptr<const Library> original_library;
+  std::shared_ptr<MlefTransform> mlef;
+  Design initial;                      ///< mLEF space, legal placement
+  std::vector<Point> initial_positions;
+  int n_min_pairs = 0;                 ///< shared N_minR (fairness, §IV-A)
+  int minority_cells = 0;
+  double prepare_seconds = 0.0;
+
+  /// Flows (4) and (5) solve the *same* RAP instance; the first run caches
+  /// it here so the second reuses the solution (the reported ilp_seconds is
+  /// the original solve time in both rows, as the paper solves it per flow).
+  mutable std::shared_ptr<const rap::RapResult> rap_cache;
+};
+
+struct PostRouteMetrics {
+  Dbu routed_wl = 0;
+  int overflowed_edges = 0;
+  timing::TimingReport timing;
+  /// Clock tree (H-tree) metrics; clock power is reported separately from
+  /// the signal power in `timing` so flow comparisons stay clock-neutral.
+  cts::CtsResult cts;
+};
+
+struct FlowResult {
+  FlowId flow = FlowId::F1;
+  std::string testcase;
+
+  // Post-placement, mLEF space (Table IV columns).
+  Dbu displacement = 0;
+  Dbu hpwl = 0;
+  double assign_seconds = 0.0;  ///< row assignment (clustering + ILP / k-means)
+  double legal_seconds = 0.0;   ///< row-constraint legalization + finalize
+  double total_seconds = 0.0;
+
+  // RAP solver detail (flows 4/5; Fig. 5 and §IV-B-4).
+  int num_clusters = 0;
+  double ilp_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  int n_min_pairs = 0;
+  ilp::Status ilp_status = ilp::Status::NoSolution;
+
+  // Post-route, mixed space (Table V columns).
+  bool routed = false;
+  PostRouteMetrics post;
+};
+
+/// Synthesize, mLEF-transform, floorplan and globally place one testcase.
+PreparedCase prepare_case(const synth::TestcaseSpec& spec,
+                          const FlowOptions& options);
+
+/// Run one flow from the prepared state. `with_route` adds the Table V
+/// post-route analysis. The prepared case is not modified. When
+/// `final_design` is non-null it receives the flow's output design (mixed
+/// space after routing flows, mLEF space otherwise).
+FlowResult run_flow(const PreparedCase& prepared, FlowId flow,
+                    const FlowOptions& options, bool with_route,
+                    Design* final_design = nullptr);
+
+/// Finalize helper (exposed for tests): revert mLEF and rebuild the mixed
+/// floorplan per the assignment; design must satisfy the row constraint.
+void finalize_mixed(Design& design, const MlefTransform& mlef,
+                    const RowAssignment& assignment);
+
+}  // namespace mth::flows

@@ -1,0 +1,68 @@
+#pragma once
+// Mixed-integer linear programming by LP-based branch & bound.
+//
+// This is the reproduction's stand-in for CPLEX 22.1.1 (DESIGN.md §2):
+// depth-first branch & bound over an lp::Model, most-fractional branching
+// with value-directed child ordering, optional caller-supplied rounding
+// heuristic (the RAP module plugs in a capacity-aware repair), incumbent
+// warm starts, relative-gap and wall-clock termination.
+
+#include <functional>
+#include <vector>
+
+#include "mth/lp/model.hpp"
+#include "mth/lp/simplex.hpp"
+
+namespace mth::ilp {
+
+enum class Status {
+  Optimal,     ///< proven optimal within gap tolerance
+  Feasible,    ///< stopped early with an incumbent (time/node limit)
+  Infeasible,  ///< no integer point exists
+  NoSolution,  ///< stopped early without an incumbent
+};
+
+const char* to_string(Status s);
+
+/// Heuristic hook: given an LP-relaxation point, try to produce an integral
+/// feasible point in `out`; return true on success. Called at every node.
+using RoundingHeuristic =
+    std::function<bool(const std::vector<double>& relaxation,
+                       std::vector<double>& out)>;
+
+struct Options {
+  double time_limit_s = 120.0;
+  double rel_gap = 1e-6;        ///< stop when (incumbent-bound)/|incumbent| below
+  double int_tol = 1e-6;        ///< integrality tolerance
+  int max_nodes = 200000;
+  lp::Options lp;               ///< per-node LP settings
+  RoundingHeuristic heuristic;  ///< optional
+  /// Variables to branch on first while any of them is fractional (e.g. the
+  /// RAP's row-opening indicators y_r, whose fixing collapses the search).
+  std::vector<int> priority_vars;
+};
+
+struct Result {
+  Status status = Status::NoSolution;
+  double objective = 0.0;       ///< incumbent objective (valid unless NoSolution)
+  double best_bound = -lp::kInf;///< proven lower bound
+  std::vector<double> x;        ///< incumbent point (structural vars)
+  int nodes = 0;
+  int lp_iterations = 0;
+  double solve_seconds = 0.0;
+
+  double gap() const {
+    if (status == Status::NoSolution || status == Status::Infeasible) return lp::kInf;
+    const double denom = std::abs(objective) > 1e-12 ? std::abs(objective) : 1.0;
+    return (objective - best_bound) / denom;
+  }
+};
+
+/// Solve min c'x with the model's rows/bounds and the listed variables
+/// restricted to integers. `warm_start`, when given and feasible, seeds the
+/// incumbent. The model is taken by value (bounds are mutated during search).
+Result solve(lp::Model model, const std::vector<int>& integer_vars,
+             const Options& options = {},
+             const std::vector<double>* warm_start = nullptr);
+
+}  // namespace mth::ilp

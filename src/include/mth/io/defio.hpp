@@ -1,0 +1,38 @@
+#pragma once
+// Plain-text design interchange (DEF/LEF-flavored, simplified).
+//
+// A real release must let users persist and reload placements produced by
+// the flows (e.g. to hand a row-constraint placement to another tool or to
+// diff two runs). The format is deliberately small: a LEF-like library
+// section is *referenced by name* (libraries are code-defined), and the DEF
+// part carries the floorplan rows, ports, instances with positions, and
+// nets. Round-tripping is exact (integer DBU).
+//
+// Grammar (one record per line, '#' comments):
+//   design <name> <clock_ps>
+//   core <lx> <ly> <hx> <hy> <site_width>
+//   row <y> <height> <x0> <x1> <6T|7.5T>
+//   port <name> <x> <y> <in|out>
+//   inst <name> <master_name> <x> <y>
+//   net <name> <activity> <clock?0|1> <pin>...   pin := <inst_name>:<pin_idx> | port:<port_name>
+//   end
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "mth/db/design.hpp"
+
+namespace mth::io {
+
+/// Serialize `design` (library referenced by master names).
+void write_design(std::ostream& os, const Design& design);
+void write_design_file(const std::string& path, const Design& design);
+
+/// Parse a design written by write_design; masters are resolved by name in
+/// `library` (throws mth::Error on unknown masters or malformed input).
+Design read_design(std::istream& is, std::shared_ptr<const Library> library);
+Design read_design_file(const std::string& path,
+                        std::shared_ptr<const Library> library);
+
+}  // namespace mth::io

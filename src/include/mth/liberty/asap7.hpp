@@ -1,0 +1,38 @@
+#pragma once
+// Built-in synthetic ASAP7-like standard-cell library.
+//
+// SUBSTITUTION (DESIGN.md §2): the paper uses the real ASAP7 7.5T (v28) and
+// 6T (v26) RVT/LVT libraries, which we cannot redistribute. This module
+// builds a library with the same *structure*: two track-heights, two VT
+// flavors, a realistic function mix, drive-strength families, ASAP7 geometry
+// (54 nm sites, 216/270 nm rows) and electrically plausible linear timing /
+// power models. Every downstream algorithm consumes only these attributes.
+
+#include <memory>
+#include <string>
+
+#include "mth/db/library.hpp"
+
+namespace mth {
+
+/// Drive strengths available per function (X1, X2, X4).
+inline constexpr int kDrives[] = {1, 2, 4};
+
+/// Canonical master name, e.g. "NAND2_X2_75T_LVT".
+std::string asap7_master_name(CellFunc func, int drive, TrackHeight th, Vt vt);
+
+/// Construct the full built-in library (all functions x drives x heights x
+/// VTs). Deterministic; call once and share.
+std::shared_ptr<const Library> make_asap7_like_library();
+
+namespace liberty {
+/// Process-wide shared instance of the built-in library (flows compare
+/// library identity, so all designs of a run should use this one).
+const std::shared_ptr<const Library>& library_ref();
+}  // namespace liberty
+
+/// Lookup helper: id of the master with the given attributes (asserts found).
+int find_asap7_master(const Library& lib, CellFunc func, int drive,
+                      TrackHeight th, Vt vt);
+
+}  // namespace mth

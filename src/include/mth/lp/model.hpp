@@ -1,0 +1,81 @@
+#pragma once
+// Linear-program model container (shared by the LP and MILP solvers).
+//
+// Variables carry bounds and objective coefficients; constraints are stored
+// row-wise during construction and compiled to column-major sparse form by
+// the simplex solver. Minimization convention throughout.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "mth/util/error.hpp"
+
+namespace mth::lp {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { LE, GE, EQ };
+
+struct RowEntry {
+  int var = 0;
+  double coef = 0.0;
+};
+
+struct Row {
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+  std::vector<RowEntry> entries;
+};
+
+class Model {
+ public:
+  /// Add a variable; returns its index.
+  int add_var(double lb, double ub, double obj_coef) {
+    MTH_ASSERT(lb <= ub, "lp: variable with lb > ub");
+    lb_.push_back(lb);
+    ub_.push_back(ub);
+    obj_.push_back(obj_coef);
+    return num_vars() - 1;
+  }
+
+  /// Add a constraint row; entries may list a variable at most once.
+  int add_row(Sense sense, double rhs, std::vector<RowEntry> entries) {
+    for (const RowEntry& e : entries) {
+      MTH_ASSERT(e.var >= 0 && e.var < num_vars(), "lp: row references unknown var");
+    }
+    rows_.push_back(Row{sense, rhs, std::move(entries)});
+    return num_rows() - 1;
+  }
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  double lb(int v) const { return lb_[static_cast<std::size_t>(v)]; }
+  double ub(int v) const { return ub_[static_cast<std::size_t>(v)]; }
+  double obj(int v) const { return obj_[static_cast<std::size_t>(v)]; }
+  const Row& row(int r) const { return rows_[static_cast<std::size_t>(r)]; }
+
+  void set_bounds(int v, double lb, double ub) {
+    MTH_ASSERT(lb <= ub, "lp: set_bounds with lb > ub");
+    lb_[static_cast<std::size_t>(v)] = lb;
+    ub_[static_cast<std::size_t>(v)] = ub;
+  }
+
+  /// Objective value of a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const {
+    MTH_ASSERT(x.size() == obj_.size(), "lp: point size mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < obj_.size(); ++i) s += obj_[i] * x[i];
+    return s;
+  }
+
+  /// Max constraint violation of a point (0 when feasible up to bounds too).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> lb_, ub_, obj_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mth::lp

@@ -1,0 +1,37 @@
+#pragma once
+// Bounded-variable revised simplex.
+//
+// Two-phase method with explicit artificial variables (big-M-free), dense LU
+// basis factorization with product-form (eta) updates, Dantzig pricing with
+// a Bland's-rule anti-cycling fallback. Designed for the RAP ILP relaxations
+// (a few hundred rows, 10^3-10^5 very sparse columns) as the drop-in
+// replacement for CPLEX's LP core (DESIGN.md §2).
+
+#include <vector>
+
+#include "mth/lp/model.hpp"
+
+namespace mth::lp {
+
+enum class Status { Optimal, Infeasible, Unbounded, IterLimit };
+
+const char* to_string(Status s);
+
+struct Options {
+  int max_iterations = 200000;   ///< combined phase 1+2 pivot budget
+  double tol = 1e-8;             ///< feasibility / reduced-cost tolerance
+  int refactor_interval = 64;    ///< eta count before LU refactorization
+};
+
+struct Result {
+  Status status = Status::IterLimit;
+  double objective = 0.0;
+  std::vector<double> x;      ///< primal values (structural vars only)
+  std::vector<double> duals;  ///< row duals (valid when Optimal)
+  int iterations = 0;
+};
+
+/// Solve min c'x s.t. rows, lb <= x <= ub.
+Result solve(const Model& model, const Options& options = {});
+
+}  // namespace mth::lp

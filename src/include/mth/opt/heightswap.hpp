@@ -1,0 +1,47 @@
+#pragma once
+// Track-height swapping — the paper's stated future-work direction
+// ("a future research direction might be to swap the track-heights of the
+// cells", §V). A netlist-stage optimizer that re-selects each instance's
+// track-height variant using per-instance slack from the detailed STA:
+// timing-critical 6T cells are promoted to the stronger 7.5T variant and
+// over-relaxed 7.5T cells are demoted to save power/leakage, under a
+// minority-population budget (paper footnote 2: well-optimized netlists keep
+// high-drive instances under ~30%).
+//
+// Runs in the original (mixed-height) library space, before mLEF/placement —
+// the same stage where synthesis picks drive strengths.
+
+#include "mth/db/design.hpp"
+#include "mth/timing/sta.hpp"
+
+namespace mth::opt {
+
+struct HeightSwapOptions {
+  /// Hard ceiling on the 7.5T share of all instances, in percent.
+  double minority_budget_pct = 30.0;
+  int max_passes = 4;
+  /// Promote a 6T cell when its slack is below this (ps).
+  double upsize_slack_ps = 0.0;
+  /// Demote a 7.5T cell when its slack exceeds this (ps).
+  double downsize_slack_ps = 120.0;
+  /// Per-pass change cap as a fraction of the instance count (prevents
+  /// oscillation between passes).
+  double max_change_fraction = 0.05;
+  timing::StaOptions sta;  ///< star wire model; positions may be pre-place
+};
+
+struct HeightSwapResult {
+  int promoted_to_tall = 0;
+  int demoted_to_short = 0;
+  int passes = 0;
+  timing::TimingReport before;
+  timing::TimingReport after;
+};
+
+/// Optimize track-heights in place. Keeps the best iterate by
+/// (WNS, then total power); masters only ever change between the 6T/7.5T
+/// variants of the same function/drive/VT.
+HeightSwapResult optimize_track_heights(Design& design,
+                                        const HeightSwapOptions& options = {});
+
+}  // namespace mth::opt

@@ -1,0 +1,19 @@
+#pragma once
+// Fence regions (paper §III-D, Fig. 3b): the union of minority row pairs,
+// expressed as maximal rectangles. This is what the paper feeds to the
+// commercial tool via `createInstGroup -fence`; our row-constraint
+// legalization consumes the same geometry, and the SVG viewer draws it.
+
+#include <vector>
+
+#include "mth/db/floorplan.hpp"
+#include "mth/db/rowassign.hpp"
+
+namespace mth::rap {
+
+/// Maximal rectangles covering all minority pairs (vertically adjacent
+/// minority pairs merge into one fence rectangle).
+std::vector<Rect> fence_regions(const Floorplan& floorplan,
+                                const RowAssignment& assignment);
+
+}  // namespace mth::rap

@@ -1,0 +1,30 @@
+#pragma once
+// Pre-determined row patterns (paper conclusion / future work; Fig. 1(b)).
+//
+// TSMC's N3E FinFlex approach fixes alternating rows of the two track-
+// heights up front instead of customizing them per design. This module
+// builds such pre-determined RowAssignments so the flows can quantify what
+// the paper argues qualitatively: customized rows (the RAP) waste less
+// space and wirelength than fixed patterns (bench_ablation_patterns).
+
+#include "mth/db/rowassign.hpp"
+
+namespace mth::rap {
+
+enum class RowPattern {
+  EvenlySpread,   ///< n_min pairs spread uniformly over the stack
+  Alternating,    ///< FinFlex-style strict alternation (every other pair
+                  ///< minority; ignores the budget — capacity is oversized)
+  BottomBlock,    ///< n_min pairs packed at the bottom of the core
+  CenterBlock,    ///< n_min pairs packed around the vertical center
+};
+
+const char* to_string(RowPattern pattern);
+
+/// Build the pre-determined assignment. `n_min_pairs` is honored by every
+/// pattern except Alternating (which fixes ceil(num_pairs/2) minority pairs
+/// by construction). Requires 1 <= n_min_pairs < num_pairs.
+RowAssignment pattern_assignment(int num_pairs, int n_min_pairs,
+                                 RowPattern pattern);
+
+}  // namespace mth::rap

@@ -1,0 +1,40 @@
+#pragma once
+// Proposed row-constraint legalization (paper §III-D).
+//
+// The fence-region-aware incremental placement: minority cells may live only
+// inside the fence union (minority rows), majority cells only outside. Unlike
+// the baseline's displacement-minimizing Abacus, this legalization re-places
+// for wirelength ("does not consider the initial placement", §IV-B-2):
+// cells are iteratively pulled to the median of their connected pins (y
+// clamped to the nearest admissible row) and re-legalized, keeping the best
+// HPWL iterate. `dont_touch` semantics hold by construction — no cell is
+// resized, buffered or resynthesized.
+
+#include "mth/db/design.hpp"
+#include "mth/db/rowassign.hpp"
+#include "mth/legal/abacus.hpp"
+
+namespace mth::rap {
+
+struct RcLegalOptions {
+  int refine_passes = 3;  ///< median-pull + relegalize iterations
+  /// When false the row assignment is ignored and the same machinery acts as
+  /// an unconstrained detailed-placement refinement (used to give the
+  /// initial placement commercial-tool-quality polish before flows branch).
+  bool enforce_assignment = true;
+};
+
+struct RcLegalResult {
+  bool success = false;
+  int passes_used = 0;
+  Dbu hpwl_before = 0;
+  Dbu hpwl_after = 0;
+};
+
+/// Legalize `design` under the row assignment, optimizing HPWL. The design
+/// must be in a space where all cells fit the floorplan rows (mLEF space
+/// with a uniform floorplan, or mixed space with a mixed floorplan).
+RcLegalResult rc_legalize(Design& design, const RowAssignment& assignment,
+                          const RcLegalOptions& options = {});
+
+}  // namespace mth::rap

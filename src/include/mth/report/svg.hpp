@@ -1,0 +1,25 @@
+#pragma once
+// SVG placement plots reproducing the style of paper Fig. 3: majority cells
+// blue, minority cells red, fence regions yellow.
+
+#include <string>
+#include <vector>
+
+#include "mth/db/design.hpp"
+
+namespace mth::report {
+
+struct SvgOptions {
+  double pixels_per_um = 12.0;
+  bool draw_rows = true;
+};
+
+/// Render the placement; `fences` (optional) are drawn as translucent yellow
+/// rectangles under the cells. Returns the SVG document text.
+std::string placement_svg(const Design& design, const std::vector<Rect>& fences,
+                          const SvgOptions& options = {});
+
+/// Write text to a file (throws mth::Error on I/O failure).
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace mth::report

@@ -1,0 +1,31 @@
+#pragma once
+// Fixed-width table printing for the experiment harness (paper-style rows).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mth::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Horizontal separator before the next row (e.g. before "Normalized").
+  void add_separator();
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// CSV rendering (headers + rows; separators skipped).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace mth::report

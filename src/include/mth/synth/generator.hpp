@@ -1,0 +1,49 @@
+#pragma once
+// Synthetic gate-level netlist generation (the Design Compiler substitute).
+//
+// Given a Table II specification, emits a mixed track-height netlist whose
+// statistics match the spec: instance count, 7.5T minority percentage, net
+// count (one net per instance output plus primary inputs), a DFF population,
+// and Rent's-rule-like spatial locality of connectivity (each instance gets
+// a latent "locality coordinate"; fanins are sampled near the fanout's
+// coordinate), which gives analytic placement the same structure a real
+// synthesized netlist has. Minority (7.5T) instances model high-drive cells:
+// they are biased toward drivers of high-fanout nets (paper footnote 2).
+
+#include <cstdint>
+#include <memory>
+
+#include "mth/db/design.hpp"
+#include "mth/synth/testcases.hpp"
+
+namespace mth::synth {
+
+struct GeneratorOptions {
+  /// Cell-count multiplier. Benches default to a reduced scale so the whole
+  /// 26-testcase harness runs in minutes on one core (DESIGN.md §4).
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  double dff_fraction = 0.13;      ///< flip-flop share of all instances
+  double lvt_fraction = 0.30;      ///< LVT share (both heights)
+  int max_fanout = 24;             ///< cap on sinks per net
+  double locality_sigma = 0.06;    ///< fanin sampling radius in unit square
+  int min_levels = 6;              ///< combinational depth bounds
+  int max_levels = 48;
+  double ps_per_level = 26.0;      ///< clock period -> logic depth scaling
+};
+
+/// Latent locality coordinates (unit square) used during generation; kept so
+/// ports can later be pinned to sensible boundary positions. Index ==
+/// InstId; ports appended after instances.
+struct SynthResult {
+  Design design;                       ///< no floorplan, instances at (0,0)
+  std::vector<std::pair<double, double>> locality;  ///< per instance
+};
+
+/// Generate a testcase netlist in the *original* (mixed-height) library
+/// space. Deterministic in (spec, options).
+SynthResult generate_testcase(const TestcaseSpec& spec,
+                              std::shared_ptr<const Library> library,
+                              const GeneratorOptions& options = {});
+
+}  // namespace mth::synth

@@ -1,0 +1,58 @@
+#pragma once
+// Static timing analysis and power estimation (the Innovus report substitute).
+//
+// Delay model: cell delay = intrinsic + Rdrive * Cload (kOhm * fF == ps);
+// wire delay = Elmore over the routed tree (per-edge lumped pi model).
+// Arrivals propagate in topological order from primary inputs and register
+// outputs; endpoints are register D pins (period - setup) and primary
+// outputs (period). WNS/TNS follow the paper's sign convention (negative ==
+// violating, reported in ns).
+//
+// Power: dynamic switching (net wire + pin caps at per-net activity),
+// internal (per-cell energy per output toggle), and leakage; reported in mW.
+
+#include "mth/db/design.hpp"
+#include "mth/route/router.hpp"
+
+namespace mth::timing {
+
+struct StaOptions {
+  double setup_ps = 22.0;
+  double input_delay_ps = 5.0;
+  double wire_detour_factor = 1.1;  ///< used only without routing data
+};
+
+struct TimingReport {
+  double wns_ns = 0.0;  ///< worst negative slack (0 when all paths meet)
+  double tns_ns = 0.0;  ///< total negative slack
+  int violating_endpoints = 0;
+  int endpoints = 0;
+  double max_arrival_ps = 0.0;
+
+  double dynamic_mw = 0.0;
+  double internal_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_power_mw() const { return dynamic_mw + internal_mw + leakage_mw; }
+};
+
+/// Analyze the placed (and optionally routed) design. When `routes` is null,
+/// net wires are modeled as driver->sink Manhattan segments scaled by
+/// `wire_detour_factor`.
+TimingReport analyze(const Design& design, const route::RouteResult* routes,
+                     const StaOptions& options = {});
+
+/// Full timing view with per-instance slacks (forward arrival + backward
+/// required-time propagation). Slack of an instance is the worst slack seen
+/// at its output (combinational) or its D endpoint (register); instances on
+/// no timed path report +infinity.
+struct DetailedTiming {
+  TimingReport report;
+  std::vector<double> inst_slack_ps;  ///< index == InstId
+  std::vector<double> inst_arrival_ps;
+};
+
+DetailedTiming analyze_detailed(const Design& design,
+                                const route::RouteResult* routes,
+                                const StaOptions& options = {});
+
+}  // namespace mth::timing

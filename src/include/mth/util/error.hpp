@@ -1,0 +1,28 @@
+#pragma once
+// Error handling: a library exception type plus an always-on assertion macro.
+//
+// Assertions here guard *internal invariants and API preconditions*; they stay
+// enabled in release builds because placement bugs silently corrupt QoR data
+// — a hard failure during an experiment run is strictly better.
+
+#include <stdexcept>
+#include <string>
+
+namespace mth {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+
+}  // namespace mth
+
+/// Precondition / invariant check; throws mth::Error on failure.
+#define MTH_ASSERT(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) ::mth::assertion_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,142 @@
+#pragma once
+// Integer (database-unit) geometry primitives.
+//
+// All physical coordinates in this library are kept in signed 64-bit
+// database units (1 DBU == 1 nm for the built-in ASAP7-like technology).
+// Integer coordinates keep placement/legalization exactly reproducible and
+// free of accumulation error; floating point appears only in solver-internal
+// math (LP, k-means, STA).
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace mth {
+
+/// Database unit. 1 dbu == 1 nm in the built-in technology.
+using Dbu = std::int64_t;
+
+/// 2-D point in database units.
+struct Point {
+  Dbu x = 0;
+  Dbu y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan (L1) distance between two points.
+constexpr Dbu manhattan(const Point& a, const Point& b) {
+  const Dbu dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Dbu dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Half-open axis-aligned rectangle [lo.x, hi.x) x [lo.y, hi.y).
+/// Invariant (for non-empty rects): lo.x <= hi.x && lo.y <= hi.y.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  constexpr Dbu width() const { return hi.x - lo.x; }
+  constexpr Dbu height() const { return hi.y - lo.y; }
+  constexpr bool empty() const { return hi.x <= lo.x || hi.y <= lo.y; }
+
+  /// Area; returns 0 for empty/degenerate rects.
+  constexpr Dbu area() const { return empty() ? 0 : width() * height(); }
+
+  constexpr Point center() const {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+
+  constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y;
+  }
+
+  /// True when `r` lies entirely inside this rect (closed comparison).
+  constexpr bool contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+
+  constexpr bool overlaps(const Rect& r) const {
+    return lo.x < r.hi.x && r.lo.x < hi.x && lo.y < r.hi.y && r.lo.y < hi.y;
+  }
+
+  /// Intersection; empty rect (possibly with inverted corners clamped) when disjoint.
+  constexpr Rect intersect(const Rect& r) const {
+    Rect out{{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+             {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)}};
+    if (out.hi.x < out.lo.x) out.hi.x = out.lo.x;
+    if (out.hi.y < out.lo.y) out.hi.y = out.lo.y;
+    return out;
+  }
+
+  /// Smallest rect covering both.
+  constexpr Rect bbox_with(const Rect& r) const {
+    return {{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+            {std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+  }
+
+  /// Grow to include a point.
+  constexpr Rect bbox_with(const Point& p) const {
+    return {{std::min(lo.x, p.x), std::min(lo.y, p.y)},
+            {std::max(hi.x, p.x), std::max(hi.y, p.y)}};
+  }
+
+  /// Clamp a point into the closed rect.
+  constexpr Point clamp(const Point& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+};
+
+/// Running bounding box accumulator for HPWL-style computations.
+struct BBox {
+  Dbu xmin = INT64_MAX;
+  Dbu xmax = INT64_MIN;
+  Dbu ymin = INT64_MAX;
+  Dbu ymax = INT64_MIN;
+
+  void add(const Point& p) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  bool valid() const { return xmax >= xmin && ymax >= ymin; }
+  /// Half-perimeter; 0 when fewer than one point has been added.
+  Dbu half_perimeter() const {
+    return valid() ? (xmax - xmin) + (ymax - ymin) : 0;
+  }
+};
+
+/// Round `v` down to a multiple of `grid` (grid > 0).
+constexpr Dbu snap_down(Dbu v, Dbu grid) {
+  Dbu q = v / grid;
+  if (v < 0 && q * grid != v) --q;
+  return q * grid;
+}
+
+/// Round `v` up to a multiple of `grid` (grid > 0).
+constexpr Dbu snap_up(Dbu v, Dbu grid) {
+  const Dbu d = snap_down(v, grid);
+  return d == v ? v : d + grid;
+}
+
+/// Round `v` to the nearest multiple of `grid` (ties go up).
+constexpr Dbu snap_near(Dbu v, Dbu grid) {
+  const Dbu d = snap_down(v, grid);
+  return (v - d) * 2 >= grid ? d + grid : d;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << '-' << r.hi << ']';
+}
+
+}  // namespace mth

@@ -1,0 +1,52 @@
+#pragma once
+// Minimal leveled logger. Experiments run non-interactively, so the logger
+// writes line-buffered text to stderr; benches set the level to Warn to keep
+// table output clean.
+
+#include <sstream>
+#include <string>
+
+namespace mth {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold (messages below it are dropped).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (no trailing newline needed).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace mth
+
+#define MTH_LOG(level)                                \
+  if (::mth::log_level() > (level)) {                 \
+  } else                                              \
+    ::mth::detail::LogLine(level)
+
+#define MTH_DEBUG MTH_LOG(::mth::LogLevel::Debug)
+#define MTH_INFO MTH_LOG(::mth::LogLevel::Info)
+#define MTH_WARN MTH_LOG(::mth::LogLevel::Warn)
+#define MTH_ERROR MTH_LOG(::mth::LogLevel::Error)

@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component (netlist synthesis, k-means seeding, placer
+// perturbations) draws from an explicitly seeded Rng so experiment runs are
+// bit-reproducible across platforms; std::mt19937 distributions are not
+// guaranteed identical across standard libraries, so we implement the
+// distributions we need on top of xoshiro256**.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mth {
+
+/// xoshiro256** generator seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Standard normal (Box-Muller, no caching for determinism simplicity).
+  double normal();
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Geometric-ish fanout sample: 1 + floor of an exponential with the given
+  /// mean excess; clamped to [1, max].
+  int fanout_sample(double mean_excess, int max_fanout);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// weights[i] (weights must be non-negative, not all zero).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator (stable function of state & salt).
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace mth

@@ -1,0 +1,20 @@
+#pragma once
+// Small string/format helpers shared by the report printers.
+
+#include <string>
+
+namespace mth {
+
+/// Fixed-precision decimal rendering of a double (no locale surprises).
+std::string format_fixed(double v, int decimals);
+
+/// Right-align `s` in a field of `width` (pads with spaces; never truncates).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Left-align `s` in a field of `width`.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Thousands-separated integer rendering, e.g. 14040 -> "14,040".
+std::string format_count(long long v);
+
+}  // namespace mth

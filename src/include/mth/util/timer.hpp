@@ -1,0 +1,44 @@
+#pragma once
+// Wall-clock timing for experiment runtime columns (Table IV, Fig. 5).
+
+#include <chrono>
+
+namespace mth {
+
+/// Monotonic wall-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (e.g. RAP vs legalization split).
+class PhaseTimer {
+ public:
+  /// RAII scope that adds its lifetime to `slot` on destruction.
+  class Scope {
+   public:
+    explicit Scope(double& slot) : slot_(slot) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { slot_ += timer_.seconds(); }
+
+   private:
+    double& slot_;
+    WallTimer timer_;
+  };
+};
+
+}  // namespace mth

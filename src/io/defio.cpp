@@ -1,0 +1,186 @@
+#include "mth/io/defio.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "mth/util/error.hpp"
+
+namespace mth::io {
+namespace {
+
+std::string sanitized(const std::string& name) {
+  // Names are whitespace-delimited tokens in the format.
+  for (char c : name) {
+    MTH_ASSERT(!std::isspace(static_cast<unsigned char>(c)),
+               "defio: name contains whitespace: " + name);
+  }
+  return name;
+}
+
+}  // namespace
+
+void write_design(std::ostream& os, const Design& design) {
+  MTH_ASSERT(design.library != nullptr, "defio: design without library");
+  os << "# mth-placement design interchange v1\n";
+  os << "design " << sanitized(design.name.empty() ? "unnamed" : design.name)
+     << ' ' << design.clock_ps << '\n';
+
+  const Floorplan& fp = design.floorplan;
+  if (!fp.rows().empty()) {
+    os << "core " << fp.core().lo.x << ' ' << fp.core().lo.y << ' '
+       << fp.core().hi.x << ' ' << fp.core().hi.y << ' ' << fp.site_width()
+       << '\n';
+    for (const Row& r : fp.rows()) {
+      os << "row " << r.y << ' ' << r.height << ' ' << r.x0 << ' ' << r.x1
+         << ' ' << to_string(r.track_height) << '\n';
+    }
+  }
+  for (const Port& p : design.netlist.ports()) {
+    os << "port " << sanitized(p.name) << ' ' << p.pos.x << ' ' << p.pos.y
+       << ' ' << (p.is_input ? "in" : "out") << '\n';
+  }
+  for (const Instance& inst : design.netlist.instances()) {
+    os << "inst " << sanitized(inst.name) << ' '
+       << design.library->master(inst.master).name << ' ' << inst.pos.x << ' '
+       << inst.pos.y << '\n';
+  }
+  for (const Net& n : design.netlist.nets()) {
+    os << "net " << sanitized(n.name) << ' ' << n.activity << ' '
+       << (n.is_clock ? 1 : 0);
+    for (const PinRef& ref : n.pins) {
+      if (ref.is_port()) {
+        os << " port:" << design.netlist.port(ref.pin).name;
+      } else {
+        os << ' ' << design.netlist.instance(ref.inst).name << ':' << ref.pin;
+      }
+    }
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+void write_design_file(const std::string& path, const Design& design) {
+  std::ofstream f(path, std::ios::binary);
+  MTH_ASSERT(f.good(), "defio: cannot open " + path);
+  write_design(f, design);
+  MTH_ASSERT(f.good(), "defio: write failed for " + path);
+}
+
+Design read_design(std::istream& is, std::shared_ptr<const Library> library) {
+  MTH_ASSERT(library != nullptr, "defio: null library");
+  Design d;
+  d.library = library;
+
+  std::unordered_map<std::string, InstId> inst_by_name;
+  std::unordered_map<std::string, PortId> port_by_name;
+  struct RowRec {
+    Dbu y, height, x0, x1;
+    TrackHeight th;
+  };
+  std::vector<RowRec> rows;
+  Rect core{};
+  Dbu site_width = 54;
+  bool have_core = false;
+  bool ended = false;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto fail = [&](const std::string& msg) {
+      MTH_ASSERT(false, "defio:" + std::to_string(lineno) + ": " + msg);
+    };
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (kw == "design") {
+      ls >> d.name >> d.clock_ps;
+    } else if (kw == "core") {
+      ls >> core.lo.x >> core.lo.y >> core.hi.x >> core.hi.y >> site_width;
+      have_core = true;
+    } else if (kw == "row") {
+      RowRec r{};
+      std::string th;
+      if (!(ls >> r.y >> r.height >> r.x0 >> r.x1 >> th)) fail("bad row");
+      r.th = th == "7.5T" ? TrackHeight::H75T : TrackHeight::H6T;
+      rows.push_back(r);
+    } else if (kw == "port") {
+      std::string name, dir;
+      Point pos;
+      if (!(ls >> name >> pos.x >> pos.y >> dir)) fail("bad port");
+      port_by_name[name] = d.netlist.add_port(name, pos, dir == "in");
+    } else if (kw == "inst") {
+      std::string name, master;
+      Point pos;
+      if (!(ls >> name >> master >> pos.x >> pos.y)) fail("bad inst");
+      const int m = library->find(master);
+      if (m < 0) fail("unknown master " + master);
+      inst_by_name[name] = d.netlist.add_instance(name, m, pos);
+    } else if (kw == "net") {
+      std::string name;
+      double activity;
+      int clk;
+      if (!(ls >> name >> activity >> clk)) fail("bad net");
+      const NetId n = d.netlist.add_net(name);
+      d.netlist.net(n).activity = activity;
+      d.netlist.net(n).is_clock = clk != 0;
+      std::string pin;
+      while (ls >> pin) {
+        const auto colon = pin.rfind(':');
+        if (colon == std::string::npos) fail("bad pin " + pin);
+        const std::string owner = pin.substr(0, colon);
+        const std::string idx = pin.substr(colon + 1);
+        if (owner == "port") {
+          const auto it = port_by_name.find(idx);
+          if (it == port_by_name.end()) fail("unknown port " + idx);
+          d.netlist.connect(n, PinRef{kInvalidId, it->second});
+        } else {
+          const auto it = inst_by_name.find(owner);
+          if (it == inst_by_name.end()) fail("unknown inst " + owner);
+          d.netlist.connect(
+              n, PinRef{it->second, static_cast<std::int32_t>(std::stol(idx))});
+        }
+      }
+    } else if (kw == "end") {
+      ended = true;
+      break;
+    } else {
+      fail("unknown record '" + kw + "'");
+    }
+  }
+  MTH_ASSERT(ended, "defio: missing 'end' record");
+
+  if (have_core && !rows.empty()) {
+    // Rebuild the floorplan from pair track-heights (rows are stored in
+    // bottom-up pair order, two per pair).
+    MTH_ASSERT(rows.size() % 2 == 0, "defio: odd row count");
+    std::vector<TrackHeight> pair_th;
+    for (std::size_t i = 0; i < rows.size(); i += 2) {
+      MTH_ASSERT(rows[i].th == rows[i + 1].th, "defio: mixed pair");
+      pair_th.push_back(rows[i].th);
+    }
+    d.floorplan = Floorplan::make_mixed(Rect{{core.lo.x, 0}, {core.hi.x, 1}},
+                                        core.lo.y, pair_th,
+                                        library->tech(), site_width);
+    // A uniform-height (mLEF) floorplan round-trips through make_mixed only
+    // if heights match the tech; otherwise rebuild uniform.
+    if (!rows.empty() && d.floorplan.row(0).height != rows[0].height) {
+      d.floorplan = Floorplan::make_uniform(
+          core, static_cast<int>(rows.size() / 2), rows[0].height, rows[0].th,
+          site_width);
+    }
+  }
+  d.netlist.check(*library);
+  return d;
+}
+
+Design read_design_file(const std::string& path,
+                        std::shared_ptr<const Library> library) {
+  std::ifstream f(path, std::ios::binary);
+  MTH_ASSERT(f.good(), "defio: cannot open " + path);
+  return read_design(f, std::move(library));
+}
+
+}  // namespace mth::io

@@ -1,0 +1,90 @@
+#include "mth/legal/polish.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mth::legal {
+
+/// One sweep of adjacent same-row swaps, accepted when they reduce the HPWL
+/// of the touched nets. Swapping cells a (left) and b (right) keeps the
+/// envelope [a.x, b.x + w_b) intact: b lands at a.x, a at b.x + w_b - w_a,
+/// so legality and the site grid are preserved for any width mix.
+int swap_polish(Design& design) {
+  const Netlist& nl = design.netlist;
+  const auto& uses = nl.inst_uses();
+
+  auto local_hpwl = [&](InstId a, InstId b) {
+    Dbu sum = 0;
+    auto add_nets = [&](InstId i, InstId skip_dup_of) {
+      for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+        const Net& net = nl.net(u.net);
+        if (net.is_clock) continue;
+        // Avoid double counting nets shared by a and b.
+        if (skip_dup_of >= 0) {
+          bool shared = false;
+          for (const InstUse& v : uses[static_cast<std::size_t>(skip_dup_of)]) {
+            if (v.net == u.net) {
+              shared = true;
+              break;
+            }
+          }
+          if (shared) continue;
+        }
+        BBox bb;
+        for (const PinRef& ref : net.pins) {
+          bb.add(nl.pin_position(ref, *design.library));
+        }
+        sum += bb.half_perimeter();
+      }
+    };
+    add_nets(a, -1);
+    add_nets(b, a);
+    return sum;
+  };
+
+  int accepted = 0;
+  // Row buckets sorted by x.
+  std::vector<std::vector<InstId>> rows(
+      static_cast<std::size_t>(design.floorplan.num_rows()));
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    rows[static_cast<std::size_t>(design.floorplan.row_at_y(nl.instance(i).pos.y))]
+        .push_back(i);
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(), [&](InstId x, InstId y) {
+      return nl.instance(x).pos.x < nl.instance(y).pos.x;
+    });
+    for (std::size_t k = 0; k + 1 < row.size(); ++k) {
+      const InstId a = row[k];
+      const InstId b = row[k + 1];
+      Instance& ia = design.netlist.instance(a);
+      Instance& ib = design.netlist.instance(b);
+      const Dbu wa = design.master_of(a).width;
+      const Dbu wb = design.master_of(b).width;
+      const Dbu ax = ia.pos.x, bx = ib.pos.x;
+      const Dbu before = local_hpwl(a, b);
+      ib.pos.x = ax;
+      ia.pos.x = bx + wb - wa;
+      if (local_hpwl(a, b) < before) {
+        std::swap(row[k], row[k + 1]);  // keep the bucket x-sorted
+        ++accepted;
+      } else {
+        ia.pos.x = ax;
+        ib.pos.x = bx;
+      }
+    }
+  }
+  return accepted;
+}
+
+int swap_polish_converge(Design& design, int max_sweeps) {
+  int total = 0;
+  for (int s = 0; s < max_sweeps; ++s) {
+    const int accepted = swap_polish(design);
+    total += accepted;
+    if (accepted == 0) break;
+  }
+  return total;
+}
+
+}  // namespace mth::legal

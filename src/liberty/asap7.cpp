@@ -1,0 +1,142 @@
+#include "mth/liberty/asap7.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+namespace {
+
+struct FuncSpec {
+  CellFunc func;
+  int base_sites_6t;        ///< X1 width in sites for the 6T variant
+  double cap_per_input_ff;  ///< X1 input capacitance
+  double res_x1_kohm;       ///< X1 drive resistance
+  double intrinsic_ps;      ///< unloaded delay
+  double leak_x1_nw;        ///< X1 RVT leakage
+  double energy_x1_fj;      ///< internal energy per toggle
+};
+
+// Widths/electricals loosely follow ASAP7 RVT characterization trends:
+// simple gates are 2-4 CPP wide; complex gates and flops much wider; drive
+// scaling multiplies width, cap and leakage and divides resistance.
+constexpr FuncSpec kFuncs[] = {
+    {CellFunc::Inv, 2, 0.70, 11.0, 6.0, 1.2, 0.45},
+    {CellFunc::Buf, 3, 0.75, 10.0, 11.0, 1.6, 0.80},
+    {CellFunc::Nand2, 3, 0.80, 12.5, 8.0, 1.9, 0.70},
+    {CellFunc::Nor2, 3, 0.85, 14.0, 9.0, 1.8, 0.72},
+    {CellFunc::And2, 4, 0.78, 11.5, 13.0, 2.2, 0.95},
+    {CellFunc::Or2, 4, 0.82, 12.0, 14.0, 2.1, 0.97},
+    {CellFunc::Aoi21, 4, 0.88, 14.5, 10.5, 2.4, 0.90},
+    {CellFunc::Oai21, 4, 0.90, 15.0, 10.8, 2.4, 0.92},
+    {CellFunc::Xor2, 7, 1.10, 15.5, 16.0, 3.6, 1.60},
+    {CellFunc::Xnor2, 7, 1.10, 15.5, 16.2, 3.6, 1.62},
+    {CellFunc::Mux2, 8, 0.95, 13.5, 15.0, 3.9, 1.70},
+    {CellFunc::HalfAdder, 9, 1.05, 14.0, 18.0, 4.8, 2.10},
+    {CellFunc::FullAdder, 12, 1.15, 14.5, 22.0, 6.4, 2.90},
+    {CellFunc::Dff, 16, 0.90, 12.0, 45.0, 8.5, 3.80},
+};
+
+/// Width in sites for a (func, drive, height) combination. Tall (7.5T) cells
+/// pack the same drive into fewer sites (more fins per site).
+int width_sites(const FuncSpec& fs, int drive, TrackHeight th) {
+  // Drive scaling: X2 ~ 1.6x, X4 ~ 2.7x the X1 footprint.
+  const double drive_scale = 1.0 + 0.85 * std::log2(static_cast<double>(drive));
+  double sites = fs.base_sites_6t * drive_scale;
+  if (th == TrackHeight::H75T) sites = std::ceil(sites * 0.85);
+  const int w = static_cast<int>(std::ceil(sites));
+  return w < 1 ? 1 : w;
+}
+
+std::vector<PinDef> make_pins(const FuncSpec& fs, Dbu width, Dbu height,
+                              Dbu grid) {
+  std::vector<PinDef> pins;
+  const int nin = num_inputs(fs.func);
+  const bool seq = is_sequential(fs.func);
+  static const char* kInNames[] = {"A", "B", "C", "D"};
+  // Inputs spread along the cell interior at mid-height.
+  for (int i = 0; i < nin; ++i) {
+    const Dbu x = snap_near(width * (i + 1) / (nin + 2), grid);
+    const Dbu y = snap_near(height * 2 / 5, grid);
+    pins.push_back(PinDef{seq && i == 0 ? "D" : kInNames[i], {x, y}, false, false});
+  }
+  if (seq) {
+    pins.push_back(PinDef{"CK",
+                          {snap_near(width / 6, grid), snap_near(height / 5, grid)},
+                          false, true});
+  }
+  // Output near the right edge.
+  pins.push_back(PinDef{seq ? "Q" : "Y",
+                        {snap_near(width * 5 / 6, grid), snap_near(height * 3 / 5, grid)},
+                        true, false});
+  return pins;
+}
+
+}  // namespace
+
+std::string asap7_master_name(CellFunc func, int drive, TrackHeight th, Vt vt) {
+  std::string name = to_string(func);
+  name += "_X" + std::to_string(drive);
+  name += th == TrackHeight::H6T ? "_6T" : "_75T";
+  name += vt == Vt::RVT ? "_RVT" : "_LVT";
+  return name;
+}
+
+std::shared_ptr<const Library> make_asap7_like_library() {
+  Tech tech;  // defaults are the ASAP7-like node constants
+  std::vector<CellMaster> masters;
+  masters.reserve(std::size(kFuncs) * std::size(kDrives) * 4);
+
+  for (const FuncSpec& fs : kFuncs) {
+    for (int drive : kDrives) {
+      for (TrackHeight th : {TrackHeight::H6T, TrackHeight::H75T}) {
+        for (Vt vt : {Vt::RVT, Vt::LVT}) {
+          CellMaster m;
+          m.name = asap7_master_name(fs.func, drive, th, vt);
+          m.func = fs.func;
+          m.track_height = th;
+          m.vt = vt;
+          m.drive = drive;
+          m.height = tech.row_height(th);
+          m.width = static_cast<Dbu>(width_sites(fs, drive, th)) * tech.site_width;
+          m.pins = make_pins(fs, m.width, m.height, tech.mfg_grid);
+
+          const double d = static_cast<double>(drive);
+          // Taller cells: more fins -> lower resistance, slightly more cap.
+          const double th_res = th == TrackHeight::H75T ? 0.72 : 1.0;
+          const double th_cap = th == TrackHeight::H75T ? 1.15 : 1.0;
+          // LVT: faster but leakier.
+          const double vt_res = vt == Vt::LVT ? 0.80 : 1.0;
+          const double vt_leak = vt == Vt::LVT ? 3.2 : 1.0;
+          m.input_cap_ff = fs.cap_per_input_ff * (0.6 + 0.4 * d) * th_cap;
+          m.drive_res_kohm = fs.res_x1_kohm / d * th_res * vt_res;
+          m.intrinsic_delay_ps = fs.intrinsic_ps * (vt == Vt::LVT ? 0.88 : 1.0);
+          m.leakage_nw = fs.leak_x1_nw * d * vt_leak *
+                         (th == TrackHeight::H75T ? 1.35 : 1.0);
+          m.internal_energy_fj = fs.energy_x1_fj * (0.5 + 0.5 * d) *
+                                 (th == TrackHeight::H75T ? 1.25 : 1.0);
+          masters.push_back(std::move(m));
+        }
+      }
+    }
+  }
+  return std::make_shared<Library>("asap7_like", tech, std::move(masters));
+}
+
+namespace liberty {
+const std::shared_ptr<const Library>& library_ref() {
+  static const std::shared_ptr<const Library> lib = make_asap7_like_library();
+  return lib;
+}
+}  // namespace liberty
+
+int find_asap7_master(const Library& lib, CellFunc func, int drive,
+                      TrackHeight th, Vt vt) {
+  const int id = lib.find(asap7_master_name(func, drive, th, vt));
+  MTH_ASSERT(id >= 0, "asap7: master not found: " +
+                          asap7_master_name(func, drive, th, vt));
+  return id;
+}
+
+}  // namespace mth

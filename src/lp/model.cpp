@@ -1,0 +1,30 @@
+#include "mth/lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mth::lp {
+
+double Model::max_violation(const std::vector<double>& x) const {
+  MTH_ASSERT(x.size() == obj_.size(), "lp: point size mismatch");
+  double worst = 0.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    const double xv = x[static_cast<std::size_t>(v)];
+    worst = std::max(worst, lb(v) - xv);
+    worst = std::max(worst, xv - ub(v));
+  }
+  for (const Row& r : rows_) {
+    double lhs = 0.0;
+    for (const RowEntry& e : r.entries) {
+      lhs += e.coef * x[static_cast<std::size_t>(e.var)];
+    }
+    switch (r.sense) {
+      case Sense::LE: worst = std::max(worst, lhs - r.rhs); break;
+      case Sense::GE: worst = std::max(worst, r.rhs - lhs); break;
+      case Sense::EQ: worst = std::max(worst, std::abs(lhs - r.rhs)); break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace mth::lp

@@ -1,0 +1,607 @@
+#include "mth/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+
+namespace mth::lp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dense LU with partial pivoting (PA = LU), used to factorize the basis.
+// ---------------------------------------------------------------------------
+class DenseLu {
+ public:
+  /// Factorize an n x n row-major matrix in place. Returns false if singular.
+  bool factorize(std::vector<double> a, int n, double tol) {
+    n_ = n;
+    a_ = std::move(a);
+    perm_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = i;
+    for (int k = 0; k < n; ++k) {
+      // Partial pivot: largest |a[i][k]| for i >= k.
+      int piv = k;
+      double best = std::abs(at(k, k));
+      for (int i = k + 1; i < n; ++i) {
+        const double v = std::abs(at(i, k));
+        if (v > best) {
+          best = v;
+          piv = i;
+        }
+      }
+      if (best <= tol) return false;
+      if (piv != k) {
+        for (int j = 0; j < n; ++j) std::swap(at(k, j), at(piv, j));
+        std::swap(perm_[static_cast<std::size_t>(k)],
+                  perm_[static_cast<std::size_t>(piv)]);
+      }
+      const double inv = 1.0 / at(k, k);
+      for (int i = k + 1; i < n; ++i) {
+        const double l = at(i, k) * inv;
+        at(i, k) = l;
+        if (l != 0.0) {
+          for (int j = k + 1; j < n; ++j) at(i, j) -= l * at(k, j);
+        }
+      }
+    }
+    return true;
+  }
+
+  /// b := A^{-1} b.
+  void solve(std::vector<double>& b) const {
+    scratch_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      scratch_[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+    }
+    // Forward: L y = Pb (L unit lower triangular).
+    for (int i = 1; i < n_; ++i) {
+      double s = scratch_[static_cast<std::size_t>(i)];
+      for (int j = 0; j < i; ++j) s -= at(i, j) * scratch_[static_cast<std::size_t>(j)];
+      scratch_[static_cast<std::size_t>(i)] = s;
+    }
+    // Backward: U x = y.
+    for (int i = n_ - 1; i >= 0; --i) {
+      double s = scratch_[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < n_; ++j) s -= at(i, j) * scratch_[static_cast<std::size_t>(j)];
+      scratch_[static_cast<std::size_t>(i)] = s / at(i, i);
+    }
+    b = scratch_;
+  }
+
+  /// b := A^{-T} b.  (A^T = U^T L^T P  =>  y = P^T (L^T \ (U^T \ b))).
+  void solve_transpose(std::vector<double>& b) const {
+    scratch_ = b;
+    // U^T y = b (forward, U^T lower triangular).
+    for (int i = 0; i < n_; ++i) {
+      double s = scratch_[static_cast<std::size_t>(i)];
+      for (int j = 0; j < i; ++j) s -= at(j, i) * scratch_[static_cast<std::size_t>(j)];
+      scratch_[static_cast<std::size_t>(i)] = s / at(i, i);
+    }
+    // L^T z = y (backward, unit diagonal).
+    for (int i = n_ - 1; i >= 0; --i) {
+      double s = scratch_[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < n_; ++j) s -= at(j, i) * scratch_[static_cast<std::size_t>(j)];
+      scratch_[static_cast<std::size_t>(i)] = s;
+    }
+    // Undo permutation: x = P^T z.
+    for (int i = 0; i < n_; ++i) {
+      b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+          scratch_[static_cast<std::size_t>(i)];
+    }
+  }
+
+ private:
+  double& at(int i, int j) { return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) + static_cast<std::size_t>(j)]; }
+  double at(int i, int j) const { return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) + static_cast<std::size_t>(j)]; }
+
+  int n_ = 0;
+  std::vector<double> a_;
+  std::vector<int> perm_;
+  mutable std::vector<double> scratch_;
+};
+
+// Product-form update: new basis = old * E, where E is identity with column
+// `pivot_row` replaced by `col` (the FTRAN'd entering column).
+struct Eta {
+  int pivot_row = 0;
+  std::vector<std::pair<int, double>> col;  // sparse non-pivot entries
+  double pivot_value = 1.0;
+};
+
+enum class VarState : std::uint8_t { Basic, AtLower, AtUpper, Free };
+
+/// Internal pseudo-status: basis went singular, restart from artificials.
+constexpr Status kNeedsRebuild = static_cast<Status>(99);
+
+// ---------------------------------------------------------------------------
+// The solver proper.
+// ---------------------------------------------------------------------------
+class Simplex {
+ public:
+  Simplex(const Model& model, const Options& opt) : model_(model), opt_(opt) {
+    build_columns();
+  }
+
+  Result run() {
+    Result res;
+    if (m_ == 0) return solve_trivial();
+
+    // A numerically singular basis triggers a full restart from the
+    // artificial basis (rare; correctness over speed).
+    Status st = Status::IterLimit;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (attempt > 0) {
+        MTH_WARN << "simplex: singular basis — restarting (attempt "
+                 << attempt + 1 << ")";
+      }
+      // (Re-)open artificial bounds for phase 1.
+      for (int i = 0; i < m_; ++i) {
+        lb_[static_cast<std::size_t>(art0_ + i)] = 0.0;
+        ub_[static_cast<std::size_t>(art0_ + i)] = kInf;
+      }
+      init_basis();
+
+      // Phase 1: minimize sum of artificials.
+      phase1_ = true;
+      st = iterate(res.iterations);
+      if (st == kNeedsRebuild) continue;
+      if (st == Status::IterLimit) {
+        res.status = st;
+        return res;
+      }
+      if (basic_cost_sum() > 1e-6) {
+        res.status = Status::Infeasible;
+        res.iterations = iterations_;
+        return res;
+      }
+      // Lock artificials to zero and switch to the real objective.
+      for (int j = art0_; j < art0_ + m_; ++j) {
+        lb_[static_cast<std::size_t>(j)] = 0.0;
+        ub_[static_cast<std::size_t>(j)] = 0.0;
+        if (state_[static_cast<std::size_t>(j)] != VarState::Basic) {
+          state_[static_cast<std::size_t>(j)] = VarState::AtLower;
+          value_[static_cast<std::size_t>(j)] = 0.0;
+        }
+      }
+      phase1_ = false;
+      if (!refactorize()) continue;  // recomputes basic values too
+
+      st = iterate(res.iterations);
+      if (st == kNeedsRebuild) continue;
+      break;
+    }
+    if (st == kNeedsRebuild) st = Status::IterLimit;
+    res.status = st;
+    res.iterations = iterations_;
+    if (st != Status::Optimal) return res;
+
+    res.x.assign(static_cast<std::size_t>(model_.num_vars()), 0.0);
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      res.x[static_cast<std::size_t>(j)] = value_[static_cast<std::size_t>(j)];
+    }
+    res.objective = model_.objective_value(res.x);
+    res.duals = compute_duals();
+    return res;
+  }
+
+ private:
+  Result solve_trivial() {
+    // No constraints: every variable goes to its cheaper finite bound.
+    Result res;
+    res.x.assign(static_cast<std::size_t>(model_.num_vars()), 0.0);
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      const double c = model_.obj(j);
+      const double lo = model_.lb(j);
+      const double hi = model_.ub(j);
+      double v;
+      if (c > 0) {
+        if (lo == -kInf) {
+          res.status = Status::Unbounded;
+          return res;
+        }
+        v = lo;
+      } else if (c < 0) {
+        if (hi == kInf) {
+          res.status = Status::Unbounded;
+          return res;
+        }
+        v = hi;
+      } else {
+        v = (lo != -kInf) ? lo : (hi != kInf ? hi : 0.0);
+      }
+      res.x[static_cast<std::size_t>(j)] = v;
+    }
+    res.status = Status::Optimal;
+    res.objective = model_.objective_value(res.x);
+    return res;
+  }
+
+  void build_columns() {
+    m_ = model_.num_rows();
+    nstruct_ = model_.num_vars();
+    slack0_ = nstruct_;
+    art0_ = nstruct_ + m_;
+    ntotal_ = nstruct_ + 2 * m_;
+
+    cols_.assign(static_cast<std::size_t>(ntotal_), {});
+    lb_.assign(static_cast<std::size_t>(ntotal_), 0.0);
+    ub_.assign(static_cast<std::size_t>(ntotal_), 0.0);
+    rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+
+    for (int j = 0; j < nstruct_; ++j) {
+      lb_[static_cast<std::size_t>(j)] = model_.lb(j);
+      ub_[static_cast<std::size_t>(j)] = model_.ub(j);
+    }
+    for (int i = 0; i < m_; ++i) {
+      const Row& r = model_.row(i);
+      rhs_[static_cast<std::size_t>(i)] = r.rhs;
+      for (const RowEntry& e : r.entries) {
+        if (e.coef != 0.0) {
+          cols_[static_cast<std::size_t>(e.var)].emplace_back(i, e.coef);
+        }
+      }
+      // Slack: row + slack == rhs.
+      const int s = slack0_ + i;
+      cols_[static_cast<std::size_t>(s)].emplace_back(i, 1.0);
+      switch (r.sense) {
+        case Sense::LE:
+          lb_[static_cast<std::size_t>(s)] = 0.0;
+          ub_[static_cast<std::size_t>(s)] = kInf;
+          break;
+        case Sense::GE:
+          lb_[static_cast<std::size_t>(s)] = -kInf;
+          ub_[static_cast<std::size_t>(s)] = 0.0;
+          break;
+        case Sense::EQ:
+          lb_[static_cast<std::size_t>(s)] = 0.0;
+          ub_[static_cast<std::size_t>(s)] = 0.0;
+          break;
+      }
+      // Artificial sign is fixed at init time; column built there.
+    }
+  }
+
+  /// Nonbasic starting value for a variable given its bounds.
+  static std::pair<double, VarState> start_point(double lo, double hi) {
+    if (lo == -kInf && hi == kInf) return {0.0, VarState::Free};
+    if (lo == -kInf) return {hi, VarState::AtUpper};
+    if (hi == kInf) return {lo, VarState::AtLower};
+    return std::abs(lo) <= std::abs(hi) ? std::make_pair(lo, VarState::AtLower)
+                                        : std::make_pair(hi, VarState::AtUpper);
+  }
+
+  void init_basis() {
+    value_.assign(static_cast<std::size_t>(ntotal_), 0.0);
+    state_.assign(static_cast<std::size_t>(ntotal_), VarState::AtLower);
+    for (int j = 0; j < art0_; ++j) {
+      const auto [v, st] = start_point(lb_[static_cast<std::size_t>(j)],
+                                       ub_[static_cast<std::size_t>(j)]);
+      value_[static_cast<std::size_t>(j)] = v;
+      state_[static_cast<std::size_t>(j)] = st;
+    }
+    // Residuals decide artificial signs so artificial values start >= 0.
+    std::vector<double> resid = rhs_;
+    for (int j = 0; j < art0_; ++j) {
+      const double v = value_[static_cast<std::size_t>(j)];
+      if (v != 0.0) {
+        for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+          resid[static_cast<std::size_t>(row)] -= coef * v;
+        }
+      }
+    }
+    basic_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      const int a = art0_ + i;
+      const double sign = resid[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
+      cols_[static_cast<std::size_t>(a)] = {{i, sign}};
+      lb_[static_cast<std::size_t>(a)] = 0.0;
+      ub_[static_cast<std::size_t>(a)] = kInf;
+      state_[static_cast<std::size_t>(a)] = VarState::Basic;
+      value_[static_cast<std::size_t>(a)] =
+          std::abs(resid[static_cast<std::size_t>(i)]);
+      basic_[static_cast<std::size_t>(i)] = a;
+    }
+    const bool ok = refactorize();
+    MTH_ASSERT(ok, "simplex: artificial basis cannot be singular");
+  }
+
+  double cost_of(int j) const {
+    if (phase1_) return j >= art0_ ? 1.0 : 0.0;
+    return j < nstruct_ ? model_.obj(j) : 0.0;
+  }
+
+  double basic_cost_sum() const {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int j = basic_[static_cast<std::size_t>(i)];
+      s += cost_of(j) * value_[static_cast<std::size_t>(j)];
+    }
+    return s;
+  }
+
+  /// Returns false when the basis matrix is numerically singular (the caller
+  /// then repairs the basis instead of aborting).
+  bool refactorize() {
+    std::vector<double> dense(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int j = basic_[static_cast<std::size_t>(i)];
+      for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+        dense[static_cast<std::size_t>(row) * static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(i)] = coef;
+      }
+    }
+    if (!lu_.factorize(std::move(dense), m_, 1e-11)) return false;
+    etas_.clear();
+    recompute_basic_values();
+    return true;
+  }
+
+
+  void recompute_basic_values() {
+    std::vector<double> r = rhs_;
+    for (int j = 0; j < ntotal_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == VarState::Basic) continue;
+      const double v = value_[static_cast<std::size_t>(j)];
+      if (v != 0.0) {
+        for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+          r[static_cast<std::size_t>(row)] -= coef * v;
+        }
+      }
+    }
+    ftran(r);
+    for (int i = 0; i < m_; ++i) {
+      value_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] =
+          r[static_cast<std::size_t>(i)];
+    }
+  }
+
+  void ftran(std::vector<double>& v) const {
+    lu_.solve(v);
+    for (const Eta& e : etas_) {
+      double& pv = v[static_cast<std::size_t>(e.pivot_row)];
+      pv /= e.pivot_value;
+      if (pv != 0.0) {
+        for (const auto& [i, c] : e.col) v[static_cast<std::size_t>(i)] -= c * pv;
+      }
+    }
+  }
+
+  void btran(std::vector<double>& v) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const Eta& e = *it;
+      double s = v[static_cast<std::size_t>(e.pivot_row)];
+      for (const auto& [i, c] : e.col) s -= c * v[static_cast<std::size_t>(i)];
+      v[static_cast<std::size_t>(e.pivot_row)] = s / e.pivot_value;
+    }
+    lu_.solve_transpose(v);
+  }
+
+  std::vector<double> compute_duals() const {
+    std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      y[static_cast<std::size_t>(i)] = cost_of(basic_[static_cast<std::size_t>(i)]);
+    }
+    std::vector<double> duals = y;
+    btran(duals);
+    return duals;
+  }
+
+  /// Dantzig (or Bland) pricing. Returns entering var or -1 (optimal).
+  int price(const std::vector<double>& y, int& direction, bool bland) const {
+    int best = -1;
+    double best_score = opt_.tol;
+    for (int j = 0; j < ntotal_; ++j) {
+      const VarState st = state_[static_cast<std::size_t>(j)];
+      if (st == VarState::Basic) continue;
+      if (lb_[static_cast<std::size_t>(j)] == ub_[static_cast<std::size_t>(j)]) continue;
+      double d = cost_of(j);
+      for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+        d -= y[static_cast<std::size_t>(row)] * coef;
+      }
+      int dir = 0;
+      if ((st == VarState::AtLower || st == VarState::Free) && d < -opt_.tol) {
+        dir = +1;
+      } else if ((st == VarState::AtUpper || st == VarState::Free) && d > opt_.tol) {
+        dir = -1;
+      } else {
+        continue;
+      }
+      if (bland) {
+        direction = dir;
+        return j;  // lowest index wins
+      }
+      const double score = std::abs(d);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+        direction = dir;
+      }
+    }
+    return best;
+  }
+
+  Status iterate(int& iters_out) {
+    int degenerate_streak = 0;
+    while (true) {
+      if (iterations_ >= opt_.max_iterations) {
+        iters_out = iterations_;
+        return Status::IterLimit;
+      }
+      const bool bland = degenerate_streak > 400;
+
+      std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        y[static_cast<std::size_t>(i)] = cost_of(basic_[static_cast<std::size_t>(i)]);
+      }
+      btran(y);
+
+      int dir = 0;
+      const int q = price(y, dir, bland);
+      if (q < 0) {
+        iters_out = iterations_;
+        return Status::Optimal;
+      }
+
+      // FTRAN the entering column.
+      std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+      for (const auto& [row, coef] : cols_[static_cast<std::size_t>(q)]) {
+        w[static_cast<std::size_t>(row)] = coef;
+      }
+      ftran(w);
+
+      // Two-pass (Harris-style) ratio test: find the tightest step, then
+      // among the near-tied blockers pick the one with the largest pivot
+      // magnitude — small pivots breed singular bases.
+      double t_max = kInf;
+      const double span = ub_[static_cast<std::size_t>(q)] - lb_[static_cast<std::size_t>(q)];
+      if (span < kInf) t_max = span;  // bound flip candidate
+
+      auto limit_of = [&](int i, double* bound) {
+        const double wi = w[static_cast<std::size_t>(i)];
+        if (std::abs(wi) <= 1e-10) return kInf;
+        const int bj = basic_[static_cast<std::size_t>(i)];
+        const double xv = value_[static_cast<std::size_t>(bj)];
+        const double delta = dir * wi;  // basic decreases when delta > 0
+        double limit = kInf;
+        if (delta > 0) {
+          const double lo = lb_[static_cast<std::size_t>(bj)];
+          if (lo != -kInf) {
+            limit = (xv - lo) / delta;
+            *bound = lo;
+          }
+        } else {
+          const double hi = ub_[static_cast<std::size_t>(bj)];
+          if (hi != kInf) {
+            limit = (xv - hi) / delta;
+            *bound = hi;
+          }
+        }
+        return limit < 0.0 ? 0.0 : limit;  // numerical: already past the bound
+      };
+
+      for (int i = 0; i < m_; ++i) {
+        double b = 0.0;
+        t_max = std::min(t_max, limit_of(i, &b));
+      }
+
+      int leave = -1;  // basis position
+      double leave_bound = 0.0;
+      if (t_max < span - 1e-12 || span == kInf) {
+        double best_pivot = 0.0;
+        for (int i = 0; i < m_; ++i) {
+          double b = 0.0;
+          const double limit = limit_of(i, &b);
+          if (limit > t_max + 1e-9) continue;
+          const double piv = std::abs(w[static_cast<std::size_t>(i)]);
+          const int bj = basic_[static_cast<std::size_t>(i)];
+          const bool better =
+              bland ? (leave < 0 || bj < basic_[static_cast<std::size_t>(leave)])
+                    : piv > best_pivot;
+          if (better) {
+            best_pivot = piv;
+            leave = i;
+            leave_bound = b;
+          }
+        }
+        if (leave >= 0) {
+          double b = 0.0;
+          t_max = limit_of(leave, &b);
+        }
+      }
+
+      if (t_max == kInf) {
+        iters_out = iterations_;
+        return Status::Unbounded;
+      }
+      if (t_max < opt_.tol) {
+        ++degenerate_streak;
+      } else {
+        degenerate_streak = 0;
+      }
+
+      // Apply the step to basic values and the entering variable.
+      const double step = t_max * dir;
+      if (step != 0.0) {
+        for (int i = 0; i < m_; ++i) {
+          const double wi = w[static_cast<std::size_t>(i)];
+          if (wi != 0.0) {
+            value_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+                step * wi;
+          }
+        }
+      }
+      value_[static_cast<std::size_t>(q)] += step;
+
+      if (leave < 0) {
+        // Bound flip: q jumps to its opposite bound; no basis change.
+        state_[static_cast<std::size_t>(q)] =
+            dir > 0 ? VarState::AtUpper : VarState::AtLower;
+        value_[static_cast<std::size_t>(q)] =
+            dir > 0 ? ub_[static_cast<std::size_t>(q)] : lb_[static_cast<std::size_t>(q)];
+      } else {
+        const int out = basic_[static_cast<std::size_t>(leave)];
+        value_[static_cast<std::size_t>(out)] = leave_bound;
+        state_[static_cast<std::size_t>(out)] =
+            (leave_bound == lb_[static_cast<std::size_t>(out)]) ? VarState::AtLower
+                                                                : VarState::AtUpper;
+        basic_[static_cast<std::size_t>(leave)] = q;
+        state_[static_cast<std::size_t>(q)] = VarState::Basic;
+
+        // Record the eta (product-form update) for the new basis.
+        Eta e;
+        e.pivot_row = leave;
+        e.pivot_value = w[static_cast<std::size_t>(leave)];
+        for (int i = 0; i < m_; ++i) {
+          if (i != leave && std::abs(w[static_cast<std::size_t>(i)]) > 1e-12) {
+            e.col.emplace_back(i, w[static_cast<std::size_t>(i)]);
+          }
+        }
+        etas_.push_back(std::move(e));
+        if (static_cast<int>(etas_.size()) >= opt_.refactor_interval) {
+          if (!refactorize()) {
+            iters_out = iterations_;
+            return kNeedsRebuild;
+          }
+        }
+      }
+      ++iterations_;
+    }
+  }
+
+  const Model& model_;
+  Options opt_;
+  int m_ = 0, nstruct_ = 0, slack0_ = 0, art0_ = 0, ntotal_ = 0;
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<double> lb_, ub_, rhs_, value_;
+  std::vector<VarState> state_;
+  std::vector<int> basic_;
+  DenseLu lu_;
+  std::vector<Eta> etas_;
+  bool phase1_ = true;
+  int iterations_ = 0;
+};
+
+}  // namespace
+
+Result solve(const Model& model, const Options& options) {
+  Simplex s(model, options);
+  return s.run();
+}
+
+}  // namespace mth::lp

@@ -1,0 +1,118 @@
+#include "mth/opt/heightswap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mth/liberty/asap7.hpp"
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+
+namespace mth::opt {
+namespace {
+
+/// The other-height variant of a master (same func/drive/VT); -1 if absent.
+int sibling_master(const Library& lib, const CellMaster& m) {
+  const TrackHeight other = m.track_height == TrackHeight::H6T
+                                ? TrackHeight::H75T
+                                : TrackHeight::H6T;
+  return lib.find(asap7_master_name(m.func, m.drive, other, m.vt));
+}
+
+/// Lexicographic quality: meet WNS first, then burn less power.
+bool better(const timing::TimingReport& a, const timing::TimingReport& b) {
+  if (std::abs(a.wns_ns - b.wns_ns) > 1e-9) return a.wns_ns > b.wns_ns;
+  return a.total_power_mw() < b.total_power_mw();
+}
+
+}  // namespace
+
+HeightSwapResult optimize_track_heights(Design& design,
+                                        const HeightSwapOptions& opt) {
+  MTH_ASSERT(opt.minority_budget_pct > 0.0 && opt.minority_budget_pct <= 100.0,
+             "heightswap: bad budget");
+  const Library& lib = *design.library;
+  const int n = design.netlist.num_instances();
+  const int budget =
+      static_cast<int>(std::floor(n * opt.minority_budget_pct / 100.0));
+  const int change_cap =
+      std::max(1, static_cast<int>(n * opt.max_change_fraction));
+
+  HeightSwapResult res;
+  res.before = timing::analyze(design, nullptr, opt.sta);
+
+  auto masters_snapshot = [&] {
+    std::vector<std::int32_t> ms(static_cast<std::size_t>(n));
+    for (InstId i = 0; i < n; ++i) ms[static_cast<std::size_t>(i)] = design.netlist.instance(i).master;
+    return ms;
+  };
+  timing::TimingReport best_rep = res.before;
+  std::vector<std::int32_t> best_masters = masters_snapshot();
+
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    const timing::DetailedTiming dt =
+        timing::analyze_detailed(design, nullptr, opt.sta);
+    int minority = design.num_minority();
+
+    // Rank instances by slack: most critical first for promotion, most
+    // relaxed first for demotion.
+    std::vector<InstId> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](InstId a, InstId b) {
+      return dt.inst_slack_ps[static_cast<std::size_t>(a)] <
+             dt.inst_slack_ps[static_cast<std::size_t>(b)];
+    });
+
+    int changes = 0;
+    // Promotions (critical 6T -> 7.5T) from the critical end.
+    for (InstId i : order) {
+      if (changes >= change_cap) break;
+      const double slack = dt.inst_slack_ps[static_cast<std::size_t>(i)];
+      if (slack >= opt.upsize_slack_ps) break;  // sorted: rest are better
+      const CellMaster& m = design.master_of(i);
+      if (m.track_height != TrackHeight::H6T) continue;
+      if (minority >= budget) break;
+      const int sib = sibling_master(lib, m);
+      if (sib < 0) continue;
+      design.netlist.instance(i).master = sib;
+      ++minority;
+      ++changes;
+      ++res.promoted_to_tall;
+    }
+    // Demotions (relaxed 7.5T -> 6T) from the relaxed end.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (changes >= 2 * change_cap) break;
+      const InstId i = *it;
+      const double slack = dt.inst_slack_ps[static_cast<std::size_t>(i)];
+      if (slack <= opt.downsize_slack_ps) break;
+      const CellMaster& m = design.master_of(i);
+      if (m.track_height != TrackHeight::H75T) continue;
+      const int sib = sibling_master(lib, m);
+      if (sib < 0) continue;
+      design.netlist.instance(i).master = sib;
+      --minority;
+      ++changes;
+      ++res.demoted_to_short;
+    }
+    ++res.passes;
+    if (changes == 0) break;
+
+    const timing::TimingReport rep = timing::analyze(design, nullptr, opt.sta);
+    MTH_DEBUG << "heightswap pass " << pass << ": wns " << rep.wns_ns
+              << " power " << rep.total_power_mw() << " (" << changes
+              << " swaps)";
+    if (better(rep, best_rep)) {
+      best_rep = rep;
+      best_masters = masters_snapshot();
+    }
+  }
+
+  // Restore the best iterate.
+  for (InstId i = 0; i < n; ++i) {
+    design.netlist.instance(i).master = best_masters[static_cast<std::size_t>(i)];
+  }
+  res.after = best_rep;
+  return res;
+}
+
+}  // namespace mth::opt

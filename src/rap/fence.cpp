@@ -1,0 +1,27 @@
+#include "mth/rap/fence.hpp"
+
+namespace mth::rap {
+
+std::vector<Rect> fence_regions(const Floorplan& fp,
+                                const RowAssignment& ra) {
+  std::vector<Rect> out;
+  const int np = fp.num_pairs();
+  int run_start = -1;
+  auto flush = [&](int end_pair) {
+    if (run_start < 0) return;
+    out.push_back(Rect{{fp.core().lo.x, fp.pair_lower(run_start).y},
+                       {fp.core().hi.x, fp.pair_upper(end_pair).y_top()}});
+    run_start = -1;
+  };
+  for (int p = 0; p < np; ++p) {
+    if (ra.is_minority_pair(p)) {
+      if (run_start < 0) run_start = p;
+    } else {
+      flush(p - 1);
+    }
+  }
+  flush(np - 1);
+  return out;
+}
+
+}  // namespace mth::rap

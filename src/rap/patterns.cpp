@@ -1,0 +1,59 @@
+#include "mth/rap/patterns.hpp"
+
+#include <algorithm>
+
+namespace mth::rap {
+
+const char* to_string(RowPattern pattern) {
+  switch (pattern) {
+    case RowPattern::EvenlySpread: return "evenly-spread";
+    case RowPattern::Alternating: return "alternating (FinFlex-style)";
+    case RowPattern::BottomBlock: return "bottom-block";
+    case RowPattern::CenterBlock: return "center-block";
+  }
+  return "?";
+}
+
+RowAssignment pattern_assignment(int num_pairs, int n_min_pairs,
+                                 RowPattern pattern) {
+  MTH_ASSERT(num_pairs >= 2, "pattern: need at least two pairs");
+  MTH_ASSERT(n_min_pairs >= 1 && n_min_pairs < num_pairs,
+             "pattern: minority budget out of range");
+  RowAssignment ra = RowAssignment::all_majority(num_pairs);
+  switch (pattern) {
+    case RowPattern::EvenlySpread:
+      // Pair k of n_min sits at the center of stripe k.
+      for (int k = 0; k < n_min_pairs; ++k) {
+        const int p = static_cast<int>(
+            (static_cast<long long>(2 * k + 1) * num_pairs) / (2 * n_min_pairs));
+        ra.pair_is_minority[static_cast<std::size_t>(
+            std::min(p, num_pairs - 1))] = true;
+      }
+      // Collisions (tiny num_pairs) leave fewer than n_min set; top up.
+      for (int p = 0; ra.num_minority() < n_min_pairs && p < num_pairs; ++p) {
+        ra.pair_is_minority[static_cast<std::size_t>(p)] = true;
+      }
+      break;
+    case RowPattern::Alternating:
+      for (int p = 1; p < num_pairs; p += 2) {
+        ra.pair_is_minority[static_cast<std::size_t>(p)] = true;
+      }
+      if (ra.num_minority() == 0) ra.pair_is_minority[0] = true;
+      break;
+    case RowPattern::BottomBlock:
+      for (int p = 0; p < n_min_pairs; ++p) {
+        ra.pair_is_minority[static_cast<std::size_t>(p)] = true;
+      }
+      break;
+    case RowPattern::CenterBlock: {
+      const int start = (num_pairs - n_min_pairs) / 2;
+      for (int p = start; p < start + n_min_pairs; ++p) {
+        ra.pair_is_minority[static_cast<std::size_t>(p)] = true;
+      }
+      break;
+    }
+  }
+  return ra;
+}
+
+}  // namespace mth::rap

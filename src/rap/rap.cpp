@@ -1,0 +1,573 @@
+#include "mth/rap/rap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "mth/cluster/kmeans.hpp"
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/timer.hpp"
+
+namespace mth::rap {
+namespace {
+
+constexpr double kInfCost = std::numeric_limits<double>::max();
+
+/// Per-net vertical extremes with owner tracking, enabling O(1) evaluation of
+/// "net y-span if instance `i` moved to y'". Two distinct-owner extremes per
+/// side suffice because an instance contributes one y value (its center) no
+/// matter how many of its pins touch the net.
+struct YExtremes {
+  Dbu min1 = INT64_MAX, min2 = INT64_MAX;
+  Dbu max1 = INT64_MIN, max2 = INT64_MIN;
+  InstId min1_owner = -2, max1_owner = -2;  // -2 == port (never a cell)
+
+  void add(InstId owner, Dbu y) {
+    if (y < min1 || (y == min1 && owner == min1_owner)) {
+      if (owner != min1_owner) {
+        min2 = min1;
+      }
+      min1 = y;
+      min1_owner = owner;
+    } else if (owner != min1_owner && y < min2) {
+      min2 = y;
+    }
+    if (y > max1 || (y == max1 && owner == max1_owner)) {
+      if (owner != max1_owner) {
+        max2 = max1;
+      }
+      max1 = y;
+      max1_owner = owner;
+    } else if (owner != max1_owner && y > max2) {
+      max2 = y;
+    }
+  }
+
+  /// y-span if `cell`'s contribution is replaced by `newy`.
+  Dbu span_with(InstId cell, Dbu newy) const {
+    const Dbu lo = (min1_owner == cell) ? min2 : min1;
+    const Dbu hi = (max1_owner == cell) ? max2 : max1;
+    if (lo == INT64_MAX || hi == INT64_MIN) return 0;  // no other pins
+    return std::max(hi, newy) - std::min(lo, newy);
+  }
+
+  Dbu span() const {
+    if (min1 == INT64_MAX) return 0;
+    return max1 - min1;
+  }
+};
+
+std::vector<YExtremes> build_y_extremes(const Design& d) {
+  std::vector<YExtremes> out(static_cast<std::size_t>(d.netlist.num_nets()));
+  for (NetId n = 0; n < d.netlist.num_nets(); ++n) {
+    const Net& net = d.netlist.net(n);
+    if (net.is_clock) continue;
+    YExtremes& ye = out[static_cast<std::size_t>(n)];
+    for (const PinRef& ref : net.pins) {
+      if (ref.is_port()) {
+        ye.add(-2, d.netlist.port(ref.pin).pos.y);
+      } else {
+        const Instance& inst = d.netlist.instance(ref.inst);
+        ye.add(ref.inst, inst.pos.y + d.master_of(ref.inst).height / 2);
+      }
+    }
+  }
+  return out;
+}
+
+/// Greedy capacity-aware assignment: clusters in width-descending order each
+/// take the cheapest feasible row (opening a new row additionally pays its
+/// `open_cost`). `forced_rows` (when non-null) fixes the open-row set;
+/// otherwise up to n_min rows are opened on demand.
+bool greedy_assign(const std::vector<std::vector<double>>& cost,
+                   const std::vector<std::vector<int>>& cand,
+                   const std::vector<Dbu>& cluster_w,
+                   const std::vector<Dbu>& cap, int n_min,
+                   const std::vector<double>* open_cost,
+                   const std::vector<char>* forced_rows,
+                   std::vector<int>& pair_out, std::vector<char>& open_out) {
+  const int nc = static_cast<int>(cost.size());
+  const int nr = static_cast<int>(cap.size());
+  std::vector<Dbu> left = cap;
+  open_out.assign(static_cast<std::size_t>(nr), 0);
+  int open_count = 0;
+  if (forced_rows != nullptr) {
+    open_out = *forced_rows;
+    for (char c : open_out) open_count += c ? 1 : 0;
+    if (open_count > n_min) return false;
+  }
+  std::vector<int> order(static_cast<std::size_t>(nc));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return cluster_w[static_cast<std::size_t>(a)] > cluster_w[static_cast<std::size_t>(b)];
+  });
+  pair_out.assign(static_cast<std::size_t>(nc), -1);
+  for (int c : order) {
+    double best = kInfCost;
+    int best_r = -1;
+    for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+      const int r = cand[static_cast<std::size_t>(c)][j];
+      if (left[static_cast<std::size_t>(r)] < cluster_w[static_cast<std::size_t>(c)]) continue;
+      if (!open_out[static_cast<std::size_t>(r)]) {
+        if (forced_rows != nullptr || open_count >= n_min) continue;
+      }
+      double f = cost[static_cast<std::size_t>(c)][j];
+      if (!open_out[static_cast<std::size_t>(r)] && open_cost != nullptr) {
+        f += (*open_cost)[static_cast<std::size_t>(r)];
+      }
+      if (f < best) {
+        best = f;
+        best_r = r;
+      }
+    }
+    if (best_r < 0) return false;
+    if (!open_out[static_cast<std::size_t>(best_r)]) {
+      open_out[static_cast<std::size_t>(best_r)] = 1;
+      ++open_count;
+    }
+    left[static_cast<std::size_t>(best_r)] -= cluster_w[static_cast<std::size_t>(c)];
+    pair_out[static_cast<std::size_t>(c)] = best_r;
+  }
+  // Pad the open set to exactly n_min rows (Eq. 5 is an equality; empty
+  // minority rows are feasible), picking the cheapest rows to open.
+  while (open_count < n_min) {
+    int best_r = -1;
+    double best_c = kInfCost;
+    for (int r = 0; r < nr; ++r) {
+      if (open_out[static_cast<std::size_t>(r)]) continue;
+      const double c = open_cost != nullptr ? (*open_cost)[static_cast<std::size_t>(r)] : 0.0;
+      if (c < best_c) {
+        best_c = c;
+        best_r = r;
+      }
+    }
+    if (best_r < 0) break;
+    open_out[static_cast<std::size_t>(best_r)] = 1;
+    ++open_count;
+  }
+  return open_count == n_min;
+}
+
+}  // namespace
+
+RapResult solve_rap(const Design& design, const RapOptions& opt) {
+  MTH_ASSERT(opt.s > 0.0 && opt.s <= 1.0, "rap: clustering resolution out of (0,1]");
+  MTH_ASSERT(opt.alpha >= 0.0 && opt.alpha <= 1.0, "rap: alpha out of [0,1]");
+  const Floorplan& fp = design.floorplan;
+  const Library& wlib = opt.width_library ? *opt.width_library : *design.library;
+  RapResult res;
+
+  // --- minority cells ---------------------------------------------------------
+  for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+    if (design.is_minority(i)) res.minority_cells.push_back(i);
+  }
+  const int n_min_c = static_cast<int>(res.minority_cells.size());
+  MTH_ASSERT(n_min_c > 0, "rap: no minority cells");
+  const int nr = fp.num_pairs();
+
+  // --- N_minR -------------------------------------------------------------------
+  int n_min_pairs = opt.n_min_pairs;
+  if (n_min_pairs <= 0) {
+    Dbu demand = 0;
+    for (InstId i : res.minority_cells) {
+      demand += wlib.master(design.netlist.instance(i).master).width;
+    }
+    const Dbu pair_cap = 2 * fp.core().width();
+    n_min_pairs = std::clamp(
+        static_cast<int>(std::ceil(static_cast<double>(demand) /
+                                   (static_cast<double>(pair_cap) *
+                                    opt.minority_row_fill))),
+        1, nr - 1);
+  }
+  res.n_min_pairs = n_min_pairs;
+
+  // --- clustering (§III-B) ------------------------------------------------------
+  WallTimer t_cluster;
+  int n_clusters;
+  if (opt.use_clustering) {
+    n_clusters = std::clamp(
+        static_cast<int>(std::llround(opt.s * n_min_c)), 1, n_min_c);
+  } else {
+    n_clusters = n_min_c;
+  }
+  // Coarse clustering can be *infeasible*: a cluster whose total (original)
+  // width exceeds one pair's capacity cannot satisfy Eqs. 3+4. Refine N_C
+  // (double it) until every cluster fits — at worst one cell per cluster.
+  const Dbu pair_capacity_limit = 2 * fp.core().width();
+  auto widths_fit = [&](const std::vector<int>& assign, int k) {
+    std::vector<Dbu> w(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < n_min_c; ++i) {
+      const InstId inst = res.minority_cells[static_cast<std::size_t>(i)];
+      w[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)])] +=
+          wlib.master(design.netlist.instance(inst).master).width;
+    }
+    for (Dbu v : w) {
+      if (v > pair_capacity_limit) return false;
+    }
+    return true;
+  };
+
+  std::vector<Point> centers;
+  centers.reserve(static_cast<std::size_t>(n_min_c));
+  for (InstId i : res.minority_cells) {
+    const Instance& inst = design.netlist.instance(i);
+    const CellMaster& m = design.master_of(i);
+    centers.push_back({inst.pos.x + m.width / 2, inst.pos.y + m.height / 2});
+  }
+  while (true) {
+    if (opt.use_clustering && n_clusters < n_min_c) {
+      cluster::KMeansOptions ko;
+      ko.max_iterations = opt.kmeans_max_iterations;
+      res.cluster_of = cluster::kmeans_2d(centers, n_clusters, ko).assignment;
+    } else {
+      n_clusters = n_min_c;
+      res.cluster_of.resize(static_cast<std::size_t>(n_min_c));
+      std::iota(res.cluster_of.begin(), res.cluster_of.end(), 0);
+    }
+    if (n_clusters >= n_min_c || widths_fit(res.cluster_of, n_clusters)) break;
+    n_clusters = std::min(n_min_c, 2 * n_clusters);
+    MTH_DEBUG << "rap: cluster wider than a pair — refining to N_C="
+              << n_clusters;
+  }
+  res.num_clusters = n_clusters;
+  res.cluster_seconds = t_cluster.seconds();
+
+  // --- cost matrix f_cr (§III-C, Eq. 2) ------------------------------------------
+  WallTimer t_cost;
+  std::vector<Dbu> cluster_w(static_cast<std::size_t>(n_clusters), 0);
+  for (int k = 0; k < n_min_c; ++k) {
+    const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
+    cluster_w[static_cast<std::size_t>(res.cluster_of[static_cast<std::size_t>(k)])] +=
+        wlib.master(design.netlist.instance(i).master).width;
+  }
+
+  const auto extremes = build_y_extremes(design);
+  const auto& uses = design.netlist.inst_uses();
+
+  std::vector<std::vector<double>> full_cost(
+      static_cast<std::size_t>(n_clusters),
+      std::vector<double>(static_cast<std::size_t>(nr), 0.0));
+  for (int k = 0; k < n_min_c; ++k) {
+    const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
+    const int c = res.cluster_of[static_cast<std::size_t>(k)];
+    const Instance& inst = design.netlist.instance(i);
+    const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
+    for (int r = 0; r < nr; ++r) {
+      const Dbu ry = fp.pair_y_center(r);
+      const double disp = static_cast<double>(std::llabs(ry - yc));
+      double dhpwl = 0.0;
+      for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+        const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
+        if (design.netlist.net(u.net).is_clock) continue;
+        dhpwl += static_cast<double>(ye.span_with(i, ry) - ye.span());
+      }
+      full_cost[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)] +=
+          opt.alpha * disp + (1.0 - opt.alpha) * dhpwl;
+    }
+  }
+
+  // Candidate rows: all rows (exact formulation; pruning handled upstream by
+  // clustering, the paper's lever).
+  std::vector<std::vector<int>> cand(static_cast<std::size_t>(n_clusters));
+  std::vector<std::vector<double>> cost(static_cast<std::size_t>(n_clusters));
+  for (int c = 0; c < n_clusters; ++c) {
+    cand[static_cast<std::size_t>(c)].resize(static_cast<std::size_t>(nr));
+    std::iota(cand[static_cast<std::size_t>(c)].begin(),
+              cand[static_cast<std::size_t>(c)].end(), 0);
+    cost[static_cast<std::size_t>(c)] = full_cost[static_cast<std::size_t>(c)];
+  }
+  res.cost_seconds = t_cost.seconds();
+
+  // --- ILP (Eqs. 1–5) --------------------------------------------------------------
+  WallTimer t_ilp;
+  const Dbu pair_cap = 2 * fp.core().width();
+  std::vector<Dbu> caps(static_cast<std::size_t>(nr), pair_cap);
+
+  lp::Model model;
+  // x vars, c-major over candidate lists; then y vars.
+  std::vector<std::vector<int>> xvar(static_cast<std::size_t>(n_clusters));
+  for (int c = 0; c < n_clusters; ++c) {
+    for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+      xvar[static_cast<std::size_t>(c)].push_back(model.add_var(
+          0.0, 1.0, cost[static_cast<std::size_t>(c)][j]));
+    }
+  }
+  // Optional eviction model: opening pair r as minority displaces its
+  // current majority occupants by at least one pair pitch; charge
+  // alpha * (majority cells in r) * pitch on y_r.
+  std::vector<double> evict_cost(static_cast<std::size_t>(nr), 0.0);
+  if (opt.model_eviction) {
+    const Dbu pitch = fp.num_pairs() > 1
+                          ? fp.pair_y_center(1) - fp.pair_y_center(0)
+                          : fp.core().height();
+    for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+      if (design.is_minority(i)) continue;
+      const Instance& inst = design.netlist.instance(i);
+      const int p = fp.row_at_y(inst.pos.y + design.master_of(i).height / 2) / 2;
+      evict_cost[static_cast<std::size_t>(p)] +=
+          opt.alpha * static_cast<double>(pitch);
+    }
+  }
+  std::vector<int> yvar(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    yvar[static_cast<std::size_t>(r)] =
+        model.add_var(0.0, 1.0, evict_cost[static_cast<std::size_t>(r)]);
+  }
+  res.num_x_vars = n_clusters * nr;
+
+  // Eq. 3: unique assignment.
+  for (int c = 0; c < n_clusters; ++c) {
+    std::vector<lp::RowEntry> row;
+    for (int v : xvar[static_cast<std::size_t>(c)]) row.push_back({v, 1.0});
+    model.add_row(lp::Sense::EQ, 1.0, std::move(row));
+  }
+  // Eq. 4 + linking: sum_c w(c) x_cr - w(r) y_r <= 0.
+  {
+    std::vector<std::vector<lp::RowEntry>> rows(static_cast<std::size_t>(nr));
+    for (int c = 0; c < n_clusters; ++c) {
+      for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+        const int r = cand[static_cast<std::size_t>(c)][j];
+        rows[static_cast<std::size_t>(r)].push_back(
+            {xvar[static_cast<std::size_t>(c)][j],
+             static_cast<double>(cluster_w[static_cast<std::size_t>(c)])});
+      }
+    }
+    for (int r = 0; r < nr; ++r) {
+      rows[static_cast<std::size_t>(r)].push_back(
+          {yvar[static_cast<std::size_t>(r)],
+           -static_cast<double>(caps[static_cast<std::size_t>(r)])});
+      model.add_row(lp::Sense::LE, 0.0, std::move(rows[static_cast<std::size_t>(r)]));
+    }
+  }
+  // Eq. 5: exactly N_minR minority rows.
+  {
+    std::vector<lp::RowEntry> row;
+    for (int r = 0; r < nr; ++r) row.push_back({yvar[static_cast<std::size_t>(r)], 1.0});
+    model.add_row(lp::Sense::EQ, static_cast<double>(n_min_pairs), std::move(row));
+  }
+
+  const int num_vars = model.num_vars();
+  auto to_point = [&](const std::vector<int>& pair_of,
+                      const std::vector<char>& open) {
+    std::vector<double> x(static_cast<std::size_t>(num_vars), 0.0);
+    for (int c = 0; c < n_clusters; ++c) {
+      const int r = pair_of[static_cast<std::size_t>(c)];
+      for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+        if (cand[static_cast<std::size_t>(c)][j] == r) {
+          x[static_cast<std::size_t>(xvar[static_cast<std::size_t>(c)][j])] = 1.0;
+          break;
+        }
+      }
+    }
+    for (int r = 0; r < nr; ++r) {
+      x[static_cast<std::size_t>(yvar[static_cast<std::size_t>(r)])] =
+          open[static_cast<std::size_t>(r)] ? 1.0 : 0.0;
+    }
+    return x;
+  };
+
+  // Root strengthening: the aggregated linking (Eq. 4 with capacity * y_r)
+  // gives a weak LP bound — fractional y spreads over many rows. Lazily add
+  // violated disaggregated linking cuts x_cr <= y_r (the facility-location
+  // "strong formulation") until the root relaxation respects them; this
+  // mirrors what CPLEX's cut generation does and collapses the B&B tree.
+  {
+    // Cut budget: the dense-LU basis factorization costs O(m^3), so the row
+    // count must stay bounded; a few hundred of the most-violated cuts close
+    // most of the gap (diminishing returns after that). The loop also shares
+    // the ILP wall-clock budget — root strengthening may use at most half of
+    // it, the remainder goes to branch & bound.
+    const int kMaxCuts = std::min(500, 4 * nr + n_clusters);
+    const int kMaxCutsPerRound = std::max(64, kMaxCuts / 4);
+    const double cut_deadline = 0.5 * opt.ilp.time_limit_s;
+    int added_total = 0;
+    double prev_bound = -std::numeric_limits<double>::max();
+    for (int round = 0; round < 8 && added_total < kMaxCuts; ++round) {
+      if (t_ilp.seconds() > cut_deadline) break;
+      const lp::Result rel = lp::solve(model, opt.ilp.lp);
+      if (rel.status != lp::Status::Optimal) break;
+      // Stop when the root bound stagnates.
+      if (round > 1 && rel.objective < prev_bound + 1e-3 * std::abs(prev_bound)) {
+        break;
+      }
+      prev_bound = rel.objective;
+      struct Cut {
+        double violation;
+        int xv, yv;
+      };
+      std::vector<Cut> cuts;
+      for (int c = 0; c < n_clusters; ++c) {
+        for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+          const int xv = xvar[static_cast<std::size_t>(c)][j];
+          const int yv = yvar[static_cast<std::size_t>(
+              cand[static_cast<std::size_t>(c)][j])];
+          const double v = rel.x[static_cast<std::size_t>(xv)] -
+                           rel.x[static_cast<std::size_t>(yv)];
+          if (v > 1e-6) cuts.push_back({v, xv, yv});
+        }
+      }
+      if (cuts.empty()) break;
+      std::stable_sort(cuts.begin(), cuts.end(), [](const Cut& a, const Cut& b) {
+        return a.violation > b.violation;
+      });
+      const int take = std::min<int>(
+          {static_cast<int>(cuts.size()), kMaxCutsPerRound, kMaxCuts - added_total});
+      for (int k = 0; k < take; ++k) {
+        model.add_row(lp::Sense::LE, 0.0,
+                      {{cuts[static_cast<std::size_t>(k)].xv, 1.0},
+                       {cuts[static_cast<std::size_t>(k)].yv, -1.0}});
+      }
+      added_total += take;
+    }
+    MTH_DEBUG << "rap: added " << added_total << " linking cuts at the root";
+  }
+
+  // Warm starts: (a) greedy with opening costs; (b) greedy restricted to a
+  // k-means-style row set (evenly spread over the minority y mass) — (b)
+  // guarantees the ILP incumbent is never worse than a [10]-like row choice
+  // under the model objective. Keep the better of the two.
+  std::vector<double> warm;
+  bool have_warm = false;
+  auto offer_warm = [&](const std::vector<int>& pair_of,
+                        const std::vector<char>& open) {
+    std::vector<double> pt = to_point(pair_of, open);
+    if (model.max_violation(pt) > 1e-6) return;
+    if (!have_warm || model.objective_value(pt) < model.objective_value(warm)) {
+      warm = std::move(pt);
+      have_warm = true;
+    }
+  };
+  {
+    std::vector<int> pair_of;
+    std::vector<char> open;
+    if (greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+                      nullptr, pair_of, open)) {
+      offer_warm(pair_of, open);
+    }
+    // k-means-style rows: 1-D clusters of minority y mass claim nearest pairs.
+    std::vector<Dbu> ys;
+    ys.reserve(static_cast<std::size_t>(n_min_c));
+    for (InstId i : res.minority_cells) {
+      ys.push_back(design.netlist.instance(i).pos.y +
+                   design.master_of(i).height / 2);
+    }
+    const int k = std::min(n_min_pairs, n_min_c);
+    const auto km = cluster::kmeans_1d(ys, k);
+    std::vector<char> forced(static_cast<std::size_t>(nr), 0);
+    std::vector<char> taken(static_cast<std::size_t>(nr), 0);
+    int opened = 0;
+    for (int c = 0; c < k; ++c) {
+      int best = -1;
+      Dbu best_d = INT64_MAX;
+      for (int r = 0; r < nr; ++r) {
+        if (taken[static_cast<std::size_t>(r)]) continue;
+        const Dbu d = std::llabs(
+            fp.pair_y_center(r) -
+            static_cast<Dbu>(km.centroids[static_cast<std::size_t>(c)].second));
+        if (d < best_d) {
+          best_d = d;
+          best = r;
+        }
+      }
+      if (best >= 0) {
+        taken[static_cast<std::size_t>(best)] = 1;
+        forced[static_cast<std::size_t>(best)] = 1;
+        ++opened;
+      }
+    }
+    if (opened == n_min_pairs) {
+      std::vector<int> pair_of_km;
+      std::vector<char> open_km;
+      if (greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+                        &forced, pair_of_km, open_km)) {
+        offer_warm(pair_of_km, open_km);
+      }
+    }
+    // Feasibility-first fallback: cost-blind first-fit-decreasing. With the
+    // N_minR sizing slack this succeeds whenever the instance is feasible,
+    // guaranteeing branch & bound always starts with an incumbent.
+    if (!have_warm) {
+      std::vector<std::vector<double>> zero_cost(
+          static_cast<std::size_t>(n_clusters),
+          std::vector<double>(static_cast<std::size_t>(nr), 0.0));
+      std::vector<int> pair_of_ffd;
+      std::vector<char> open_ffd;
+      if (greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs, nullptr,
+                        nullptr, pair_of_ffd, open_ffd)) {
+        offer_warm(pair_of_ffd, open_ffd);
+      }
+    }
+  }
+
+  // Node heuristic: round the relaxation's y to the top-N_minR rows, then
+  // greedily repair the cluster assignment within that row set.
+  ilp::Options iopt = opt.ilp;
+  // Hand B&B whatever wall-clock the root cut loop left over.
+  iopt.time_limit_s = std::max(1.0, opt.ilp.time_limit_s - t_ilp.seconds());
+  iopt.priority_vars = yvar;  // fixing the row set collapses the subtree
+  iopt.heuristic = [&](const std::vector<double>& relax,
+                       std::vector<double>& out) {
+    std::vector<int> order(static_cast<std::size_t>(nr));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return relax[static_cast<std::size_t>(yvar[static_cast<std::size_t>(a)])] >
+             relax[static_cast<std::size_t>(yvar[static_cast<std::size_t>(b)])];
+    });
+    std::vector<char> forced(static_cast<std::size_t>(nr), 0);
+    for (int k = 0; k < n_min_pairs; ++k) {
+      forced[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = 1;
+    }
+    std::vector<int> pair_of;
+    std::vector<char> open;
+    if (!greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+                       &forced, pair_of, open)) {
+      return false;
+    }
+    out = to_point(pair_of, open);
+    return true;
+  };
+
+  const ilp::Result ir =
+      ilp::solve(model, [&] {
+        std::vector<int> ints;
+        ints.reserve(static_cast<std::size_t>(num_vars));
+        for (int v = 0; v < num_vars; ++v) ints.push_back(v);
+        return ints;
+      }(), iopt, have_warm ? &warm : nullptr);
+  res.ilp_seconds = t_ilp.seconds();
+  res.status = ir.status;
+  res.objective = ir.objective;
+  res.gap = ir.gap();
+  res.ilp_nodes = ir.nodes;
+
+  MTH_ASSERT(ir.status == ilp::Status::Optimal || ir.status == ilp::Status::Feasible,
+             "rap: ILP found no feasible assignment (capacity too tight?)");
+
+  // --- extract ----------------------------------------------------------------
+  res.assignment = RowAssignment::all_majority(nr);
+  for (int r = 0; r < nr; ++r) {
+    res.assignment.pair_is_minority[static_cast<std::size_t>(r)] =
+        ir.x[static_cast<std::size_t>(yvar[static_cast<std::size_t>(r)])] > 0.5;
+  }
+  res.cluster_pair.assign(static_cast<std::size_t>(n_clusters), -1);
+  for (int c = 0; c < n_clusters; ++c) {
+    for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+      if (ir.x[static_cast<std::size_t>(xvar[static_cast<std::size_t>(c)][j])] > 0.5) {
+        res.cluster_pair[static_cast<std::size_t>(c)] =
+            cand[static_cast<std::size_t>(c)][j];
+        break;
+      }
+    }
+    MTH_ASSERT(res.cluster_pair[static_cast<std::size_t>(c)] >= 0,
+               "rap: cluster left unassigned");
+  }
+  MTH_DEBUG << "rap: " << n_clusters << " clusters x " << nr << " pairs, N_minR="
+            << n_min_pairs << ", ilp " << ilp::to_string(ir.status) << " obj "
+            << ir.objective << " nodes " << ir.nodes << " in " << res.ilp_seconds
+            << "s";
+  return res;
+}
+
+}  // namespace mth::rap

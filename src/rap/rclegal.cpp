@@ -1,0 +1,165 @@
+#include "mth/rap/rclegal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "mth/db/metrics.hpp"
+#include "mth/legal/polish.hpp"
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+
+namespace mth::rap {
+namespace {
+
+/// Nearest row pair of the required class to y; -1 when none exists. With
+/// `any_class` the assignment is ignored (unconstrained refinement mode).
+int nearest_pair_of_class(const Floorplan& fp, const RowAssignment& ra,
+                          bool minority, Dbu y, bool any_class = false) {
+  int best = -1;
+  Dbu best_d = INT64_MAX;
+  for (int p = 0; p < fp.num_pairs(); ++p) {
+    if (!any_class && ra.is_minority_pair(p) != minority) continue;
+    const Dbu d = std::llabs(fp.pair_y_center(p) - y);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+/// Median of a vector (in place nth_element); midpoint of the two middles
+/// for even sizes.
+Dbu median_of(std::vector<Dbu>& v, Dbu fallback) {
+  if (v.empty()) return fallback;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  Dbu m = v[mid];
+  if (v.size() % 2 == 0) {
+    const auto lo = std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = (*lo + m) / 2;
+  }
+  return m;
+}
+
+}  // namespace
+
+RcLegalResult rc_legalize(Design& design, const RowAssignment& ra,
+                          const RcLegalOptions& opt) {
+  MTH_ASSERT(ra.num_pairs() == design.floorplan.num_pairs(),
+             "rclegal: assignment / floorplan mismatch");
+  const Floorplan& fp = design.floorplan;
+  const Netlist& nl = design.netlist;
+  RcLegalResult res;
+  res.hpwl_before = total_hpwl(design);
+
+  const bool enforce = opt.enforce_assignment;
+  legal::AbacusOptions aopt;
+  const Design* dp = &design;
+  const RowAssignment* rap = &ra;
+  if (enforce) {
+    aopt.row_filter = [dp, rap](InstId cell, int row) {
+      return dp->is_minority(cell) == rap->is_minority_row(row);
+    };
+  }
+
+  // Seed: pull every cell vertically into the nearest admissible pair (the
+  // fence union for minority cells, its complement for majority cells).
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    Instance& inst = design.netlist.instance(i);
+    const bool minority = design.is_minority(i);
+    const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
+    const int p = (!enforce ||
+                   ra.is_minority_pair(fp.row_at_y(yc) / 2) == minority)
+                      ? -1  // already in an admissible pair
+                      : nearest_pair_of_class(fp, ra, minority, yc);
+    if (p >= 0) {
+      // Land in the nearer of the pair's two rows.
+      const Row& lower = fp.pair_lower(p);
+      const Row& upper = fp.pair_upper(p);
+      inst.pos.y = (std::llabs(lower.y_center() - yc) <=
+                    std::llabs(upper.y_center() - yc))
+                       ? lower.y
+                       : upper.y;
+    }
+  }
+  legal::AbacusResult ar = legal::abacus_legalize(design, aopt);
+  if (!ar.success) return res;
+
+  legal::swap_polish(design);
+  Dbu best_hpwl = total_hpwl(design);
+  std::vector<Point> best_pos = placement_snapshot(design);
+
+  // Median-pull refinement: every cell moves (with damping) toward the
+  // median of its connected pins — *sequentially*, so later cells see the
+  // earlier moves — with y snapped to the nearest admissible pair; then
+  // relegalize and keep the iterate while HPWL improves. This is the
+  // "optimize within the fences, ignore the starting point" behaviour of
+  // the proposed legalization (§IV-B-2).
+  const auto& uses = nl.inst_uses();
+  for (int pass = 0; pass < opt.refine_passes; ++pass) {
+    // Successively gentler pulls; each pass restarts from the best iterate.
+    const double damp = pass == 0 ? 1.0 : (pass == 1 ? 0.5 : 0.3);
+    for (InstId i = 0; i < nl.num_instances(); ++i) {
+      Instance& inst = design.netlist.instance(i);
+      const CellMaster& m = design.master_of(i);
+      std::vector<Dbu> xs, ys;
+      for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+        const Net& net = nl.net(u.net);
+        if (net.is_clock) continue;
+        for (const PinRef& ref : net.pins) {
+          if (!ref.is_port() && ref.inst == i) continue;
+          const Point p = nl.pin_position(ref, *design.library);
+          xs.push_back(p.x);
+          ys.push_back(p.y);
+        }
+      }
+      if (xs.empty()) continue;
+      const Dbu cx = inst.pos.x + m.width / 2;
+      const Dbu cy = inst.pos.y + m.height / 2;
+      const Dbu tx = cx + static_cast<Dbu>(damp * static_cast<double>(
+                                                       median_of(xs, cx) - cx));
+      const Dbu ty = cy + static_cast<Dbu>(damp * static_cast<double>(
+                                                       median_of(ys, cy) - cy));
+      const int p =
+          nearest_pair_of_class(fp, ra, design.is_minority(i), ty, !enforce);
+      Dbu y = inst.pos.y;
+      if (p >= 0) {
+        const Row& lower = fp.pair_lower(p);
+        const Row& upper = fp.pair_upper(p);
+        y = (std::llabs(lower.y_center() - ty) <= std::llabs(upper.y_center() - ty))
+                ? lower.y
+                : upper.y;
+      }
+      inst.pos = {std::clamp<Dbu>(tx - m.width / 2, fp.core().lo.x,
+                                  fp.core().hi.x - m.width),
+                  y};
+    }
+    ar = legal::abacus_legalize(design, aopt);
+    if (!ar.success) break;
+    legal::swap_polish(design);
+    const Dbu h = total_hpwl(design);
+    ++res.passes_used;
+    MTH_DEBUG << "rclegal pass " << pass << ": hpwl " << h << " (best "
+              << best_hpwl << ")";
+    if (h < best_hpwl) {
+      best_hpwl = h;
+      best_pos = placement_snapshot(design);
+    } else {
+      // Rejected: restart the next (gentler) pass from the best iterate.
+      for (InstId i = 0; i < nl.num_instances(); ++i) {
+        design.netlist.instance(i).pos = best_pos[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  // Restore the best iterate.
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    design.netlist.instance(i).pos = best_pos[static_cast<std::size_t>(i)];
+  }
+  res.success = true;
+  res.hpwl_after = best_hpwl;
+  return res;
+}
+
+}  // namespace mth::rap

@@ -1,0 +1,62 @@
+#include "mth/report/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "mth/util/error.hpp"
+
+namespace mth::report {
+namespace {
+
+double um(Dbu v) { return static_cast<double>(v) / 1000.0; }
+
+}  // namespace
+
+std::string placement_svg(const Design& design, const std::vector<Rect>& fences,
+                          const SvgOptions& opt) {
+  const Rect core = design.floorplan.core();
+  const double s = opt.pixels_per_um;
+  const double w = um(core.width()) * s;
+  const double h = um(core.height()) * s;
+  // SVG y grows downward; flip so the core's bottom row is at the bottom.
+  auto X = [&](Dbu x) { return (um(x - core.lo.x)) * s; };
+  auto Y = [&](Dbu y) { return h - um(y - core.lo.y) * s; };
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w + 2 << "' height='"
+     << h + 2 << "' viewBox='-1 -1 " << w + 2 << ' ' << h + 2 << "'>\n";
+  os << "<rect x='0' y='0' width='" << w << "' height='" << h
+     << "' fill='#fafafa' stroke='#404040' stroke-width='1'/>\n";
+
+  if (opt.draw_rows) {
+    for (const Row& row : design.floorplan.rows()) {
+      os << "<rect x='0' y='" << Y(row.y_top()) << "' width='" << w
+         << "' height='" << um(row.height) * s << "' fill='none' stroke='#d8d8d8'"
+         << " stroke-width='0.4'/>\n";
+    }
+  }
+  for (const Rect& f : fences) {
+    os << "<rect x='" << X(f.lo.x) << "' y='" << Y(f.hi.y) << "' width='"
+       << um(f.width()) * s << "' height='" << um(f.height()) * s
+       << "' fill='#ffd900' fill-opacity='0.45'/>\n";
+  }
+  for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+    const Instance& inst = design.netlist.instance(i);
+    const CellMaster& m = design.master_of(i);
+    const char* color = design.is_minority(i) ? "#d62728" : "#1f77b4";
+    os << "<rect x='" << X(inst.pos.x) << "' y='" << Y(inst.pos.y + m.height)
+       << "' width='" << um(m.width) * s << "' height='" << um(m.height) * s
+       << "' fill='" << color << "' fill-opacity='0.85'/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  MTH_ASSERT(f.good(), "svg: cannot open " + path);
+  f << content;
+  MTH_ASSERT(f.good(), "svg: write failed for " + path);
+}
+
+}  // namespace mth::report

@@ -1,0 +1,77 @@
+#include "mth/report/table.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "mth/util/error.hpp"
+#include "mth/util/str.hpp"
+
+namespace mth::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MTH_ASSERT(!headers_.empty(), "table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MTH_ASSERT(cells.size() == headers_.size(), "table: column count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << "| " << pad_left(c < row.size() ? row[c] : "", width[c]) << ' ';
+    }
+    os << "|\n";
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      line();
+    } else {
+      emit(row);
+    }
+  }
+  line();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return os.str();
+}
+
+}  // namespace mth::report

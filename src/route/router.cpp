@@ -1,0 +1,338 @@
+#include "mth/route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+
+namespace mth::route {
+namespace {
+
+struct GridPt {
+  int x = 0, y = 0;
+  friend bool operator==(const GridPt&, const GridPt&) = default;
+};
+
+/// Routing grid with per-edge usage/history (PathFinder-style costs).
+class Grid {
+ public:
+  Grid(const Rect& core, Dbu gcell, double cap_per_dir)
+      : core_(core), gcell_(gcell), cap_(cap_per_dir) {
+    nx_ = std::max<int>(2, static_cast<int>((core.width() + gcell - 1) / gcell));
+    ny_ = std::max<int>(2, static_cast<int>((core.height() + gcell - 1) / gcell));
+    usage_h_.assign(static_cast<std::size_t>(nx_ - 1) * static_cast<std::size_t>(ny_), 0.0);
+    usage_v_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_ - 1), 0.0);
+    hist_h_.assign(usage_h_.size(), 0.0);
+    hist_v_.assign(usage_v_.size(), 0.0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  double capacity() const { return cap_; }
+  Dbu gcell() const { return gcell_; }
+
+  GridPt locate(const Point& p) const {
+    return {std::clamp(static_cast<int>((p.x - core_.lo.x) / gcell_), 0, nx_ - 1),
+            std::clamp(static_cast<int>((p.y - core_.lo.y) / gcell_), 0, ny_ - 1)};
+  }
+
+  // Edge ids: horizontal edge (x,y)->(x+1,y) and vertical (x,y)->(x,y+1).
+  std::size_t h_edge(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_ - 1) +
+           static_cast<std::size_t>(x);
+  }
+  std::size_t v_edge(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(x);
+  }
+
+  double edge_cost(bool horiz, std::size_t id) const {
+    const double u = horiz ? usage_h_[id] : usage_v_[id];
+    const double h = horiz ? hist_h_[id] : hist_v_[id];
+    const double over = std::max(0.0, (u + 1.0 - cap_) / cap_);
+    return 1.0 + 12.0 * over + h;
+  }
+
+  void add_usage(bool horiz, std::size_t id, double delta) {
+    double& u = horiz ? usage_h_[id] : usage_v_[id];
+    u += delta;
+  }
+
+  void bump_history(double inc) {
+    for (std::size_t i = 0; i < usage_h_.size(); ++i) {
+      if (usage_h_[i] > cap_) hist_h_[i] += inc * (usage_h_[i] - cap_) / cap_;
+    }
+    for (std::size_t i = 0; i < usage_v_.size(); ++i) {
+      if (usage_v_[i] > cap_) hist_v_[i] += inc * (usage_v_[i] - cap_) / cap_;
+    }
+  }
+
+  int count_overflow(double* max_util) const {
+    int n = 0;
+    double mu = 0.0;
+    for (double u : usage_h_) {
+      if (u > cap_) ++n;
+      mu = std::max(mu, u / cap_);
+    }
+    for (double u : usage_v_) {
+      if (u > cap_) ++n;
+      mu = std::max(mu, u / cap_);
+    }
+    if (max_util) *max_util = mu;
+    return n;
+  }
+
+  bool edge_overflowed(bool horiz, std::size_t id) const {
+    return (horiz ? usage_h_[id] : usage_v_[id]) > cap_;
+  }
+
+ private:
+  Rect core_;
+  Dbu gcell_;
+  double cap_;
+  int nx_, ny_;
+  std::vector<double> usage_h_, usage_v_, hist_h_, hist_v_;
+};
+
+/// One committed grid segment of a net path.
+struct Seg {
+  bool horiz;
+  std::size_t id;
+};
+
+/// L-path edges between two grid points, bend at (via `bend_at_b_x`): either
+/// horizontal-then-vertical or vertical-then-horizontal.
+void l_path(const Grid& g, GridPt a, GridPt b, bool horiz_first,
+            std::vector<Seg>& out) {
+  out.clear();
+  const int x0 = std::min(a.x, b.x), x1 = std::max(a.x, b.x);
+  const int y0 = std::min(a.y, b.y), y1 = std::max(a.y, b.y);
+  if (horiz_first) {
+    for (int x = x0; x < x1; ++x) out.push_back({true, g.h_edge(x, a.y)});
+    for (int y = y0; y < y1; ++y) out.push_back({false, g.v_edge(b.x, y)});
+  } else {
+    for (int y = y0; y < y1; ++y) out.push_back({false, g.v_edge(a.x, y)});
+    for (int x = x0; x < x1; ++x) out.push_back({true, g.h_edge(x, b.y)});
+  }
+}
+
+double path_cost(const Grid& g, const std::vector<Seg>& segs) {
+  double c = 0.0;
+  for (const Seg& s : segs) c += g.edge_cost(s.horiz, s.id);
+  return c;
+}
+
+/// Dijkstra maze route between grid points; returns segments and step count.
+bool maze_route(const Grid& g, GridPt a, GridPt b, std::vector<Seg>& out) {
+  const int nx = g.nx(), ny = g.ny();
+  const std::size_t nn = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  std::vector<double> dist(nn, std::numeric_limits<double>::max());
+  std::vector<int> prev(nn, -1);
+  auto id_of = [&](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  };
+  using QE = std::pair<double, std::size_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[id_of(a.x, a.y)] = 0.0;
+  pq.push({0.0, id_of(a.x, a.y)});
+  const std::size_t target = id_of(b.x, b.y);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == target) break;
+    const int ux = static_cast<int>(u % static_cast<std::size_t>(nx));
+    const int uy = static_cast<int>(u / static_cast<std::size_t>(nx));
+    auto relax = [&](int vx, int vy, bool horiz, std::size_t eid) {
+      const double nd = d + g.edge_cost(horiz, eid);
+      const std::size_t v = id_of(vx, vy);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = static_cast<int>(u);
+        pq.push({nd, v});
+      }
+    };
+    if (ux > 0) relax(ux - 1, uy, true, g.h_edge(ux - 1, uy));
+    if (ux + 1 < nx) relax(ux + 1, uy, true, g.h_edge(ux, uy));
+    if (uy > 0) relax(ux, uy - 1, false, g.v_edge(ux, uy - 1));
+    if (uy + 1 < ny) relax(ux, uy + 1, false, g.v_edge(ux, uy));
+  }
+  if (dist[target] == std::numeric_limits<double>::max()) return false;
+  out.clear();
+  std::size_t cur = target;
+  while (prev[cur] >= 0) {
+    const std::size_t p = static_cast<std::size_t>(prev[cur]);
+    const int cx = static_cast<int>(cur % static_cast<std::size_t>(nx));
+    const int cy = static_cast<int>(cur / static_cast<std::size_t>(nx));
+    const int px = static_cast<int>(p % static_cast<std::size_t>(nx));
+    const int py = static_cast<int>(p / static_cast<std::size_t>(nx));
+    if (cy == py) {
+      out.push_back({true, g.h_edge(std::min(cx, px), cy)});
+    } else {
+      out.push_back({false, g.v_edge(cx, std::min(cy, py))});
+    }
+    cur = p;
+  }
+  return true;
+}
+
+struct EdgeRoute {
+  int child_pin;       ///< index into Net::pins
+  int parent_pin;
+  std::vector<Seg> segs;
+  Dbu length = 0;
+};
+
+}  // namespace
+
+RouteResult route_design(const Design& design, const RouterOptions& opt) {
+  const Floorplan& fp = design.floorplan;
+  const Tech& tech = design.library->tech();
+  const Dbu gcell = opt.gcell_size > 0
+                        ? opt.gcell_size
+                        : std::max<Dbu>(fp.row(0).height * 6, tech.site_width * 24);
+  const double cap = opt.layers_per_dir *
+                     (static_cast<double>(gcell) / opt.wire_pitch);
+  Grid grid(fp.core(), gcell, cap);
+
+  const int num_nets = design.netlist.num_nets();
+  RouteResult result;
+  result.nets.resize(static_cast<std::size_t>(num_nets));
+  result.grid_nx = grid.nx();
+  result.grid_ny = grid.ny();
+
+  // Pin geometry per net, plus MST topology (Prim, Manhattan metric).
+  std::vector<std::vector<Point>> net_pins(static_cast<std::size_t>(num_nets));
+  std::vector<std::vector<EdgeRoute>> net_edges(static_cast<std::size_t>(num_nets));
+
+  for (NetId nid = 0; nid < num_nets; ++nid) {
+    const Net& net = design.netlist.net(nid);
+    NetRoute& nr = result.nets[static_cast<std::size_t>(nid)];
+    const int k = net.degree();
+    nr.parent.assign(static_cast<std::size_t>(k), -1);
+    nr.edge_length.assign(static_cast<std::size_t>(k), 0);
+    if (net.is_clock || k < 2) continue;
+
+    std::vector<Point>& pins = net_pins[static_cast<std::size_t>(nid)];
+    pins.reserve(static_cast<std::size_t>(k));
+    for (const PinRef& ref : net.pins) {
+      pins.push_back(design.netlist.pin_position(ref, *design.library));
+    }
+
+    // Prim MST rooted at the driver (pin 0).
+    std::vector<bool> in_tree(static_cast<std::size_t>(k), false);
+    std::vector<Dbu> best(static_cast<std::size_t>(k), INT64_MAX);
+    std::vector<int> best_parent(static_cast<std::size_t>(k), 0);
+    in_tree[0] = true;
+    for (int i = 1; i < k; ++i) {
+      best[static_cast<std::size_t>(i)] = manhattan(pins[0], pins[static_cast<std::size_t>(i)]);
+    }
+    for (int added = 1; added < k; ++added) {
+      int pick = -1;
+      Dbu pick_d = INT64_MAX;
+      for (int i = 1; i < k; ++i) {
+        if (!in_tree[static_cast<std::size_t>(i)] &&
+            best[static_cast<std::size_t>(i)] < pick_d) {
+          pick_d = best[static_cast<std::size_t>(i)];
+          pick = i;
+        }
+      }
+      MTH_ASSERT(pick >= 0, "router: MST failure");
+      in_tree[static_cast<std::size_t>(pick)] = true;
+      nr.parent[static_cast<std::size_t>(pick)] = best_parent[static_cast<std::size_t>(pick)];
+      for (int i = 1; i < k; ++i) {
+        if (in_tree[static_cast<std::size_t>(i)]) continue;
+        const Dbu d = manhattan(pins[static_cast<std::size_t>(pick)],
+                                pins[static_cast<std::size_t>(i)]);
+        if (d < best[static_cast<std::size_t>(i)]) {
+          best[static_cast<std::size_t>(i)] = d;
+          best_parent[static_cast<std::size_t>(i)] = pick;
+        }
+      }
+    }
+
+    // Realize each MST edge as the cheaper of the two L paths.
+    auto& edges = net_edges[static_cast<std::size_t>(nid)];
+    std::vector<Seg> s1, s2;
+    for (int i = 1; i < k; ++i) {
+      const int par = nr.parent[static_cast<std::size_t>(i)];
+      const GridPt a = grid.locate(pins[static_cast<std::size_t>(par)]);
+      const GridPt b = grid.locate(pins[static_cast<std::size_t>(i)]);
+      l_path(grid, a, b, true, s1);
+      l_path(grid, a, b, false, s2);
+      const bool first = path_cost(grid, s1) <= path_cost(grid, s2);
+      EdgeRoute er;
+      er.child_pin = i;
+      er.parent_pin = par;
+      er.segs = first ? s1 : s2;
+      er.length = manhattan(pins[static_cast<std::size_t>(par)],
+                            pins[static_cast<std::size_t>(i)]);
+      for (const Seg& s : er.segs) grid.add_usage(s.horiz, s.id, 1.0);
+      edges.push_back(std::move(er));
+    }
+  }
+
+  // Rip-up & reroute passes over nets touching overflowed edges.
+  for (int pass = 0; pass < opt.ripup_passes; ++pass) {
+    if (grid.count_overflow(nullptr) == 0) break;
+    grid.bump_history(opt.history_increment);
+    int rerouted = 0;
+    for (NetId nid = 0; nid < num_nets; ++nid) {
+      auto& edges = net_edges[static_cast<std::size_t>(nid)];
+      if (edges.empty() ||
+          static_cast<int>(edges.size()) + 1 > opt.max_reroute_degree) {
+        continue;
+      }
+      bool hot = false;
+      for (const EdgeRoute& er : edges) {
+        for (const Seg& s : er.segs) {
+          if (grid.edge_overflowed(s.horiz, s.id)) {
+            hot = true;
+            break;
+          }
+        }
+        if (hot) break;
+      }
+      if (!hot) continue;
+      const std::vector<Point>& pins = net_pins[static_cast<std::size_t>(nid)];
+      for (EdgeRoute& er : edges) {
+        for (const Seg& s : er.segs) grid.add_usage(s.horiz, s.id, -1.0);
+        std::vector<Seg> path;
+        const GridPt a = grid.locate(pins[static_cast<std::size_t>(er.parent_pin)]);
+        const GridPt b = grid.locate(pins[static_cast<std::size_t>(er.child_pin)]);
+        if (maze_route(grid, a, b, path)) {
+          const Dbu straight = manhattan(pins[static_cast<std::size_t>(er.parent_pin)],
+                                         pins[static_cast<std::size_t>(er.child_pin)]);
+          const Dbu grid_len = static_cast<Dbu>(path.size()) * gcell;
+          er.segs = std::move(path);
+          // Detoured length: never shorter than the straight-line route.
+          er.length = std::max(straight, grid_len);
+        }
+        for (const Seg& s : er.segs) grid.add_usage(s.horiz, s.id, 1.0);
+      }
+      ++rerouted;
+    }
+    MTH_DEBUG << "route pass " << pass << ": rerouted " << rerouted << " nets, "
+              << grid.count_overflow(nullptr) << " edges overflowed";
+    if (rerouted == 0) break;
+  }
+
+  // Collect lengths.
+  for (NetId nid = 0; nid < num_nets; ++nid) {
+    NetRoute& nr = result.nets[static_cast<std::size_t>(nid)];
+    for (const EdgeRoute& er : net_edges[static_cast<std::size_t>(nid)]) {
+      nr.edge_length[static_cast<std::size_t>(er.child_pin)] = er.length;
+      nr.length += er.length;
+    }
+    result.total_wirelength += nr.length;
+  }
+  result.overflowed_edges = grid.count_overflow(&result.max_utilization);
+  return result;
+}
+
+}  // namespace mth::route

@@ -1,0 +1,340 @@
+#include "mth/synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mth/liberty/asap7.hpp"
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/rng.hpp"
+
+namespace mth::synth {
+namespace {
+
+/// Combinational function mix (typical post-synthesis profile).
+struct FuncWeight {
+  CellFunc func;
+  double weight;
+};
+constexpr FuncWeight kCombMix[] = {
+    {CellFunc::Inv, 0.14},   {CellFunc::Buf, 0.07},
+    {CellFunc::Nand2, 0.20}, {CellFunc::Nor2, 0.11},
+    {CellFunc::And2, 0.08},  {CellFunc::Or2, 0.06},
+    {CellFunc::Aoi21, 0.08}, {CellFunc::Oai21, 0.07},
+    {CellFunc::Xor2, 0.07},  {CellFunc::Xnor2, 0.03},
+    {CellFunc::Mux2, 0.05},  {CellFunc::HalfAdder, 0.02},
+    {CellFunc::FullAdder, 0.02},
+};
+
+/// Candidate pool with locality-aware, fanout-capped sampling.
+class LocalityPicker {
+ public:
+  LocalityPicker(const std::vector<int>& members,
+                 const std::vector<std::pair<double, double>>& uv,
+                 std::vector<int>& fanout, int max_fanout)
+      : members_(members), uv_(uv), fanout_(fanout), max_fanout_(max_fanout) {
+    g_ = std::max(1, static_cast<int>(std::sqrt(members.size() / 6.0 + 1.0)));
+    buckets_.assign(static_cast<std::size_t>(g_) * static_cast<std::size_t>(g_), {});
+    for (int m : members_) {
+      buckets_[bucket(uv_[static_cast<std::size_t>(m)])].push_back(m);
+    }
+  }
+
+  bool empty() const { return members_.empty(); }
+
+  /// Pick a non-saturated member near (u, v); -1 when the pool is exhausted.
+  int pick(double u, double v, Rng& rng) {
+    if (members_.empty()) return -1;
+    const int bx = clamp_idx(u * g_);
+    const int by = clamp_idx(v * g_);
+    // Collect the first few non-saturated candidates ring by ring, then pick
+    // one at random (pure nearest would correlate nets too strongly).
+    int cand[4];
+    int ncand = 0;
+    for (int ring = 0; ring < 2 * g_ && ncand < 4; ++ring) {
+      for (int ix = bx - ring; ix <= bx + ring && ncand < 4; ++ix) {
+        if (ix < 0 || ix >= g_) continue;
+        for (int iy = by - ring; iy <= by + ring && ncand < 4; ++iy) {
+          if (iy < 0 || iy >= g_) continue;
+          if (ring > 0 && std::abs(ix - bx) != ring && std::abs(iy - by) != ring) continue;
+          for (int m : buckets_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(g_) +
+                                static_cast<std::size_t>(ix)]) {
+            if (fanout_[static_cast<std::size_t>(m)] < max_fanout_) {
+              cand[ncand++] = m;
+              if (ncand >= 4) break;
+            }
+          }
+        }
+      }
+      if (ring >= g_ && ncand > 0) break;
+    }
+    if (ncand == 0) return -1;
+    return cand[rng.uniform_int(0, ncand - 1)];
+  }
+
+ private:
+  std::size_t bucket(const std::pair<double, double>& p) const {
+    return static_cast<std::size_t>(clamp_idx(p.second * g_)) * static_cast<std::size_t>(g_) +
+           static_cast<std::size_t>(clamp_idx(p.first * g_));
+  }
+  int clamp_idx(double v) const { return std::clamp(static_cast<int>(v), 0, g_ - 1); }
+
+  std::vector<int> members_;
+  const std::vector<std::pair<double, double>>& uv_;
+  std::vector<int>& fanout_;
+  int max_fanout_;
+  int g_;
+  std::vector<std::vector<int>> buckets_;
+};
+
+}  // namespace
+
+SynthResult generate_testcase(const TestcaseSpec& spec,
+                              std::shared_ptr<const Library> library,
+                              const GeneratorOptions& opt) {
+  MTH_ASSERT(library != nullptr, "generator: null library");
+  MTH_ASSERT(opt.scale > 0.0, "generator: non-positive scale");
+  Rng rng(opt.seed ^ std::hash<std::string>{}(spec.short_name));
+
+  const int n_cells =
+      std::max(60, static_cast<int>(std::llround(spec.num_cells * opt.scale)));
+  const int n_minority = std::max(
+      2, static_cast<int>(std::llround(n_cells * spec.pct_75t / 100.0)));
+  int n_dff = std::max(1, static_cast<int>(std::llround(n_cells * opt.dff_fraction)));
+  const int n_ports_in = std::max(
+      1, static_cast<int>(std::llround(
+             std::max(1, spec.num_nets - spec.num_cells) * opt.scale)));
+  const int n_pi_data = std::max(1, n_ports_in - 1);  // one slot is the clock
+
+  // Logic depth grows with the clock budget (slower clocks allow deeper and
+  // cheaper logic, exactly why slower Table II variants have fewer 7.5T).
+  const int levels = std::clamp(
+      static_cast<int>(spec.clock_ps / opt.ps_per_level), opt.min_levels,
+      opt.max_levels);
+
+  SynthResult out;
+  Design& d = out.design;
+  d.name = spec.short_name;
+  d.clock_ps = spec.clock_ps;
+  d.library = library;
+
+  // --- latent structure ----------------------------------------------------
+  // func/level per instance; instances [0, n_dff) are the registers.
+  std::vector<CellFunc> func(static_cast<std::size_t>(n_cells));
+  std::vector<int> level(static_cast<std::size_t>(n_cells), 0);
+  std::vector<double> mix_weights;
+  for (const FuncWeight& fw : kCombMix) mix_weights.push_back(fw.weight);
+  for (int i = 0; i < n_dff; ++i) func[static_cast<std::size_t>(i)] = CellFunc::Dff;
+  for (int i = n_dff; i < n_cells; ++i) {
+    func[static_cast<std::size_t>(i)] = kCombMix[rng.weighted_index(mix_weights)].func;
+    level[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_int(1, levels));
+  }
+
+  out.locality.resize(static_cast<std::size_t>(n_cells));
+  for (auto& uv : out.locality) uv = {rng.uniform01(), rng.uniform01()};
+
+  // --- connectivity ----------------------------------------------------------
+  // Driver slot per instance output (net built later): fanout counters cap
+  // net degree; "source" pool = registers + data PIs; comb pools by level.
+  // PIs occupy pseudo ids [n_cells, n_cells + n_pi_data).
+  const int n_nodes = n_cells + n_pi_data;
+  std::vector<int> fanout(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<std::pair<double, double>> uv_all = out.locality;
+  uv_all.resize(static_cast<std::size_t>(n_nodes));
+  for (int p = n_cells; p < n_nodes; ++p) {
+    uv_all[static_cast<std::size_t>(p)] = {rng.uniform01(), rng.uniform01()};
+  }
+
+  std::vector<std::vector<int>> pool(static_cast<std::size_t>(levels) + 1);
+  for (int i = 0; i < n_dff; ++i) pool[0].push_back(i);
+  for (int p = n_cells; p < n_nodes; ++p) pool[0].push_back(p);
+  for (int i = n_dff; i < n_cells; ++i) {
+    pool[static_cast<std::size_t>(level[static_cast<std::size_t>(i)])].push_back(i);
+  }
+  // Empty interior levels inherit from the previous level to keep fallbacks
+  // simple (possible at tiny scales).
+  std::vector<std::unique_ptr<LocalityPicker>> pickers;
+  pickers.reserve(pool.size());
+  for (std::size_t l = 0; l < pool.size(); ++l) {
+    pickers.push_back(std::make_unique<LocalityPicker>(pool[l], uv_all, fanout,
+                                                       opt.max_fanout));
+  }
+
+  // sinks[driver] = list of (inst, master pin index) fed by that driver.
+  std::vector<std::vector<std::pair<int, int>>> sinks(
+      static_cast<std::size_t>(n_nodes));
+
+  auto pick_from_level = [&](int l, double u, double v) -> int {
+    for (int ll = l; ll >= 0; --ll) {
+      if (pickers[static_cast<std::size_t>(ll)]->empty()) continue;
+      const int m = pickers[static_cast<std::size_t>(ll)]->pick(u, v, rng);
+      if (m >= 0) return m;
+    }
+    return -1;
+  };
+
+  // Number of *logic* input pins per function, via the library's pin model.
+  auto n_inputs_of = [&](CellFunc f) { return num_inputs(f); };
+
+  for (int i = n_dff; i < n_cells; ++i) {
+    const auto ui = out.locality[static_cast<std::size_t>(i)];
+    const int l = level[static_cast<std::size_t>(i)];
+    const int nin = n_inputs_of(func[static_cast<std::size_t>(i)]);
+    for (int k = 0; k < nin; ++k) {
+      const double u = std::clamp(ui.first + opt.locality_sigma * rng.normal(), 0.0, 1.0);
+      const double v = std::clamp(ui.second + opt.locality_sigma * rng.normal(), 0.0, 1.0);
+      const double r = rng.uniform01();
+      int src_level;
+      if (r < 0.70) {
+        src_level = l - 1;
+      } else if (r < 0.85 && l >= 2) {
+        src_level = static_cast<int>(rng.uniform_int(0, l - 2));
+      } else {
+        src_level = 0;
+      }
+      int drv = pick_from_level(src_level, u, v);
+      if (drv < 0) drv = pick_from_level(l - 1, u, v);
+      MTH_ASSERT(drv >= 0, "generator: no available driver");
+      ++fanout[static_cast<std::size_t>(drv)];
+      sinks[static_cast<std::size_t>(drv)].push_back({i, k});
+    }
+  }
+  // Register D inputs come from deep logic (long register-to-register paths).
+  for (int i = 0; i < n_dff; ++i) {
+    const auto ui = out.locality[static_cast<std::size_t>(i)];
+    const int from = std::max(1, static_cast<int>(levels * 0.7));
+    int drv = -1;
+    for (int l = levels; l >= from && drv < 0; --l) {
+      if (!pickers[static_cast<std::size_t>(l)]->empty()) {
+        drv = pickers[static_cast<std::size_t>(l)]->pick(ui.first, ui.second, rng);
+      }
+    }
+    if (drv < 0) drv = pick_from_level(levels, ui.first, ui.second);
+    MTH_ASSERT(drv >= 0, "generator: no driver for register D");
+    ++fanout[static_cast<std::size_t>(drv)];
+    sinks[static_cast<std::size_t>(drv)].push_back({i, 0});  // D pin index 0
+  }
+
+  // Dangling outputs feed primary outputs (synthesis keeps only used logic;
+  // whatever is left observable must reach a PO).
+  std::vector<int> po_drivers;
+  for (int i = 0; i < n_cells; ++i) {
+    if (fanout[static_cast<std::size_t>(i)] == 0) po_drivers.push_back(i);
+  }
+  if (po_drivers.empty()) {
+    // Ensure at least one PO: tap the deepest gate.
+    int deepest = n_dff;
+    for (int i = n_dff; i < n_cells; ++i) {
+      if (level[static_cast<std::size_t>(i)] > level[static_cast<std::size_t>(deepest)]) {
+        deepest = i;
+      }
+    }
+    po_drivers.push_back(deepest);
+  }
+
+  // --- drive/height assignment ----------------------------------------------
+  // Minority (7.5T) = the high-drive slice: rank by fanout with noise.
+  std::vector<int> order(static_cast<std::size_t>(n_cells));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> rank_key(static_cast<std::size_t>(n_cells));
+  for (int i = 0; i < n_cells; ++i) {
+    rank_key[static_cast<std::size_t>(i)] =
+        fanout[static_cast<std::size_t>(i)] + 2.5 * rng.uniform01();
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return rank_key[static_cast<std::size_t>(a)] > rank_key[static_cast<std::size_t>(b)];
+  });
+  std::vector<bool> minority(static_cast<std::size_t>(n_cells), false);
+  for (int k = 0; k < n_minority && k < n_cells; ++k) {
+    minority[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = true;
+  }
+
+  auto master_of = [&](int i) {
+    const bool min = minority[static_cast<std::size_t>(i)];
+    const int fo = fanout[static_cast<std::size_t>(i)];
+    const TrackHeight th = min ? TrackHeight::H75T : TrackHeight::H6T;
+    int drive;
+    if (min) {
+      drive = fo > 8 ? 4 : 2;
+    } else {
+      drive = fo > 6 ? 2 : 1;
+    }
+    const Vt vt = rng.chance(opt.lvt_fraction) ? Vt::LVT : Vt::RVT;
+    return find_asap7_master(*library, func[static_cast<std::size_t>(i)], drive, th, vt);
+  };
+
+  // --- materialize the netlist ------------------------------------------------
+  for (int i = 0; i < n_cells; ++i) {
+    d.netlist.add_instance("u" + std::to_string(i), master_of(i), {0, 0});
+  }
+  const PortId clk_port = d.netlist.add_port("clk", {0, 0}, true);
+  std::vector<PortId> pi_ports;
+  for (int p = 0; p < n_pi_data; ++p) {
+    pi_ports.push_back(d.netlist.add_port("pi" + std::to_string(p), {0, 0}, true));
+  }
+  std::vector<PortId> po_ports;
+  for (std::size_t p = 0; p < po_drivers.size(); ++p) {
+    po_ports.push_back(d.netlist.add_port("po" + std::to_string(p), {0, 0}, false));
+  }
+
+  auto output_pin_of = [&](int i) {
+    return library->master(d.netlist.instance(i).master).output_pin();
+  };
+  auto input_pin_of = [&]([[maybe_unused]] int i, int logical_k) {
+    // Logic inputs come first in the master pin list (see liberty/asap7.cpp),
+    // so the logical index maps directly.
+    return logical_k;
+  };
+
+  // Instance-driven nets.
+  for (int i = 0; i < n_cells; ++i) {
+    const NetId net = d.netlist.add_net("n_u" + std::to_string(i));
+    d.netlist.connect(net, PinRef{i, output_pin_of(i)});
+    for (const auto& [sink, k] : sinks[static_cast<std::size_t>(i)]) {
+      d.netlist.connect(net, PinRef{sink, input_pin_of(sink, k)});
+    }
+    const int lvl = i < n_dff ? 0 : level[static_cast<std::size_t>(i)];
+    d.netlist.net(net).activity =
+        std::max(0.02, 0.30 * std::pow(0.92, lvl) * rng.uniform_real(0.6, 1.4));
+  }
+  // PO sinks attach to their drivers' nets.
+  for (std::size_t p = 0; p < po_drivers.size(); ++p) {
+    const int drv = po_drivers[p];
+    // Net id == instance id by construction order.
+    d.netlist.connect(static_cast<NetId>(drv),
+                      PinRef{kInvalidId, po_ports[p]});
+  }
+  // PI-driven nets.
+  for (int p = 0; p < n_pi_data; ++p) {
+    const NetId net = d.netlist.add_net("n_pi" + std::to_string(p));
+    d.netlist.connect(net, PinRef{kInvalidId, pi_ports[static_cast<std::size_t>(p)]});
+    const int node = n_cells + p;
+    for (const auto& [sink, k] : sinks[static_cast<std::size_t>(node)]) {
+      d.netlist.connect(net, PinRef{sink, input_pin_of(sink, k)});
+    }
+    // A PI that ended up unused still forms a net (pads exist); give it a
+    // token sink on a random register D-less pin? No: leave driver-only.
+    d.netlist.net(net).activity = 0.15;
+  }
+  // Clock net: port -> every register CK pin; ideal (excluded from HPWL).
+  {
+    const NetId net = d.netlist.add_net("clk");
+    d.netlist.net(net).is_clock = true;
+    d.netlist.net(net).activity = 1.0;
+    d.netlist.connect(net, PinRef{kInvalidId, clk_port});
+    for (int i = 0; i < n_dff; ++i) {
+      const int ck = library->master(d.netlist.instance(i).master).clock_pin();
+      MTH_ASSERT(ck >= 0, "generator: DFF without clock pin");
+      d.netlist.connect(net, PinRef{i, ck});
+    }
+  }
+
+  d.netlist.check(*library);
+  MTH_DEBUG << "generated " << spec.short_name << ": " << n_cells << " cells ("
+            << n_minority << " minority), " << d.netlist.num_nets() << " nets, "
+            << levels << " levels";
+  return out;
+}
+
+}  // namespace mth::synth

@@ -1,0 +1,347 @@
+#include "mth/timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+
+namespace mth::timing {
+namespace {
+
+constexpr double kDbuPerUm = 1000.0;  // 1 dbu == 1 nm
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-sink wire delay (ps) and total net capacitance (fF) for one net.
+struct NetWireModel {
+  std::vector<double> sink_delay_ps;  ///< indexed like Net::pins (0 unused)
+  double wire_cap_ff = 0.0;
+  double pin_cap_ff = 0.0;
+};
+
+/// Capacitance of a sink pin reference (fF).
+double sink_cap_ff(const Design& d, const PinRef& ref) {
+  if (ref.is_port()) return 2.0;  // pad input cap
+  return d.master_of(ref.inst).input_cap_ff;
+}
+
+NetWireModel wire_model(const Design& d, NetId nid,
+                        const route::NetRoute* route, const StaOptions& opt) {
+  const Net& net = d.netlist.net(nid);
+  const Tech& tech = d.library->tech();
+  const int k = net.degree();
+  NetWireModel wm;
+  wm.sink_delay_ps.assign(static_cast<std::size_t>(k), 0.0);
+  for (int i = 1; i < k; ++i) {
+    wm.pin_cap_ff += sink_cap_ff(d, net.pins[static_cast<std::size_t>(i)]);
+  }
+  if (net.is_clock || k < 2) return wm;
+
+  const double r_per_um = tech.unit_res_ohm_um / 1000.0;  // kOhm/um
+  const double c_per_um = tech.unit_cap_ff_um;
+
+  if (route != nullptr && !route->parent.empty()) {
+    // Elmore over the routed tree; children lists from the parent array.
+    std::vector<std::vector<int>> children(static_cast<std::size_t>(k));
+    for (int i = 1; i < k; ++i) {
+      const int p = route->parent[static_cast<std::size_t>(i)];
+      if (p >= 0) children[static_cast<std::size_t>(p)].push_back(i);
+    }
+    std::vector<double> down_cap(static_cast<std::size_t>(k), 0.0);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(k));
+    std::vector<int> stack{0};
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (int c : children[static_cast<std::size_t>(u)]) stack.push_back(c);
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int u = *it;
+      double c = u > 0 ? sink_cap_ff(d, net.pins[static_cast<std::size_t>(u)]) : 0.0;
+      for (int ch : children[static_cast<std::size_t>(u)]) {
+        const double wire_um =
+            static_cast<double>(route->edge_length[static_cast<std::size_t>(ch)]) /
+            kDbuPerUm;
+        c += down_cap[static_cast<std::size_t>(ch)] + wire_um * c_per_um;
+      }
+      down_cap[static_cast<std::size_t>(u)] = c;
+    }
+    wm.wire_cap_ff = down_cap[0] - wm.pin_cap_ff;
+    std::vector<double> delay(static_cast<std::size_t>(k), 0.0);
+    for (int u : order) {
+      for (int ch : children[static_cast<std::size_t>(u)]) {
+        const double wire_um =
+            static_cast<double>(route->edge_length[static_cast<std::size_t>(ch)]) /
+            kDbuPerUm;
+        const double r = wire_um * r_per_um;
+        const double c_half = wire_um * c_per_um / 2.0;
+        delay[static_cast<std::size_t>(ch)] =
+            delay[static_cast<std::size_t>(u)] +
+            r * (c_half + down_cap[static_cast<std::size_t>(ch)]);
+      }
+    }
+    wm.sink_delay_ps = std::move(delay);
+  } else {
+    // Star model: independent driver->sink segments with a detour factor.
+    const Point drv = d.netlist.pin_position(net.pins[0], *d.library);
+    for (int i = 1; i < k; ++i) {
+      const Point s = d.netlist.pin_position(net.pins[static_cast<std::size_t>(i)],
+                                             *d.library);
+      const double wire_um = opt.wire_detour_factor *
+                             static_cast<double>(manhattan(drv, s)) / kDbuPerUm;
+      wm.wire_cap_ff += wire_um * c_per_um;
+      const double r = wire_um * r_per_um;
+      wm.sink_delay_ps[static_cast<std::size_t>(i)] =
+          r * (wire_um * c_per_um / 2.0 +
+               sink_cap_ff(d, net.pins[static_cast<std::size_t>(i)]));
+    }
+  }
+  return wm;
+}
+
+/// Forward + backward propagation engine shared by analyze/analyze_detailed.
+class StaEngine {
+ public:
+  StaEngine(const Design& design, const route::RouteResult* routes,
+            const StaOptions& opt)
+      : d_(design), opt_(opt) {
+    const int num_nets = d_.netlist.num_nets();
+    wires_.reserve(static_cast<std::size_t>(num_nets));
+    for (NetId n = 0; n < num_nets; ++n) {
+      const route::NetRoute* nr =
+          routes != nullptr && n < static_cast<NetId>(routes->nets.size())
+              ? &routes->nets[static_cast<std::size_t>(n)]
+              : nullptr;
+      wires_.push_back(wire_model(d_, n, nr, opt_));
+    }
+    build_topology();
+    forward();
+    backward();
+    collect();
+  }
+
+  TimingReport report() const { return rep_; }
+  const std::vector<double>& inst_slack() const { return inst_slack_; }
+  const std::vector<double>& inst_arrival() const { return inst_arrival_; }
+
+ private:
+  void build_topology() {
+    const int num_insts = d_.netlist.num_instances();
+    const int num_nets = d_.netlist.num_nets();
+    out_net_.assign(static_cast<std::size_t>(num_insts), kInvalidId);
+    for (NetId n = 0; n < num_nets; ++n) {
+      const Net& net = d_.netlist.net(n);
+      if (net.is_clock) continue;
+      const PinRef& drv = net.pins[0];
+      if (!drv.is_port()) out_net_[static_cast<std::size_t>(drv.inst)] = n;
+    }
+    pending_.assign(static_cast<std::size_t>(num_insts), 0);
+    for (InstId i = 0; i < num_insts; ++i) {
+      const CellMaster& m = d_.master_of(i);
+      if (m.func != CellFunc::Dff) {
+        pending_[static_cast<std::size_t>(i)] = num_inputs(m.func);
+      }
+    }
+  }
+
+  double cell_delay(InstId i) const {
+    const CellMaster& m = d_.master_of(i);
+    const NetId n = out_net_[static_cast<std::size_t>(i)];
+    if (n == kInvalidId) return m.intrinsic_delay_ps;
+    const NetWireModel& wm = wires_[static_cast<std::size_t>(n)];
+    return m.intrinsic_delay_ps +
+           m.drive_res_kohm * (wm.wire_cap_ff + wm.pin_cap_ff);
+  }
+
+  void forward() {
+    const int num_insts = d_.netlist.num_instances();
+    const int num_nets = d_.netlist.num_nets();
+    inst_arrival_.assign(static_cast<std::size_t>(num_insts), 0.0);
+    net_arrival_.assign(static_cast<std::size_t>(num_nets), 0.0);
+    endpoint_slack_.assign(static_cast<std::size_t>(num_insts), kInf);
+    net_order_.clear();
+
+    std::queue<InstId> ready;
+    auto arrive_at_sink = [&](const PinRef& ref, double t) {
+      if (ref.is_port()) {
+        record_endpoint(t, d_.clock_ps, -1);
+        return;
+      }
+      const CellMaster& m = d_.master_of(ref.inst);
+      const PinDef& pd = m.pins[static_cast<std::size_t>(ref.pin)];
+      if (pd.is_clock) return;
+      if (m.func == CellFunc::Dff) {
+        record_endpoint(t, d_.clock_ps - opt_.setup_ps, ref.inst);
+        return;
+      }
+      auto& arr = inst_arrival_[static_cast<std::size_t>(ref.inst)];
+      arr = std::max(arr, t);
+      if (--pending_[static_cast<std::size_t>(ref.inst)] == 0) {
+        ready.push(ref.inst);
+      }
+    };
+    auto broadcast = [&](NetId n, double arrival) {
+      net_arrival_[static_cast<std::size_t>(n)] = arrival;
+      net_order_.push_back(n);
+      rep_.max_arrival_ps = std::max(rep_.max_arrival_ps, arrival);
+      const Net& net = d_.netlist.net(n);
+      const NetWireModel& wm = wires_[static_cast<std::size_t>(n)];
+      for (int s = 1; s < net.degree(); ++s) {
+        arrive_at_sink(net.pins[static_cast<std::size_t>(s)],
+                       arrival + wm.sink_delay_ps[static_cast<std::size_t>(s)]);
+      }
+    };
+    auto launch = [&](InstId i) {
+      const NetId n = out_net_[static_cast<std::size_t>(i)];
+      if (n == kInvalidId) return;
+      const double in_arr = d_.master_of(i).func == CellFunc::Dff
+                                ? 0.0
+                                : inst_arrival_[static_cast<std::size_t>(i)];
+      broadcast(n, in_arr + cell_delay(i));
+    };
+
+    for (NetId n = 0; n < num_nets; ++n) {
+      const Net& net = d_.netlist.net(n);
+      if (net.is_clock) continue;
+      if (net.pins[0].is_port()) broadcast(n, opt_.input_delay_ps);
+    }
+    for (InstId i = 0; i < num_insts; ++i) {
+      if (d_.master_of(i).func == CellFunc::Dff) launch(i);
+    }
+    while (!ready.empty()) {
+      const InstId i = ready.front();
+      ready.pop();
+      launch(i);
+    }
+    for (InstId i = 0; i < num_insts; ++i) {
+      if (d_.master_of(i).func != CellFunc::Dff &&
+          pending_[static_cast<std::size_t>(i)] > 0) {
+        MTH_WARN << "sta: gate never fired (cycle?): "
+                 << d_.netlist.instance(i).name;
+      }
+    }
+  }
+
+  void record_endpoint(double arrival, double required, InstId inst) {
+    const double slack = required - arrival;
+    ++rep_.endpoints;
+    if (slack < 0.0) {
+      ++rep_.violating_endpoints;
+      rep_.tns_ns += slack / 1000.0;
+      rep_.wns_ns = std::min(rep_.wns_ns, slack / 1000.0);
+    }
+    if (inst >= 0) {
+      endpoint_slack_[static_cast<std::size_t>(inst)] =
+          std::min(endpoint_slack_[static_cast<std::size_t>(inst)], slack);
+    }
+  }
+
+  /// Backward required-time propagation over the forward net order.
+  void backward() {
+    const int num_nets = d_.netlist.num_nets();
+    net_required_.assign(static_cast<std::size_t>(num_nets), kInf);
+    for (auto it = net_order_.rbegin(); it != net_order_.rend(); ++it) {
+      const NetId n = *it;
+      const Net& net = d_.netlist.net(n);
+      const NetWireModel& wm = wires_[static_cast<std::size_t>(n)];
+      double req = kInf;
+      for (int s = 1; s < net.degree(); ++s) {
+        const PinRef& ref = net.pins[static_cast<std::size_t>(s)];
+        double sink_req;
+        if (ref.is_port()) {
+          sink_req = d_.clock_ps;
+        } else {
+          const CellMaster& m = d_.master_of(ref.inst);
+          const PinDef& pd = m.pins[static_cast<std::size_t>(ref.pin)];
+          if (pd.is_clock) continue;
+          if (m.func == CellFunc::Dff) {
+            sink_req = d_.clock_ps - opt_.setup_ps;
+          } else {
+            const NetId on = out_net_[static_cast<std::size_t>(ref.inst)];
+            if (on == kInvalidId) continue;  // dangling logic is untimed
+            sink_req = net_required_[static_cast<std::size_t>(on)] -
+                       cell_delay(ref.inst);
+          }
+        }
+        req = std::min(req,
+                       sink_req - wm.sink_delay_ps[static_cast<std::size_t>(s)]);
+      }
+      net_required_[static_cast<std::size_t>(n)] = req;
+    }
+
+    const int num_insts = d_.netlist.num_instances();
+    inst_slack_.assign(static_cast<std::size_t>(num_insts), kInf);
+    for (InstId i = 0; i < num_insts; ++i) {
+      double slack = endpoint_slack_[static_cast<std::size_t>(i)];
+      const NetId n = out_net_[static_cast<std::size_t>(i)];
+      if (n != kInvalidId &&
+          net_required_[static_cast<std::size_t>(n)] != kInf) {
+        slack = std::min(slack, net_required_[static_cast<std::size_t>(n)] -
+                                    net_arrival_[static_cast<std::size_t>(n)]);
+      }
+      inst_slack_[static_cast<std::size_t>(i)] = slack;
+    }
+  }
+
+  void collect() {
+    const Tech& tech = d_.library->tech();
+    const double f_hz = 1.0e12 / d_.clock_ps;
+    const double v2 = tech.vdd * tech.vdd;
+    double dyn_w = 0.0, int_w = 0.0, leak_w = 0.0;
+    for (NetId n = 0; n < d_.netlist.num_nets(); ++n) {
+      const Net& net = d_.netlist.net(n);
+      const NetWireModel& wm = wires_[static_cast<std::size_t>(n)];
+      dyn_w += net.activity * (wm.wire_cap_ff + wm.pin_cap_ff) * 1e-15 * v2 * f_hz;
+    }
+    for (InstId i = 0; i < d_.netlist.num_instances(); ++i) {
+      const CellMaster& m = d_.master_of(i);
+      leak_w += m.leakage_nw * 1e-9;
+      const NetId n = out_net_[static_cast<std::size_t>(i)];
+      const double a = n != kInvalidId
+                           ? d_.netlist.net(n).activity
+                           : (m.func == CellFunc::Dff ? 0.1 : 0.0);
+      int_w += m.internal_energy_fj * 1e-15 * a * f_hz;
+    }
+    rep_.dynamic_mw = dyn_w * 1e3;
+    rep_.internal_mw = int_w * 1e3;
+    rep_.leakage_mw = leak_w * 1e3;
+  }
+
+  const Design& d_;
+  StaOptions opt_;
+  std::vector<NetWireModel> wires_;
+  std::vector<NetId> out_net_;
+  std::vector<int> pending_;
+  std::vector<double> inst_arrival_;   // worst input arrival per instance
+  std::vector<double> net_arrival_;    // arrival at net driver output
+  std::vector<double> net_required_;   // required at net driver output
+  std::vector<double> endpoint_slack_; // per register
+  std::vector<double> inst_slack_;
+  std::vector<NetId> net_order_;       // forward topological order
+  TimingReport rep_;
+};
+
+}  // namespace
+
+TimingReport analyze(const Design& design, const route::RouteResult* routes,
+                     const StaOptions& opt) {
+  return StaEngine(design, routes, opt).report();
+}
+
+DetailedTiming analyze_detailed(const Design& design,
+                                const route::RouteResult* routes,
+                                const StaOptions& opt) {
+  StaEngine engine(design, routes, opt);
+  DetailedTiming dt;
+  dt.report = engine.report();
+  dt.inst_slack_ps = engine.inst_slack();
+  dt.inst_arrival_ps = engine.inst_arrival();
+  return dt;
+}
+
+}  // namespace mth::timing

@@ -1,0 +1,15 @@
+#include "mth/util/error.hpp"
+
+#include <sstream>
+
+namespace mth {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace mth

@@ -1,0 +1,101 @@
+#include "mth/util/rng.hpp"
+
+#include <cmath>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MTH_ASSERT(lo <= hi, "uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() {
+  // Box-Muller; draw until u1 is nonzero so std::log is safe.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+int Rng::fanout_sample(double mean_excess, int max_fanout) {
+  MTH_ASSERT(max_fanout >= 1, "fanout_sample: max_fanout < 1");
+  if (mean_excess <= 0.0) return 1;
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  const double excess = -mean_excess * std::log(u);
+  const int fo = 1 + static_cast<int>(excess);
+  return fo > max_fanout ? max_fanout : fo;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  MTH_ASSERT(!weights.empty(), "weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    MTH_ASSERT(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  MTH_ASSERT(total > 0.0, "weighted_index: all-zero weights");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off due to rounding
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  return Rng(next_u64() ^ (salt * 0xD1342543DE82EF95ull) ^ seed_);
+}
+
+}  // namespace mth

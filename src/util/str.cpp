@@ -1,0 +1,44 @@
+#include "mth/util/str.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mth/util/error.hpp"
+
+namespace mth {
+
+std::string format_fixed(double v, int decimals) {
+  MTH_ASSERT(decimals >= 0 && decimals <= 12, "format_fixed: bad precision");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string format_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long mag =
+      neg ? ~static_cast<unsigned long long>(v) + 1ull
+          : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace mth

@@ -1,0 +1,204 @@
+// 2-D k-means tests: paper-style grid seeding, Lloyd convergence,
+// non-empty-cluster guarantee, determinism, 1-D wrapper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mth/cluster/kmeans.hpp"
+#include "mth/util/error.hpp"
+#include "mth/util/rng.hpp"
+
+namespace mth::cluster {
+namespace {
+
+std::vector<Point> grid_points(int nx, int ny, Dbu pitch) {
+  std::vector<Point> pts;
+  for (int i = 0; i < nx; ++i) {
+    for (int j = 0; j < ny; ++j) pts.push_back({i * pitch, j * pitch});
+  }
+  return pts;
+}
+
+TEST(GridSeeds, CountAndCoverage) {
+  const auto pts = grid_points(10, 10, 100);
+  for (int k : {1, 3, 7, 16, 30}) {
+    const auto seeds = grid_seeds(pts, k);
+    ASSERT_EQ(seeds.size(), static_cast<std::size_t>(k));
+    for (const auto& s : seeds) {
+      EXPECT_GE(s.first, 0.0);
+      EXPECT_LE(s.first, 900.0);
+      EXPECT_GE(s.second, 0.0);
+      EXPECT_LE(s.second, 900.0);
+    }
+  }
+}
+
+TEST(GridSeeds, OuterPointsDropped) {
+  // k = 5 -> p = 3, 9 grid points, the 4 outermost (corner) points dropped
+  // first: all surviving seeds are nearer the bbox center than any dropped
+  // corner.
+  const auto pts = grid_points(7, 7, 60);
+  const auto seeds = grid_seeds(pts, 5);
+  const double cx = 180, cy = 180;
+  for (const auto& s : seeds) {
+    const double d2 = (s.first - cx) * (s.first - cx) + (s.second - cy) * (s.second - cy);
+    // Corners of the 3x3 seed grid sit at distance^2 = 2*(120)^2 = 28800.
+    EXPECT_LT(d2, 28800.0 + 1e-6);
+  }
+}
+
+TEST(GridSeeds, DistinctSeeds) {
+  const auto pts = grid_points(8, 8, 50);
+  const auto seeds = grid_seeds(pts, 9);
+  std::set<std::pair<double, double>> uniq(seeds.begin(), seeds.end());
+  EXPECT_EQ(uniq.size(), seeds.size());
+}
+
+TEST(Kmeans, SinglePointSingleCluster) {
+  const std::vector<Point> pts{{5, 7}};
+  const auto r = kmeans_2d(pts, 1);
+  ASSERT_EQ(r.k(), 1);
+  EXPECT_EQ(r.assignment[0], 0);
+  EXPECT_DOUBLE_EQ(r.centroids[0].first, 5.0);
+  EXPECT_DOUBLE_EQ(r.centroids[0].second, 7.0);
+}
+
+TEST(Kmeans, KEqualsN) {
+  const auto pts = grid_points(3, 3, 1000);
+  const auto r = kmeans_2d(pts, 9);
+  std::set<int> used(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(used.size(), 9u);  // every point its own cluster
+}
+
+TEST(Kmeans, RejectsBadK) {
+  const auto pts = grid_points(2, 2, 10);
+  EXPECT_THROW(kmeans_2d(pts, 0), Error);
+  EXPECT_THROW(kmeans_2d(pts, 5), Error);
+  EXPECT_THROW(kmeans_2d({}, 1), Error);
+}
+
+TEST(Kmeans, SeparatedBlobsFoundExactly) {
+  // Two far-apart blobs, k=2: every blob maps to one cluster.
+  std::vector<Point> pts;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform_int(0, 100), rng.uniform_int(0, 100)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform_int(100000, 100100), rng.uniform_int(100000, 100100)});
+  }
+  const auto r = kmeans_2d(pts, 2);
+  const int c0 = r.assignment[0];
+  for (int i = 0; i < 40; ++i) ASSERT_EQ(r.assignment[static_cast<std::size_t>(i)], c0);
+  const int c1 = r.assignment[40];
+  ASSERT_NE(c0, c1);
+  for (int i = 40; i < 80; ++i) ASSERT_EQ(r.assignment[static_cast<std::size_t>(i)], c1);
+}
+
+TEST(Kmeans, AllClustersNonEmpty) {
+  Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform_int(0, 10000), rng.uniform_int(0, 10000)});
+  }
+  for (int k : {2, 10, 37, 100, 250}) {
+    const auto r = kmeans_2d(pts, k);
+    std::vector<int> count(static_cast<std::size_t>(k), 0);
+    for (int a : r.assignment) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, k);
+      ++count[static_cast<std::size_t>(a)];
+    }
+    for (int c = 0; c < k; ++c) {
+      EXPECT_GT(count[static_cast<std::size_t>(c)], 0) << "k=" << k << " c=" << c;
+    }
+  }
+}
+
+TEST(Kmeans, Deterministic) {
+  Rng rng(21);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform_int(0, 5000), rng.uniform_int(0, 5000)});
+  }
+  const auto a = kmeans_2d(pts, 25);
+  const auto b = kmeans_2d(pts, 25);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(Kmeans, AssignmentIsNearestCentroid) {
+  Rng rng(31);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.uniform_int(0, 20000), rng.uniform_int(0, 20000)});
+  }
+  const auto r = kmeans_2d(pts, 20);
+  // After convergence each point's cluster is (near-)nearest; verify the
+  // bucket-grid search against brute force.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    double best = 1e300;
+    int best_c = -1;
+    for (int c = 0; c < r.k(); ++c) {
+      const double dx = r.centroids[static_cast<std::size_t>(c)].first - pts[i].x;
+      const double dy = r.centroids[static_cast<std::size_t>(c)].second - pts[i].y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    const auto ac = static_cast<std::size_t>(r.assignment[i]);
+    const double dx = r.centroids[ac].first - pts[i].x;
+    const double dy = r.centroids[ac].second - pts[i].y;
+    // Allow ties and the one-step lag of Lloyd (assignment preceded the last
+    // centroid update).
+    EXPECT_LE(dx * dx + dy * dy, best * 1.5 + 1e-6);
+    ASSERT_GE(best_c, 0);
+  }
+}
+
+TEST(Kmeans1d, ClustersSortedValues) {
+  const std::vector<Dbu> vals{0, 1, 2, 1000, 1001, 1002, 5000, 5001};
+  const auto r = kmeans_1d(vals, 3);
+  ASSERT_EQ(r.k(), 3);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[1], r.assignment[2]);
+  EXPECT_EQ(r.assignment[3], r.assignment[4]);
+  EXPECT_EQ(r.assignment[6], r.assignment[7]);
+  EXPECT_NE(r.assignment[0], r.assignment[3]);
+  EXPECT_NE(r.assignment[3], r.assignment[6]);
+}
+
+// Property: increasing k never increases total within-cluster SSE by much
+// (monotone-ish quality), and SSE at k == n is 0.
+class KmeansSse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KmeansSse, QualityImprovesWithK) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform_int(0, 8000), rng.uniform_int(0, 8000)});
+  }
+  auto sse = [&](const KMeansResult& r) {
+    double s = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const auto& c = r.centroids[static_cast<std::size_t>(r.assignment[i])];
+      s += (c.first - pts[i].x) * (c.first - pts[i].x) +
+           (c.second - pts[i].y) * (c.second - pts[i].y);
+    }
+    return s;
+  };
+  const double s5 = sse(kmeans_2d(pts, 5));
+  const double s40 = sse(kmeans_2d(pts, 40));
+  const double s200 = sse(kmeans_2d(pts, 200));
+  EXPECT_LT(s40, s5);
+  EXPECT_NEAR(s200, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KmeansSse, ::testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace mth::cluster

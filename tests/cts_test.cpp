@@ -1,0 +1,147 @@
+// Clock tree synthesis tests: topology invariants, skew/insertion bounds,
+// power accounting, placement sensitivity.
+
+#include <gtest/gtest.h>
+
+#include "mth/cts/htree.hpp"
+#include "mth/flows/flow.hpp"
+#include "mth/liberty/asap7.hpp"
+#include "mth/util/rng.hpp"
+
+namespace mth::cts {
+namespace {
+
+const flows::PreparedCase& small_case() {
+  static const flows::PreparedCase pc = [] {
+    flows::FlowOptions opt;
+    opt.scale = 0.05;
+    return flows::prepare_case(synth::spec_by_name("aes_360"), opt);
+  }();
+  return pc;
+}
+
+int count_registers(const Design& d) {
+  int n = 0;
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    n += d.master_of(i).func == CellFunc::Dff;
+  }
+  return n;
+}
+
+TEST(Cts, BasicInvariants) {
+  const Design& d = small_case().initial;
+  const CtsResult r = build_clock_tree(d);
+  EXPECT_GT(r.total_wirelength, 0);
+  EXPECT_GT(r.buffers, 0);
+  EXPECT_GT(r.levels, 0);
+  EXPECT_GT(r.max_insertion_ps, 0.0);
+  EXPECT_GE(r.skew_ps, 0.0);
+  EXPECT_LE(r.skew_ps, r.max_insertion_ps);
+  EXPECT_GT(r.clock_power_mw, 0.0);
+}
+
+TEST(Cts, EverySinkGetsInsertionDelay) {
+  const Design& d = small_case().initial;
+  const CtsResult r = build_clock_tree(d);
+  int timed = 0;
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    const bool is_reg = d.master_of(i).func == CellFunc::Dff;
+    const bool has_t = r.sink_insertion_ps[static_cast<std::size_t>(i)] > 0.0;
+    EXPECT_EQ(is_reg, has_t) << d.netlist.instance(i).name;
+    timed += has_t;
+  }
+  EXPECT_EQ(timed, count_registers(d));
+}
+
+TEST(Cts, NoRegistersYieldsEmptyResult) {
+  Design d;
+  d.library = liberty::library_ref();
+  const int inv = find_asap7_master(*d.library, CellFunc::Inv, 1,
+                                    TrackHeight::H6T, Vt::RVT);
+  d.netlist.add_instance("a", inv, {0, 0});
+  const CtsResult r = build_clock_tree(d);
+  EXPECT_EQ(r.total_wirelength, 0);
+  EXPECT_EQ(r.buffers, 0);
+  EXPECT_EQ(r.clock_power_mw, 0.0);
+}
+
+TEST(Cts, SingleRegisterIsALeaf) {
+  Design d;
+  d.library = liberty::library_ref();
+  const int dff = find_asap7_master(*d.library, CellFunc::Dff, 1,
+                                    TrackHeight::H6T, Vt::RVT);
+  d.netlist.add_instance("r0", dff, {1000, 1000});
+  d.clock_ps = 500;
+  const CtsResult r = build_clock_tree(d);
+  EXPECT_EQ(r.buffers, 0);  // leaf only, no internal node
+  EXPECT_EQ(r.skew_ps, 0.0);
+}
+
+TEST(Cts, SkewBoundedByLeafGeometry) {
+  // All sinks at the same point: zero wire, zero skew.
+  Design d;
+  d.library = liberty::library_ref();
+  const int dff = find_asap7_master(*d.library, CellFunc::Dff, 1,
+                                    TrackHeight::H6T, Vt::RVT);
+  for (int k = 0; k < 40; ++k) {
+    d.netlist.add_instance("r" + std::to_string(k), dff, {5000, 5000});
+  }
+  d.clock_ps = 500;
+  const CtsResult r = build_clock_tree(d);
+  EXPECT_EQ(r.total_wirelength, 0);
+  EXPECT_EQ(r.skew_ps, 0.0);
+}
+
+TEST(Cts, SmallerLeavesMoreBuffers) {
+  const Design& d = small_case().initial;
+  CtsOptions small_leaf;
+  small_leaf.max_sinks_per_leaf = 2;
+  CtsOptions big_leaf;
+  big_leaf.max_sinks_per_leaf = 64;
+  const CtsResult a = build_clock_tree(d, small_leaf);
+  const CtsResult b = build_clock_tree(d, big_leaf);
+  EXPECT_GT(a.buffers, b.buffers);
+  EXPECT_GE(a.levels, b.levels);
+}
+
+TEST(Cts, SpreadRegistersCostMoreClockWire) {
+  Design d;
+  d.library = liberty::library_ref();
+  const int dff = find_asap7_master(*d.library, CellFunc::Dff, 1,
+                                    TrackHeight::H6T, Vt::RVT);
+  Rng rng(3);
+  for (int k = 0; k < 64; ++k) {
+    d.netlist.add_instance("r" + std::to_string(k), dff,
+                           {rng.uniform_int(0, 2000), rng.uniform_int(0, 2000)});
+  }
+  d.clock_ps = 500;
+  const CtsResult compact = build_clock_tree(d);
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    d.netlist.instance(i).pos = {rng.uniform_int(0, 200000),
+                                 rng.uniform_int(0, 200000)};
+  }
+  const CtsResult spread = build_clock_tree(d);
+  EXPECT_GT(spread.total_wirelength, compact.total_wirelength * 10);
+  EXPECT_GT(spread.clock_power_mw, compact.clock_power_mw);
+}
+
+TEST(Cts, FasterClockMoreClockPower) {
+  Design d = small_case().initial;
+  d.clock_ps = 360;
+  const double fast = build_clock_tree(d).clock_power_mw;
+  d.clock_ps = 720;
+  const double slow = build_clock_tree(d).clock_power_mw;
+  EXPECT_NEAR(fast, 2.0 * slow, fast * 0.01);
+}
+
+TEST(Cts, Deterministic) {
+  const Design& d = small_case().initial;
+  const CtsResult a = build_clock_tree(d);
+  const CtsResult b = build_clock_tree(d);
+  EXPECT_EQ(a.total_wirelength, b.total_wirelength);
+  EXPECT_EQ(a.buffers, b.buffers);
+  EXPECT_DOUBLE_EQ(a.skew_ps, b.skew_ps);
+}
+
+}  // namespace
+}  // namespace mth::cts

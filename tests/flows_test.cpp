@@ -1,0 +1,191 @@
+// Flow driver tests: the Table III matrix, shared initial placement,
+// finalization to mixed-height rows, and the paper's qualitative orderings.
+
+#include <gtest/gtest.h>
+
+#include "mth/db/metrics.hpp"
+#include "mth/flows/flow.hpp"
+
+namespace mth::flows {
+namespace {
+
+const PreparedCase& shared_case() {
+  static const PreparedCase pc = [] {
+    FlowOptions opt;
+    opt.scale = 0.05;
+    return prepare_case(synth::spec_by_name("aes_300"), opt);
+  }();
+  return pc;
+}
+
+FlowOptions default_options() {
+  FlowOptions opt;
+  opt.scale = 0.05;
+  opt.rap.ilp.time_limit_s = 20;
+  return opt;
+}
+
+TEST(Prepare, InitialPlacementIsLegalMlef) {
+  const PreparedCase& pc = shared_case();
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(pc.initial, &why)) << why;
+  EXPECT_GT(pc.minority_cells, 0);
+  EXPECT_GE(pc.n_min_pairs, 1);
+  EXPECT_EQ(pc.initial_positions.size(),
+            static_cast<std::size_t>(pc.initial.netlist.num_instances()));
+}
+
+TEST(Prepare, MlefSpaceUniformHeights) {
+  const PreparedCase& pc = shared_case();
+  const Dbu h = pc.initial.master_of(0).height;
+  for (InstId i = 0; i < pc.initial.netlist.num_instances(); ++i) {
+    ASSERT_EQ(pc.initial.master_of(i).height, h);
+  }
+  EXPECT_EQ(h, pc.mlef->mlef_height());
+}
+
+TEST(Flow1, NoDisplacementByDefinition) {
+  const PreparedCase& pc = shared_case();
+  const FlowResult r = run_flow(pc, FlowId::F1, default_options(), false);
+  EXPECT_EQ(r.displacement, 0);
+  EXPECT_EQ(r.hpwl, total_hpwl(pc.initial));
+}
+
+TEST(Flows, RunFlowDoesNotMutatePreparedCase) {
+  const PreparedCase& pc = shared_case();
+  const Dbu before = total_hpwl(pc.initial);
+  (void)run_flow(pc, FlowId::F2, default_options(), false);
+  EXPECT_EQ(total_hpwl(pc.initial), before);
+  EXPECT_EQ(placement_snapshot(pc.initial), pc.initial_positions);
+}
+
+TEST(Flows, ConstrainedFlowsSatisfyRowConstraint) {
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  for (FlowId id : {FlowId::F2, FlowId::F3, FlowId::F4, FlowId::F5}) {
+    const FlowResult r = run_flow(pc, id, opt, false);
+    EXPECT_GT(r.displacement, 0) << to_string(id);
+    EXPECT_GT(r.hpwl, 0) << to_string(id);
+  }
+}
+
+TEST(Flows, PaperOrderingHpwl) {
+  // Flow (1) (unconstrained) has the best HPWL; the proposed legalization
+  // flows (3)/(5) beat their Abacus counterparts (2)/(4) on HPWL while
+  // spending more displacement (§IV-B-2).
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  const FlowResult f1 = run_flow(pc, FlowId::F1, opt, false);
+  const FlowResult f2 = run_flow(pc, FlowId::F2, opt, false);
+  const FlowResult f3 = run_flow(pc, FlowId::F3, opt, false);
+  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false);
+  EXPECT_LE(f1.hpwl, f2.hpwl);
+  EXPECT_LE(f1.hpwl, f5.hpwl);
+  EXPECT_LT(f3.hpwl, f2.hpwl);
+  EXPECT_GT(f3.displacement, f2.displacement);
+}
+
+TEST(Flows, RapStatsOnlyForIlpFlows) {
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  const FlowResult f2 = run_flow(pc, FlowId::F2, opt, false);
+  EXPECT_EQ(f2.num_clusters, 0);
+  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, false);
+  EXPECT_GT(f4.num_clusters, 0);
+  EXPECT_GE(f4.ilp_seconds, 0.0);
+  EXPECT_TRUE(f4.ilp_status == ilp::Status::Optimal ||
+              f4.ilp_status == ilp::Status::Feasible);
+}
+
+TEST(Flows, RapCacheSharedBetweenF4AndF5) {
+  FlowOptions opt = default_options();
+  const PreparedCase pc = prepare_case(synth::spec_by_name("aes_400"), opt);
+  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, false);
+  ASSERT_NE(pc.rap_cache, nullptr);
+  const auto* cached = pc.rap_cache.get();
+  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false);
+  EXPECT_EQ(pc.rap_cache.get(), cached) << "F5 must reuse F4's RAP solution";
+  EXPECT_EQ(f4.num_clusters, f5.num_clusters);
+}
+
+TEST(Finalize, MixedFloorplanAndLegality) {
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  Design d = pc.initial;
+  const baseline::KmeansAssignment ka =
+      baseline::assign_rows_kmeans(d, pc.n_min_pairs, opt.baseline);
+  baseline::legalize_with_assignment(d, ka.rows, &ka.minority_cells,
+                                     &ka.cell_pair);
+  finalize_mixed(d, *pc.mlef, ka.rows);
+
+  // Back in the original library.
+  EXPECT_EQ(d.library, pc.original_library);
+  // Minority pairs are 7.5T rows now.
+  const Floorplan& fp = d.floorplan;
+  for (int p = 0; p < fp.num_pairs(); ++p) {
+    EXPECT_EQ(fp.pair_track_height(p), ka.rows.is_minority_pair(p)
+                                           ? TrackHeight::H75T
+                                           : TrackHeight::H6T);
+  }
+  // Fully legal in the strict mixed-height sense.
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(d, &why, /*require_track_match=*/true)) << why;
+}
+
+TEST(Finalize, CoreHeightReflectsMix) {
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  Design d = pc.initial;
+  const baseline::KmeansAssignment ka =
+      baseline::assign_rows_kmeans(d, pc.n_min_pairs, opt.baseline);
+  baseline::legalize_with_assignment(d, ka.rows, &ka.minority_cells,
+                                     &ka.cell_pair);
+  const int pairs = d.floorplan.num_pairs();
+  finalize_mixed(d, *pc.mlef, ka.rows);
+  const Tech& tech = d.library->tech();
+  const Dbu expect = 2 * (static_cast<Dbu>(pc.n_min_pairs) * tech.row_height_75t +
+                          static_cast<Dbu>(pairs - pc.n_min_pairs) * tech.row_height_6t);
+  EXPECT_EQ(d.floorplan.core().height(), expect);
+}
+
+TEST(PostRoute, MetricsPopulated) {
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  const FlowResult r = run_flow(pc, FlowId::F5, opt, /*with_route=*/true);
+  EXPECT_TRUE(r.routed);
+  EXPECT_GT(r.post.routed_wl, 0);
+  EXPECT_GT(r.post.timing.total_power_mw(), 0.0);
+  EXPECT_LE(r.post.timing.wns_ns, 0.0);
+  // Clock tree synthesized alongside routing.
+  EXPECT_GT(r.post.cts.total_wirelength, 0);
+  EXPECT_GT(r.post.cts.clock_power_mw, 0.0);
+  EXPECT_GE(r.post.cts.skew_ps, 0.0);
+}
+
+TEST(PostRoute, RoutedWlExceedsHpwl) {
+  const PreparedCase& pc = shared_case();
+  const FlowOptions opt = default_options();
+  const FlowResult r = run_flow(pc, FlowId::F2, opt, true);
+  // Routed trees are at least as long as placement HPWL (same space modulo
+  // the mixed-height revert, which changes geometry mildly).
+  EXPECT_GT(r.post.routed_wl, r.hpwl / 2);
+}
+
+TEST(Flows, DeterministicAcrossRuns) {
+  FlowOptions opt = default_options();
+  const PreparedCase a = prepare_case(synth::spec_by_name("aes_400"), opt);
+  const PreparedCase b = prepare_case(synth::spec_by_name("aes_400"), opt);
+  const FlowResult ra = run_flow(a, FlowId::F2, opt, false);
+  const FlowResult rb = run_flow(b, FlowId::F2, opt, false);
+  EXPECT_EQ(ra.hpwl, rb.hpwl);
+  EXPECT_EQ(ra.displacement, rb.displacement);
+}
+
+TEST(Flows, ToStringNames) {
+  EXPECT_STREQ(to_string(FlowId::F1), "Flow(1)");
+  EXPECT_STREQ(to_string(FlowId::F2), "Flow(2)[10]");
+  EXPECT_STREQ(to_string(FlowId::F5), "Flow(5)[Ours]");
+}
+
+}  // namespace
+}  // namespace mth::flows

@@ -1,0 +1,171 @@
+// Unit + property tests for the DBU geometry primitives.
+
+#include <gtest/gtest.h>
+
+#include "mth/util/geometry.hpp"
+#include "mth/util/rng.hpp"
+
+namespace mth {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, (Point{2, 6}));
+  EXPECT_EQ(a - b, (Point{4, 2}));
+}
+
+TEST(Point, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, -2}, {2, 2}), 8);
+  EXPECT_EQ(manhattan({5, 5}, {5, 5}), 0);
+}
+
+TEST(Rect, BasicAccessors) {
+  const Rect r{{10, 20}, {30, 50}};
+  EXPECT_EQ(r.width(), 20);
+  EXPECT_EQ(r.height(), 30);
+  EXPECT_EQ(r.area(), 600);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.center(), (Point{20, 35}));
+}
+
+TEST(Rect, EmptyRects) {
+  EXPECT_TRUE((Rect{{0, 0}, {0, 10}}).empty());
+  EXPECT_TRUE((Rect{{5, 5}, {5, 5}}).empty());
+  EXPECT_EQ((Rect{{10, 0}, {0, 10}}).area(), 0);
+}
+
+TEST(Rect, ContainsPointHalfOpen) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9, 9}));
+  EXPECT_FALSE(r.contains(Point{10, 5}));
+  EXPECT_FALSE(r.contains(Point{5, 10}));
+  EXPECT_FALSE(r.contains(Point{-1, 5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains(Rect{{2, 2}, {8, 8}}));
+  EXPECT_TRUE(r.contains(r));
+  EXPECT_FALSE(r.contains(Rect{{5, 5}, {11, 8}}));
+}
+
+TEST(Rect, Overlaps) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.overlaps(Rect{{5, 5}, {15, 15}}));
+  EXPECT_FALSE(r.overlaps(Rect{{10, 0}, {20, 10}}));  // abutting, half-open
+  EXPECT_FALSE(r.overlaps(Rect{{20, 20}, {30, 30}}));
+}
+
+TEST(Rect, IntersectAndBBox) {
+  const Rect a{{0, 0}, {10, 10}};
+  const Rect b{{5, 5}, {15, 15}};
+  EXPECT_EQ(a.intersect(b), (Rect{{5, 5}, {10, 10}}));
+  EXPECT_EQ(a.bbox_with(b), (Rect{{0, 0}, {15, 15}}));
+  const Rect far{{20, 20}, {30, 30}};
+  EXPECT_TRUE(a.intersect(far).empty());
+}
+
+TEST(Rect, ClampPoint) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_EQ(r.clamp(Point{-5, 5}), (Point{0, 5}));
+  EXPECT_EQ(r.clamp(Point{15, 15}), (Point{10, 10}));
+  EXPECT_EQ(r.clamp(Point{3, 4}), (Point{3, 4}));
+}
+
+TEST(BBox, AccumulatesHalfPerimeter) {
+  BBox bb;
+  EXPECT_EQ(bb.half_perimeter(), 0);
+  bb.add({0, 0});
+  EXPECT_EQ(bb.half_perimeter(), 0);
+  bb.add({10, 5});
+  EXPECT_EQ(bb.half_perimeter(), 15);
+  bb.add({-2, 7});
+  EXPECT_EQ(bb.half_perimeter(), 12 + 7);
+}
+
+TEST(Snap, Down) {
+  EXPECT_EQ(snap_down(10, 4), 8);
+  EXPECT_EQ(snap_down(8, 4), 8);
+  EXPECT_EQ(snap_down(0, 4), 0);
+  EXPECT_EQ(snap_down(-1, 4), -4);
+  EXPECT_EQ(snap_down(-4, 4), -4);
+}
+
+TEST(Snap, Up) {
+  EXPECT_EQ(snap_up(10, 4), 12);
+  EXPECT_EQ(snap_up(8, 4), 8);
+  EXPECT_EQ(snap_up(-1, 4), 0);
+  EXPECT_EQ(snap_up(-5, 4), -4);
+}
+
+TEST(Snap, Near) {
+  EXPECT_EQ(snap_near(9, 4), 8);
+  EXPECT_EQ(snap_near(10, 4), 12);  // tie goes up
+  EXPECT_EQ(snap_near(11, 4), 12);
+  EXPECT_EQ(snap_near(-3, 4), -4);
+}
+
+// Property sweep: snap relations hold for random values and grids.
+class SnapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapProperty, Invariants) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Dbu g = rng.uniform_int(1, 100);
+    const Dbu v = rng.uniform_int(-100000, 100000);
+    const Dbu d = snap_down(v, g);
+    const Dbu u = snap_up(v, g);
+    const Dbu n = snap_near(v, g);
+    ASSERT_EQ(d % g, 0);
+    ASSERT_EQ(u % g, 0);
+    ASSERT_EQ(n % g, 0);
+    ASSERT_LE(d, v);
+    ASSERT_GE(u, v);
+    ASSERT_LT(v - d, g);
+    ASSERT_LT(u - v, g);
+    ASSERT_LE(std::llabs(n - v) * 2, g);  // nearest within half grid (ties up)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// Property: intersect is commutative and contained in both.
+class RectProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RectProperty, IntersectContainment) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    auto mk = [&] {
+      const Dbu x0 = rng.uniform_int(-100, 100);
+      const Dbu y0 = rng.uniform_int(-100, 100);
+      return Rect{{x0, y0},
+                  {x0 + rng.uniform_int(1, 100), y0 + rng.uniform_int(1, 100)}};
+    };
+    const Rect a = mk();
+    const Rect b = mk();
+    const Rect i1 = a.intersect(b);
+    const Rect i2 = b.intersect(a);
+    ASSERT_EQ(i1, i2);
+    if (!i1.empty()) {
+      ASSERT_TRUE(a.contains(i1));
+      ASSERT_TRUE(b.contains(i1));
+      ASSERT_TRUE(a.overlaps(b));
+    } else {
+      ASSERT_FALSE(a.overlaps(b));
+    }
+    const Rect bb = a.bbox_with(b);
+    ASSERT_TRUE(bb.contains(a));
+    ASSERT_TRUE(bb.contains(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectProperty,
+                         ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace mth

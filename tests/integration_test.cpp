@@ -1,0 +1,125 @@
+// End-to-end integration: full five-flow pipeline with routing on two
+// testcases, cross-checking the paper's aggregate claims at test scale, plus
+// failure-injection around the flow API.
+
+#include <gtest/gtest.h>
+
+#include "mth/db/metrics.hpp"
+#include "mth/flows/flow.hpp"
+#include "mth/rap/fence.hpp"
+#include "mth/report/svg.hpp"
+
+namespace mth::flows {
+namespace {
+
+struct CaseRun {
+  PreparedCase pc;
+  FlowResult f1, f2, f5;
+};
+
+const CaseRun& run_aes() {
+  static const CaseRun r = [] {
+    FlowOptions opt;
+    opt.scale = 0.06;
+    opt.rap.ilp.time_limit_s = 20;
+    CaseRun cr{prepare_case(synth::spec_by_name("aes_300"), opt), {}, {}, {}};
+    cr.f1 = run_flow(cr.pc, FlowId::F1, opt, true);
+    cr.f2 = run_flow(cr.pc, FlowId::F2, opt, true);
+    cr.f5 = run_flow(cr.pc, FlowId::F5, opt, true);
+    return cr;
+  }();
+  return r;
+}
+
+TEST(Integration, AllFlowsProduceCompleteResults) {
+  const CaseRun& cr = run_aes();
+  for (const FlowResult* r : {&cr.f1, &cr.f2, &cr.f5}) {
+    EXPECT_TRUE(r->routed);
+    EXPECT_GT(r->post.routed_wl, 0);
+    EXPECT_GT(r->post.timing.total_power_mw(), 0.0);
+    EXPECT_GT(r->post.timing.endpoints, 0);
+  }
+}
+
+TEST(Integration, UnconstrainedIsLowerBoundOnWirelength) {
+  // Paper §IV-B-6: row-constraint placement carries overhead vs Flow (1).
+  const CaseRun& cr = run_aes();
+  EXPECT_LE(cr.f1.hpwl, cr.f2.hpwl);
+  EXPECT_LE(cr.f1.hpwl, cr.f5.hpwl);
+  EXPECT_LE(cr.f1.post.routed_wl, cr.f2.post.routed_wl);
+}
+
+TEST(Integration, ProposedFlowBeatsBaselineHeadline) {
+  // The paper's headline: Flow (5) reduces routed WL / power vs Flow (2).
+  const CaseRun& cr = run_aes();
+  EXPECT_LT(cr.f5.hpwl, cr.f2.hpwl);
+  EXPECT_LE(cr.f5.post.routed_wl, cr.f2.post.routed_wl);
+  EXPECT_LE(cr.f5.post.timing.total_power_mw(),
+            cr.f2.post.timing.total_power_mw() * 1.01);
+}
+
+TEST(Integration, OverheadSmallerForProposedFlow) {
+  // Flow (5)'s overhead over Flow (1) must be below Flow (2)'s (§IV-B-6).
+  const CaseRun& cr = run_aes();
+  const double oh2 = static_cast<double>(cr.f2.hpwl) / cr.f1.hpwl;
+  const double oh5 = static_cast<double>(cr.f5.hpwl) / cr.f1.hpwl;
+  EXPECT_LT(oh5, oh2);
+}
+
+TEST(Integration, HpwlRankPredictsRoutedRank) {
+  // Paper footnote 5: HPWL rank correlates with routed-WL rank.
+  const CaseRun& cr = run_aes();
+  if (cr.f5.hpwl < cr.f2.hpwl) {
+    EXPECT_LE(cr.f5.post.routed_wl, cr.f2.post.routed_wl * 1.05);
+  }
+}
+
+TEST(Integration, SecondTestcaseFullPipeline) {
+  FlowOptions opt;
+  opt.scale = 0.04;
+  opt.rap.ilp.time_limit_s = 15;
+  const PreparedCase pc = prepare_case(synth::spec_by_name("des3_250"), opt);
+  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, true);
+  EXPECT_TRUE(f4.routed);
+  EXPECT_GT(f4.num_clusters, 0);
+  EXPECT_GT(f4.post.routed_wl, 0);
+}
+
+TEST(Integration, Fig3StyleSvgRendering) {
+  const CaseRun& cr = run_aes();
+  Design d = cr.pc.initial;
+  rap::RapOptions ro;
+  ro.n_min_pairs = cr.pc.n_min_pairs;
+  ro.width_library = cr.pc.original_library.get();
+  ro.ilp.time_limit_s = 10;
+  const rap::RapResult rr = rap::solve_rap(d, ro);
+  const auto fences = rap::fence_regions(d.floorplan, rr.assignment);
+  const std::string svg = report::placement_svg(d, fences);
+  EXPECT_GT(svg.size(), 1000u);
+  EXPECT_NE(svg.find("#ffd900"), std::string::npos);
+}
+
+TEST(Integration, TightTimeLimitStillFeasible) {
+  // Failure injection: a near-zero ILP deadline must degrade to the greedy
+  // incumbent, never to a crash or an invalid assignment.
+  FlowOptions opt;
+  opt.scale = 0.04;
+  opt.rap.ilp.time_limit_s = 0.01;
+  const PreparedCase pc = prepare_case(synth::spec_by_name("jpeg_400"), opt);
+  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false);
+  EXPECT_GT(f5.hpwl, 0);
+  EXPECT_EQ(f5.n_min_pairs, pc.n_min_pairs);
+}
+
+TEST(Integration, RerunFromSamePreparedCaseIsStable) {
+  const CaseRun& cr = run_aes();
+  FlowOptions opt;
+  opt.scale = 0.06;
+  opt.rap.ilp.time_limit_s = 20;
+  const FlowResult again = run_flow(cr.pc, FlowId::F2, opt, false);
+  EXPECT_EQ(again.hpwl, cr.f2.hpwl);
+  EXPECT_EQ(again.displacement, cr.f2.displacement);
+}
+
+}  // namespace
+}  // namespace mth::flows

@@ -1,0 +1,113 @@
+// Design interchange (defio) tests: exact round-tripping, error handling.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mth/db/metrics.hpp"
+#include "mth/flows/flow.hpp"
+#include "mth/io/defio.hpp"
+
+namespace mth::io {
+namespace {
+
+const flows::PreparedCase& small_case() {
+  static const flows::PreparedCase pc = [] {
+    flows::FlowOptions opt;
+    opt.scale = 0.03;
+    return flows::prepare_case(synth::spec_by_name("aes_360"), opt);
+  }();
+  return pc;
+}
+
+TEST(DefIo, RoundTripMlefDesign) {
+  const Design& d = small_case().initial;
+  std::stringstream ss;
+  write_design(ss, d);
+  const Design back = read_design(ss, d.library);
+
+  ASSERT_EQ(back.netlist.num_instances(), d.netlist.num_instances());
+  ASSERT_EQ(back.netlist.num_nets(), d.netlist.num_nets());
+  ASSERT_EQ(back.netlist.num_ports(), d.netlist.num_ports());
+  EXPECT_EQ(back.name, d.name);
+  EXPECT_DOUBLE_EQ(back.clock_ps, d.clock_ps);
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    ASSERT_EQ(back.netlist.instance(i).pos, d.netlist.instance(i).pos);
+    ASSERT_EQ(back.netlist.instance(i).master, d.netlist.instance(i).master);
+  }
+  for (NetId n = 0; n < d.netlist.num_nets(); ++n) {
+    ASSERT_EQ(back.netlist.net(n).pins, d.netlist.net(n).pins);
+    ASSERT_EQ(back.netlist.net(n).is_clock, d.netlist.net(n).is_clock);
+  }
+  EXPECT_EQ(total_hpwl(back), total_hpwl(d));
+  EXPECT_EQ(back.floorplan.num_pairs(), d.floorplan.num_pairs());
+  EXPECT_EQ(back.floorplan.core(), d.floorplan.core());
+}
+
+TEST(DefIo, RoundTripMixedDesign) {
+  // Run a flow to get a finalized mixed-height design and round-trip it.
+  flows::FlowOptions opt;
+  opt.scale = 0.03;
+  const flows::PreparedCase& pc = small_case();
+  Design d = pc.initial;
+  const auto ka = baseline::assign_rows_kmeans(d, pc.n_min_pairs, opt.baseline);
+  baseline::legalize_with_assignment(d, ka.rows, &ka.minority_cells, &ka.cell_pair);
+  flows::finalize_mixed(d, *pc.mlef, ka.rows);
+
+  std::stringstream ss;
+  write_design(ss, d);
+  const Design back = read_design(ss, d.library);
+  EXPECT_EQ(back.floorplan.core(), d.floorplan.core());
+  for (int p = 0; p < d.floorplan.num_pairs(); ++p) {
+    ASSERT_EQ(back.floorplan.pair_track_height(p),
+              d.floorplan.pair_track_height(p));
+  }
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(back, &why, true)) << why;
+  EXPECT_EQ(total_hpwl(back), total_hpwl(d));
+}
+
+TEST(DefIo, FileRoundTrip) {
+  const Design& d = small_case().initial;
+  const std::string path = "/tmp/mth_io_test.def";
+  write_design_file(path, d);
+  const Design back = read_design_file(path, d.library);
+  EXPECT_EQ(back.netlist.num_instances(), d.netlist.num_instances());
+  std::remove(path.c_str());
+}
+
+TEST(DefIo, CommentsAndBlankLinesIgnored) {
+  const Design& d = small_case().initial;
+  std::stringstream ss;
+  ss << "# leading comment\n\n";
+  write_design(ss, d);
+  EXPECT_NO_THROW(read_design(ss, d.library));
+}
+
+TEST(DefIo, MissingEndRejected) {
+  std::stringstream ss("design x 100\n");
+  EXPECT_THROW(read_design(ss, small_case().initial.library), Error);
+}
+
+TEST(DefIo, UnknownMasterRejected) {
+  std::stringstream ss("design x 100\ninst u0 NOT_A_MASTER 0 0\nend\n");
+  EXPECT_THROW(read_design(ss, small_case().initial.library), Error);
+}
+
+TEST(DefIo, UnknownRecordRejected) {
+  std::stringstream ss("design x 100\nwat 1 2 3\nend\n");
+  EXPECT_THROW(read_design(ss, small_case().initial.library), Error);
+}
+
+TEST(DefIo, NetWithUnknownInstanceRejected) {
+  std::stringstream ss("design x 100\nnet n0 0.1 0 ghost:0\nend\n");
+  EXPECT_THROW(read_design(ss, small_case().initial.library), Error);
+}
+
+TEST(DefIo, NullLibraryRejected) {
+  std::stringstream ss("design x 100\nend\n");
+  EXPECT_THROW(read_design(ss, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace mth::io

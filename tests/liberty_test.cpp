@@ -1,0 +1,142 @@
+// Built-in ASAP7-like library tests: completeness, geometry, electrical
+// monotonicity trends (drive/VT/track-height scaling).
+
+#include <gtest/gtest.h>
+
+#include "mth/liberty/asap7.hpp"
+
+namespace mth {
+namespace {
+
+TEST(Asap7, LibraryComplete) {
+  auto lib = liberty::library_ref();
+  // 14 functions x 3 drives x 2 heights x 2 VTs.
+  EXPECT_EQ(lib->num_masters(), 14 * 3 * 2 * 2);
+}
+
+TEST(Asap7, SharedInstanceIsStable) {
+  EXPECT_EQ(liberty::library_ref().get(), liberty::library_ref().get());
+}
+
+TEST(Asap7, NamesRoundTrip) {
+  auto lib = liberty::library_ref();
+  for (const CellMaster& m : lib->masters()) {
+    EXPECT_EQ(lib->find(m.name), lib->find(asap7_master_name(
+                                     m.func, m.drive, m.track_height, m.vt)));
+  }
+  EXPECT_EQ(lib->find("NOPE_X9"), -1);
+}
+
+TEST(Asap7, HeightsMatchTech) {
+  auto lib = liberty::library_ref();
+  for (const CellMaster& m : lib->masters()) {
+    EXPECT_EQ(m.height, lib->tech().row_height(m.track_height)) << m.name;
+    EXPECT_EQ(m.width % lib->tech().site_width, 0) << m.name;
+    EXPECT_GT(m.width, 0) << m.name;
+  }
+}
+
+TEST(Asap7, PinStructure) {
+  auto lib = liberty::library_ref();
+  for (const CellMaster& m : lib->masters()) {
+    EXPECT_GE(m.output_pin(), 0) << m.name;
+    EXPECT_TRUE(m.pins[static_cast<std::size_t>(m.output_pin())].is_output);
+    int n_out = 0, n_clk = 0;
+    for (const PinDef& p : m.pins) {
+      n_out += p.is_output;
+      n_clk += p.is_clock;
+      EXPECT_GE(p.offset.x, 0);
+      EXPECT_LE(p.offset.x, m.width);
+    }
+    EXPECT_EQ(n_out, 1) << m.name;
+    EXPECT_EQ(n_clk, m.func == CellFunc::Dff ? 1 : 0) << m.name;
+    // Logic inputs come first (the generator relies on this layout).
+    for (int i = 0; i < num_inputs(m.func); ++i) {
+      EXPECT_FALSE(m.pins[static_cast<std::size_t>(i)].is_output) << m.name;
+      EXPECT_FALSE(m.pins[static_cast<std::size_t>(i)].is_clock) << m.name;
+    }
+  }
+}
+
+TEST(Asap7, DriveScalingTrends) {
+  auto lib = liberty::library_ref();
+  for (CellFunc f : {CellFunc::Inv, CellFunc::Nand2, CellFunc::Dff}) {
+    for (TrackHeight th : {TrackHeight::H6T, TrackHeight::H75T}) {
+      const CellMaster& x1 = lib->master(find_asap7_master(*lib, f, 1, th, Vt::RVT));
+      const CellMaster& x2 = lib->master(find_asap7_master(*lib, f, 2, th, Vt::RVT));
+      const CellMaster& x4 = lib->master(find_asap7_master(*lib, f, 4, th, Vt::RVT));
+      EXPECT_LT(x1.width, x4.width);
+      EXPECT_LE(x1.width, x2.width);
+      EXPECT_GT(x1.drive_res_kohm, x2.drive_res_kohm);
+      EXPECT_GT(x2.drive_res_kohm, x4.drive_res_kohm);
+      EXPECT_LT(x1.input_cap_ff, x4.input_cap_ff);
+      EXPECT_LT(x1.leakage_nw, x4.leakage_nw);
+    }
+  }
+}
+
+TEST(Asap7, VtTrends) {
+  auto lib = liberty::library_ref();
+  for (CellFunc f : {CellFunc::Inv, CellFunc::Xor2}) {
+    const CellMaster& rvt =
+        lib->master(find_asap7_master(*lib, f, 2, TrackHeight::H6T, Vt::RVT));
+    const CellMaster& lvt =
+        lib->master(find_asap7_master(*lib, f, 2, TrackHeight::H6T, Vt::LVT));
+    EXPECT_LT(lvt.drive_res_kohm, rvt.drive_res_kohm);  // LVT faster
+    EXPECT_GT(lvt.leakage_nw, rvt.leakage_nw);          // LVT leakier
+    EXPECT_EQ(lvt.width, rvt.width);                    // same footprint
+  }
+}
+
+TEST(Asap7, TrackHeightTrends) {
+  auto lib = liberty::library_ref();
+  for (CellFunc f : {CellFunc::Inv, CellFunc::Nand2, CellFunc::FullAdder}) {
+    const CellMaster& short_cell =
+        lib->master(find_asap7_master(*lib, f, 2, TrackHeight::H6T, Vt::RVT));
+    const CellMaster& tall_cell =
+        lib->master(find_asap7_master(*lib, f, 2, TrackHeight::H75T, Vt::RVT));
+    // Tall cells: stronger (lower resistance), fewer sites wide.
+    EXPECT_LT(tall_cell.drive_res_kohm, short_cell.drive_res_kohm);
+    EXPECT_LE(tall_cell.width, short_cell.width);
+    EXPECT_GT(tall_cell.height, short_cell.height);
+  }
+}
+
+TEST(Asap7, SequentialOnlyDff) {
+  auto lib = liberty::library_ref();
+  for (const CellMaster& m : lib->masters()) {
+    EXPECT_EQ(is_sequential(m.func), m.func == CellFunc::Dff);
+    EXPECT_EQ(m.clock_pin() >= 0, m.func == CellFunc::Dff) << m.name;
+  }
+}
+
+TEST(Asap7, NumInputsConsistent) {
+  EXPECT_EQ(num_inputs(CellFunc::Inv), 1);
+  EXPECT_EQ(num_inputs(CellFunc::Nand2), 2);
+  EXPECT_EQ(num_inputs(CellFunc::Aoi21), 3);
+  EXPECT_EQ(num_inputs(CellFunc::FullAdder), 3);
+  EXPECT_EQ(num_inputs(CellFunc::Dff), 1);
+}
+
+TEST(Asap7, MastersWithFilter) {
+  auto lib = liberty::library_ref();
+  const auto dffs = lib->masters_with(CellFunc::Dff);
+  EXPECT_EQ(dffs.size(), 12u);  // 3 drives x 2 heights x 2 VTs
+  for (int id : dffs) EXPECT_EQ(lib->master(id).func, CellFunc::Dff);
+}
+
+TEST(Library, DuplicateNameRejected) {
+  auto base = liberty::library_ref();
+  std::vector<CellMaster> ms{base->master(0), base->master(0)};
+  EXPECT_THROW(Library("dup", base->tech(), ms), Error);
+}
+
+TEST(Library, OffGridWidthRejected) {
+  auto base = liberty::library_ref();
+  CellMaster m = base->master(0);
+  m.width += 1;  // off the 54 nm site grid
+  EXPECT_THROW(Library("bad", base->tech(), {m}), Error);
+}
+
+}  // namespace
+}  // namespace mth

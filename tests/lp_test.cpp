@@ -1,0 +1,271 @@
+// LP solver tests: hand-checked problems, status detection, and property
+// sweeps against brute force (assignment-problem LP relaxations are integral,
+// so the simplex optimum must match the best permutation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "mth/lp/model.hpp"
+#include "mth/lp/simplex.hpp"
+#include "mth/util/rng.hpp"
+
+namespace mth::lp {
+namespace {
+
+TEST(LpModel, BasicAccounting) {
+  Model m;
+  const int x = m.add_var(0, 5, 2.0);
+  const int y = m.add_var(-1, 1, -3.0);
+  EXPECT_EQ(m.num_vars(), 2);
+  m.add_row(Sense::LE, 4.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_EQ(m.obj(x), 2.0);
+  EXPECT_EQ(m.lb(y), -1.0);
+}
+
+TEST(LpModel, RejectsInvertedBounds) {
+  Model m;
+  EXPECT_THROW(m.add_var(2, 1, 0), Error);
+}
+
+TEST(LpModel, RejectsUnknownVarInRow) {
+  Model m;
+  m.add_var(0, 1, 0);
+  EXPECT_THROW(m.add_row(Sense::LE, 0, {{5, 1.0}}), Error);
+}
+
+TEST(LpModel, MaxViolation) {
+  Model m;
+  const int x = m.add_var(0, 1, 0);
+  m.add_row(Sense::LE, 0.5, {{x, 1.0}});
+  EXPECT_DOUBLE_EQ(m.max_violation({0.2}), 0.0);
+  EXPECT_NEAR(m.max_violation({0.9}), 0.4, 1e-12);
+  EXPECT_NEAR(m.max_violation({-0.3}), 0.3, 1e-12);
+}
+
+TEST(Simplex, TrivialNoConstraints) {
+  Model m;
+  m.add_var(1, 4, 2.0);   // min at lb
+  m.add_var(-3, 7, -1.0); // min at ub
+  m.add_var(-2, 2, 0.0);
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(r.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 7.0);
+  EXPECT_DOUBLE_EQ(r.objective, 2.0 - 7.0);
+}
+
+TEST(Simplex, TrivialUnboundedBelow) {
+  Model m;
+  m.add_var(-kInf, kInf, 1.0);
+  EXPECT_EQ(solve(m).status, Status::Unbounded);
+}
+
+TEST(Simplex, SimpleTwoVar) {
+  // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2, x,y >= 0.
+  // Optimum at (2, 2): obj -6.
+  Model m;
+  const int x = m.add_var(0, 3, -1.0);
+  const int y = m.add_var(0, 2, -2.0);
+  m.add_row(Sense::LE, 4.0, {{x, 1.0}, {y, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, -6.0, 1e-8);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 2.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 3y  s.t. x + y == 5, 0 <= x <= 4, 0 <= y <= 10 -> (4, 1), obj 7.
+  Model m;
+  const int x = m.add_var(0, 4, 1.0);
+  const int y = m.add_var(0, 10, 3.0);
+  m.add_row(Sense::EQ, 5.0, {{x, 1.0}, {y, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqual) {
+  // min 2x + y  s.t. x + y >= 3, x,y in [0, 10] -> (0, 3), obj 3.
+  Model m;
+  const int x = m.add_var(0, 10, 2.0);
+  const int y = m.add_var(0, 10, 1.0);
+  m.add_row(Sense::GE, 3.0, {{x, 1.0}, {y, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-8);
+  EXPECT_NEAR(r.x[y], 3.0, 1e-8);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model m;
+  const int x = m.add_var(0, 1, 0.0);
+  m.add_row(Sense::GE, 5.0, {{x, 1.0}});
+  EXPECT_EQ(solve(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, InfeasibleEqualitySystem) {
+  Model m;
+  const int x = m.add_var(0, 10, 0.0);
+  const int y = m.add_var(0, 10, 0.0);
+  m.add_row(Sense::EQ, 4.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Sense::EQ, 9.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(solve(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x  s.t. x - y <= 1, x,y >= 0 unbounded above along x == y + 1.
+  Model m;
+  const int x = m.add_var(0, kInf, -1.0);
+  const int y = m.add_var(0, kInf, 0.0);
+  m.add_row(Sense::LE, 1.0, {{x, 1.0}, {y, -1.0}});
+  EXPECT_EQ(solve(m).status, Status::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsGe) {
+  // min x s.t. -x <= -2  (x >= 2), x in [0, 10] -> 2.
+  Model m;
+  const int x = m.add_var(0, 10, 1.0);
+  m.add_row(Sense::LE, -2.0, {{x, -1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x^+ style: free var with equality pinning: x + y == 0, min y,
+  // x free in [-inf, inf], y in [-2, 2] -> y = -2, x = 2.
+  Model m;
+  const int x = m.add_var(-kInf, kInf, 0.0);
+  const int y = m.add_var(-2, 2, 1.0);
+  m.add_row(Sense::EQ, 0.0, {{x, 1.0}, {y, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.x[y], -2.0, 1e-8);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-8);
+}
+
+TEST(Simplex, DualsMatchObjectiveOnEqualities) {
+  // For an equality-constrained LP with interior bounds, strong duality:
+  // obj == y' b when no variable sits strictly at a finite bound with
+  // nonzero reduced cost. Use a transportation-like instance.
+  Model m;
+  const int a = m.add_var(0, 10, 2.0);
+  const int b = m.add_var(0, 10, 3.0);
+  m.add_row(Sense::EQ, 4.0, {{a, 1.0}, {b, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  ASSERT_EQ(r.duals.size(), 1u);
+  EXPECT_NEAR(r.objective, 8.0, 1e-8);
+  EXPECT_NEAR(r.duals[0], 2.0, 1e-8);  // marginal cost of one more unit
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex.
+  Model m;
+  const int x = m.add_var(0, kInf, -1.0);
+  const int y = m.add_var(0, kInf, -1.0);
+  for (int k = 1; k <= 12; ++k) {
+    m.add_row(Sense::LE, 2.0, {{x, 1.0}, {y, static_cast<double>(k) / 6.0}});
+  }
+  m.add_row(Sense::LE, 2.0, {{x, 1.0}});
+  m.add_row(Sense::LE, 2.0, {{y, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_LE(m.max_violation(r.x), 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Property: assignment-problem LP relaxations are integral; simplex optimum
+// must equal the best permutation found by brute force.
+// ---------------------------------------------------------------------------
+class AssignmentLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentLp, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform_int(0, 2));  // 3..5
+    std::vector<std::vector<double>> c(static_cast<std::size_t>(n),
+                                       std::vector<double>(static_cast<std::size_t>(n)));
+    for (auto& row : c) {
+      for (double& v : row) v = rng.uniform_real(0.0, 10.0);
+    }
+    Model m;
+    std::vector<std::vector<int>> x(static_cast<std::size_t>(n),
+                                    std::vector<int>(static_cast<std::size_t>(n)));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            m.add_var(0, 1, c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<RowEntry> row_i, col_i;
+      for (int j = 0; j < n; ++j) {
+        row_i.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+        col_i.push_back({x[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], 1.0});
+      }
+      m.add_row(Sense::EQ, 1.0, row_i);
+      m.add_row(Sense::EQ, 1.0, col_i);
+    }
+    const Result r = solve(m);
+    ASSERT_EQ(r.status, Status::Optimal);
+
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e300;
+    do {
+      double s = 0;
+      for (int i = 0; i < n; ++i) {
+        s += c[static_cast<std::size_t>(i)][static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+      }
+      best = std::min(best, s);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    EXPECT_NEAR(r.objective, best, 1e-6) << "n=" << n << " trial=" << trial;
+    EXPECT_LE(m.max_violation(r.x), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentLp, ::testing::Range(1, 9));
+
+// Property: random LE-constrained LPs — solution feasible and no sampled
+// feasible point beats it.
+class RandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLp, OptimalBeatsSampledPoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977u);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int nv = 4 + static_cast<int>(rng.uniform_int(0, 4));
+    const int nc = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    Model m;
+    for (int v = 0; v < nv; ++v) m.add_var(0.0, 5.0, rng.uniform_real(-3, 3));
+    for (int r = 0; r < nc; ++r) {
+      std::vector<RowEntry> row;
+      for (int v = 0; v < nv; ++v) {
+        if (rng.chance(0.6)) row.push_back({v, rng.uniform_real(0.1, 2.0)});
+      }
+      if (row.empty()) row.push_back({0, 1.0});
+      m.add_row(Sense::LE, rng.uniform_real(2.0, 12.0), std::move(row));
+    }
+    const Result res = solve(m);
+    ASSERT_EQ(res.status, Status::Optimal);  // x == 0 is always feasible here
+    ASSERT_LE(m.max_violation(res.x), 1e-7);
+    for (int s = 0; s < 200; ++s) {
+      std::vector<double> z(static_cast<std::size_t>(nv));
+      for (double& v : z) v = rng.uniform_real(0.0, 5.0);
+      if (m.max_violation(z) <= 0.0) {
+        ASSERT_GE(m.objective_value(z), res.objective - 1e-7);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLp, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace mth::lp

@@ -1,0 +1,129 @@
+// mLEF transform tests: height normalization, area preservation, index
+// stability, round-tripping (paper §III-A).
+
+#include <gtest/gtest.h>
+
+#include "mth/db/mlef.hpp"
+#include "mth/liberty/asap7.hpp"
+
+namespace mth {
+namespace {
+
+TEST(Mlef, HeightIsAreaWeightedMix) {
+  auto lib = liberty::library_ref();
+  const Tech& tech = lib->tech();
+  const MlefTransform none(lib, 0.0);
+  EXPECT_EQ(none.mlef_height(), tech.row_height_6t);
+  const MlefTransform all(lib, 1.0);
+  EXPECT_EQ(all.mlef_height(), tech.row_height_75t);
+  const MlefTransform half(lib, 0.5);
+  EXPECT_EQ(half.mlef_height(), (tech.row_height_6t + tech.row_height_75t) / 2);
+}
+
+TEST(Mlef, RejectsBadFraction) {
+  auto lib = liberty::library_ref();
+  EXPECT_THROW(MlefTransform(lib, -0.1), Error);
+  EXPECT_THROW(MlefTransform(lib, 1.5), Error);
+}
+
+TEST(Mlef, UniformHeightsAndPreservedIndices) {
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.15);
+  const auto& mlef = *t.mlef_library();
+  ASSERT_EQ(mlef.num_masters(), lib->num_masters());
+  for (int i = 0; i < mlef.num_masters(); ++i) {
+    const CellMaster& m = mlef.master(i);
+    const CellMaster& orig = lib->master(i);
+    EXPECT_EQ(m.height, t.mlef_height()) << m.name;
+    EXPECT_EQ(m.func, orig.func);
+    EXPECT_EQ(m.track_height, orig.track_height)
+        << "mLEF must keep the logical track-height tag";
+    EXPECT_EQ(m.vt, orig.vt);
+    EXPECT_EQ(m.pins.size(), orig.pins.size());
+  }
+}
+
+TEST(Mlef, AreaNeverShrinks) {
+  // width' rounds *up* to the site grid, so mLEF area >= original area and
+  // within one site column of it.
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.25);
+  const auto& mlef = *t.mlef_library();
+  const Dbu site = lib->tech().site_width;
+  for (int i = 0; i < mlef.num_masters(); ++i) {
+    const Dbu a_orig = lib->master(i).area();
+    const Dbu a_mlef = mlef.master(i).area();
+    EXPECT_GE(a_mlef, a_orig) << mlef.master(i).name;
+    EXPECT_LE(a_mlef, a_orig + site * t.mlef_height()) << mlef.master(i).name;
+  }
+}
+
+TEST(Mlef, WidthsOnSiteGrid) {
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.10);
+  for (const CellMaster& m : t.mlef_library()->masters()) {
+    EXPECT_EQ(m.width % lib->tech().site_width, 0) << m.name;
+  }
+}
+
+TEST(Mlef, PinsStayInsideOutline) {
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.30);
+  for (const CellMaster& m : t.mlef_library()->masters()) {
+    for (const PinDef& p : m.pins) {
+      EXPECT_GE(p.offset.x, 0) << m.name << '/' << p.name;
+      EXPECT_LE(p.offset.x, m.width) << m.name << '/' << p.name;
+      EXPECT_GE(p.offset.y, 0) << m.name << '/' << p.name;
+      EXPECT_LE(p.offset.y, m.height) << m.name << '/' << p.name;
+    }
+  }
+}
+
+TEST(Mlef, RoundTripSwapsLibraries) {
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.2);
+  Design d;
+  d.library = lib;
+  d.netlist.add_instance("a", 0, {0, 0});
+  t.to_mlef(d);
+  EXPECT_EQ(d.library, t.mlef_library());
+  t.revert(d);
+  EXPECT_EQ(d.library, lib);
+}
+
+TEST(Mlef, ToMlefRejectsWrongSpace) {
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.2);
+  Design d;
+  d.library = lib;
+  t.to_mlef(d);
+  EXPECT_THROW(t.to_mlef(d), Error);  // already in mLEF space
+  t.revert(d);
+  EXPECT_THROW(t.revert(d), Error);  // already reverted
+}
+
+TEST(Mlef, WidthDirectionFollowsHeightChange) {
+  // The mLEF height sits between the two row heights, so 7.5T masters (whose
+  // height shrank) get *wider* to preserve area and 6T masters (whose height
+  // grew) get narrower-or-equal (width rounds up to the site grid).
+  auto lib = liberty::library_ref();
+  const MlefTransform t(lib, 0.5);
+  const auto& mlef = *t.mlef_library();
+  int tall_wider = 0, short_narrower = 0, tall_total = 0, short_total = 0;
+  for (int i = 0; i < mlef.num_masters(); ++i) {
+    const CellMaster& orig = lib->master(i);
+    const CellMaster& m = mlef.master(i);
+    if (orig.track_height == TrackHeight::H75T) {
+      ++tall_total;
+      if (m.width >= orig.width) ++tall_wider;
+    } else {
+      ++short_total;
+      if (m.width <= orig.width) ++short_narrower;
+    }
+  }
+  EXPECT_EQ(tall_wider, tall_total);
+  EXPECT_EQ(short_narrower, short_total);
+}
+
+}  // namespace
+}  // namespace mth

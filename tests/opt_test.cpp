@@ -1,0 +1,232 @@
+// Tests for the extension modules: detailed STA (backward pass), row
+// patterns (FinFlex-style), and the track-height swap optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mth/db/metrics.hpp"
+#include "mth/flows/flow.hpp"
+#include "mth/liberty/asap7.hpp"
+#include "mth/opt/heightswap.hpp"
+#include "mth/rap/patterns.hpp"
+#include "mth/rap/rclegal.hpp"
+#include "mth/synth/generator.hpp"
+#include "mth/timing/sta.hpp"
+
+namespace mth {
+namespace {
+
+const flows::PreparedCase& small_case() {
+  static const flows::PreparedCase pc = [] {
+    flows::FlowOptions opt;
+    opt.scale = 0.04;
+    return flows::prepare_case(synth::spec_by_name("aes_300"), opt);
+  }();
+  return pc;
+}
+
+// ---------------------------------------------------------------------------
+// Detailed STA (backward required-time pass).
+// ---------------------------------------------------------------------------
+
+TEST(DetailedSta, SlackVectorSizesAndWorstMatchesWns) {
+  const Design& d = small_case().initial;
+  const timing::DetailedTiming dt = timing::analyze_detailed(d, nullptr);
+  ASSERT_EQ(dt.inst_slack_ps.size(),
+            static_cast<std::size_t>(d.netlist.num_instances()));
+  double worst = std::numeric_limits<double>::infinity();
+  for (double s : dt.inst_slack_ps) worst = std::min(worst, s);
+  // The worst per-instance slack equals WNS (ps vs ns).
+  EXPECT_NEAR(worst / 1000.0, dt.report.wns_ns, 1e-6);
+}
+
+TEST(DetailedSta, ReportMatchesPlainAnalyze) {
+  const Design& d = small_case().initial;
+  const timing::TimingReport a = timing::analyze(d, nullptr);
+  const timing::DetailedTiming dt = timing::analyze_detailed(d, nullptr);
+  EXPECT_DOUBLE_EQ(a.wns_ns, dt.report.wns_ns);
+  EXPECT_DOUBLE_EQ(a.tns_ns, dt.report.tns_ns);
+  EXPECT_DOUBLE_EQ(a.total_power_mw(), dt.report.total_power_mw());
+}
+
+TEST(DetailedSta, SlackDecreasesDownstreamAlongPaths) {
+  // The driver of a violating endpoint's input cone cannot have more slack
+  // than the fanout demands; sanity-check that slacks are finite on timed
+  // instances and nonincreasing from a gate to its most critical fanin.
+  const Design& d = small_case().initial;
+  const timing::DetailedTiming dt = timing::analyze_detailed(d, nullptr);
+  int finite = 0;
+  for (double s : dt.inst_slack_ps) {
+    if (std::isfinite(s)) ++finite;
+  }
+  EXPECT_GT(finite, d.netlist.num_instances() / 2);
+}
+
+TEST(DetailedSta, LongerClockLiftsAllSlacks) {
+  Design d = small_case().initial;
+  d.clock_ps = 360;
+  const auto tight = timing::analyze_detailed(d, nullptr);
+  d.clock_ps = 1360;
+  const auto loose = timing::analyze_detailed(d, nullptr);
+  for (std::size_t i = 0; i < tight.inst_slack_ps.size(); ++i) {
+    if (std::isfinite(tight.inst_slack_ps[i])) {
+      ASSERT_GE(loose.inst_slack_ps[i], tight.inst_slack_ps[i] - 1e-6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row patterns.
+// ---------------------------------------------------------------------------
+
+TEST(Patterns, BudgetsHonored) {
+  for (auto p : {rap::RowPattern::EvenlySpread, rap::RowPattern::BottomBlock,
+                 rap::RowPattern::CenterBlock}) {
+    for (int pairs : {4, 9, 30}) {
+      for (int k : {1, 2, pairs / 2}) {
+        if (k < 1 || k >= pairs) continue;
+        const RowAssignment ra = rap::pattern_assignment(pairs, k, p);
+        EXPECT_EQ(ra.num_minority(), k) << to_string(p) << " pairs=" << pairs;
+      }
+    }
+  }
+}
+
+TEST(Patterns, AlternatingIsEveryOtherPair) {
+  const RowAssignment ra =
+      rap::pattern_assignment(10, 3, rap::RowPattern::Alternating);
+  EXPECT_EQ(ra.num_minority(), 5);
+  for (int p = 0; p < 10; ++p) {
+    EXPECT_EQ(ra.is_minority_pair(p), p % 2 == 1);
+  }
+}
+
+TEST(Patterns, BlocksAreContiguous) {
+  const RowAssignment bottom =
+      rap::pattern_assignment(12, 4, rap::RowPattern::BottomBlock);
+  for (int p = 0; p < 4; ++p) EXPECT_TRUE(bottom.is_minority_pair(p));
+  for (int p = 4; p < 12; ++p) EXPECT_FALSE(bottom.is_minority_pair(p));
+  const RowAssignment center =
+      rap::pattern_assignment(12, 4, rap::RowPattern::CenterBlock);
+  int first = -1, last = -1;
+  for (int p = 0; p < 12; ++p) {
+    if (center.is_minority_pair(p)) {
+      if (first < 0) first = p;
+      last = p;
+    }
+  }
+  EXPECT_EQ(last - first + 1, 4);  // contiguous
+  EXPECT_GT(first, 0);
+  EXPECT_LT(last, 11);
+}
+
+TEST(Patterns, RejectBadBudget) {
+  EXPECT_THROW(rap::pattern_assignment(4, 0, rap::RowPattern::EvenlySpread),
+               Error);
+  EXPECT_THROW(rap::pattern_assignment(4, 4, rap::RowPattern::EvenlySpread),
+               Error);
+}
+
+TEST(Patterns, LegalizableLikeAnyAssignment) {
+  const auto& pc = small_case();
+  Design d = pc.initial;
+  const RowAssignment ra = rap::pattern_assignment(
+      d.floorplan.num_pairs(), pc.n_min_pairs, rap::RowPattern::EvenlySpread);
+  const auto r = rap::rc_legalize(d, ra);
+  ASSERT_TRUE(r.success);
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(d, &why)) << why;
+}
+
+TEST(Patterns, CustomRowsBeatCenterBlockOnHpwl) {
+  // The paper's Fig. 1 argument: customized rows (RAP) beat region-style
+  // blocks. Compare Flow-5-style legalization under both assignments.
+  const auto& pc = small_case();
+  flows::FlowOptions opt;
+  opt.rap.ilp.time_limit_s = 10;
+  const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+  Design d = pc.initial;
+  const RowAssignment block = rap::pattern_assignment(
+      d.floorplan.num_pairs(), pc.n_min_pairs, rap::RowPattern::CenterBlock);
+  const auto r = rap::rc_legalize(d, block);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(f5.hpwl, total_hpwl(d));
+}
+
+// ---------------------------------------------------------------------------
+// Track-height swapping.
+// ---------------------------------------------------------------------------
+
+Design fresh_netlist(const char* name, double scale) {
+  synth::GeneratorOptions gen;
+  gen.scale = scale;
+  return synth::generate_testcase(synth::spec_by_name(name),
+                                  liberty::library_ref(), gen)
+      .design;
+}
+
+TEST(HeightSwap, NeverWorsensTheKeptIterate) {
+  Design d = fresh_netlist("aes_360", 0.05);
+  const auto before = timing::analyze(d, nullptr);
+  const opt::HeightSwapResult r = opt::optimize_track_heights(d);
+  // Kept iterate is lexicographically (WNS, power) no worse than the start.
+  EXPECT_GE(r.after.wns_ns, before.wns_ns - 1e-9);
+  if (std::abs(r.after.wns_ns - before.wns_ns) < 1e-9) {
+    EXPECT_LE(r.after.total_power_mw(), before.total_power_mw() + 1e-9);
+  }
+}
+
+TEST(HeightSwap, RespectsMinorityBudget) {
+  Design d = fresh_netlist("aes_300", 0.05);  // 28% minority already
+  opt::HeightSwapOptions o;
+  o.minority_budget_pct = 30.0;
+  opt::optimize_track_heights(d, o);
+  const double pct = 100.0 * d.num_minority() / d.netlist.num_instances();
+  EXPECT_LE(pct, 30.0 + 1e-9);
+}
+
+TEST(HeightSwap, SwapsPreserveFunctionDriveVt) {
+  Design d = fresh_netlist("aes_360", 0.04);
+  std::vector<std::int32_t> before(
+      static_cast<std::size_t>(d.netlist.num_instances()));
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    before[static_cast<std::size_t>(i)] = d.netlist.instance(i).master;
+  }
+  opt::optimize_track_heights(d);
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    const CellMaster& was =
+        d.library->master(before[static_cast<std::size_t>(i)]);
+    const CellMaster& now = d.master_of(i);
+    EXPECT_EQ(was.func, now.func);
+    EXPECT_EQ(was.drive, now.drive);
+    EXPECT_EQ(was.vt, now.vt);
+  }
+}
+
+TEST(HeightSwap, DemotionReducesPowerWhenTimingSlack) {
+  // With a very loose clock everything has slack: the optimizer should demote
+  // tall cells and cut leakage/power without violating timing.
+  Design d = fresh_netlist("aes_300", 0.05);
+  d.clock_ps = 20000;
+  const double power_before = timing::analyze(d, nullptr).total_power_mw();
+  const int minority_before = d.num_minority();
+  opt::HeightSwapOptions o;
+  o.max_passes = 6;
+  const auto r = opt::optimize_track_heights(d, o);
+  EXPECT_GT(r.demoted_to_short, 0);
+  EXPECT_LT(d.num_minority(), minority_before);
+  EXPECT_LT(r.after.total_power_mw(), power_before);
+  EXPECT_EQ(r.after.violating_endpoints, 0);
+}
+
+TEST(HeightSwap, ReportsPassesAndCounts) {
+  Design d = fresh_netlist("aes_400", 0.04);
+  const auto r = opt::optimize_track_heights(d);
+  EXPECT_GE(r.passes, 1);
+  EXPECT_GE(r.promoted_to_tall, 0);
+  EXPECT_GE(r.demoted_to_short, 0);
+}
+
+}  // namespace
+}  // namespace mth

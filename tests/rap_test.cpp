@@ -1,0 +1,290 @@
+// RAP solver tests: formulation invariants (Eqs. 3-5), clustering behavior,
+// optimality vs brute force on tiny instances, fence regions, and the
+// proposed row-constraint legalization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mth/db/metrics.hpp"
+#include "mth/flows/flow.hpp"
+#include "mth/rap/fence.hpp"
+#include "mth/rap/rap.hpp"
+#include "mth/rap/rclegal.hpp"
+
+namespace mth::rap {
+namespace {
+
+const flows::PreparedCase& small_case() {
+  static const flows::PreparedCase pc = [] {
+    flows::FlowOptions opt;
+    opt.scale = 0.04;
+    return flows::prepare_case(synth::spec_by_name("aes_300"), opt);
+  }();
+  return pc;
+}
+
+// A low-minority-count case for the (expensive) unclustered solves.
+const flows::PreparedCase& sparse_case() {
+  static const flows::PreparedCase pc = [] {
+    flows::FlowOptions opt;
+    opt.scale = 0.05;
+    return flows::prepare_case(synth::spec_by_name("aes_400"), opt);
+  }();
+  return pc;
+}
+
+RapOptions base_options(const flows::PreparedCase& pc) {
+  RapOptions ro;
+  ro.n_min_pairs = pc.n_min_pairs;
+  ro.width_library = pc.original_library.get();
+  ro.ilp.time_limit_s = 10;
+  return ro;
+}
+
+TEST(Rap, RespectsRowBudgetEq5) {
+  const auto& pc = small_case();
+  const RapResult r = solve_rap(pc.initial, base_options(pc));
+  EXPECT_EQ(r.assignment.num_minority(), pc.n_min_pairs);
+  EXPECT_EQ(r.n_min_pairs, pc.n_min_pairs);
+}
+
+TEST(Rap, EveryClusterAssignedEq3) {
+  const auto& pc = small_case();
+  const RapResult r = solve_rap(pc.initial, base_options(pc));
+  ASSERT_EQ(static_cast<int>(r.cluster_pair.size()), r.num_clusters);
+  for (int c = 0; c < r.num_clusters; ++c) {
+    const int p = r.cluster_pair[static_cast<std::size_t>(c)];
+    ASSERT_GE(p, 0);
+    // A cluster's pair must be a minority pair (linking constraint).
+    EXPECT_TRUE(r.assignment.is_minority_pair(p));
+  }
+}
+
+TEST(Rap, CapacityRespectedEq4) {
+  const auto& pc = small_case();
+  const RapResult r = solve_rap(pc.initial, base_options(pc));
+  // Sum original widths per assigned pair; must fit pair capacity.
+  std::vector<Dbu> load(static_cast<std::size_t>(pc.initial.floorplan.num_pairs()), 0);
+  for (std::size_t k = 0; k < r.minority_cells.size(); ++k) {
+    const int c = r.cluster_of[k];
+    const int p = r.cluster_pair[static_cast<std::size_t>(c)];
+    load[static_cast<std::size_t>(p)] += pc.original_library->master(
+        pc.initial.netlist.instance(r.minority_cells[k]).master).width;
+  }
+  const Dbu cap = 2 * pc.initial.floorplan.core().width();
+  for (Dbu l : load) EXPECT_LE(l, cap);
+}
+
+TEST(Rap, ClusterCountFollowsResolution) {
+  const auto& pc = small_case();
+  const int n_min_c = pc.initial.num_minority();
+  for (double s : {0.1, 0.3, 0.7}) {
+    RapOptions ro = base_options(pc);
+    ro.s = s;
+    ro.ilp.time_limit_s = 5;
+    const RapResult r = solve_rap(pc.initial, ro);
+    EXPECT_EQ(r.num_clusters,
+              std::clamp(static_cast<int>(std::llround(s * n_min_c)), 1, n_min_c))
+        << "s=" << s;
+    EXPECT_EQ(static_cast<int>(r.cluster_of.size()), n_min_c);
+  }
+}
+
+TEST(Rap, NoClusteringMeansOneCellPerCluster) {
+  const auto& pc = sparse_case();
+  RapOptions ro = base_options(pc);
+  ro.use_clustering = false;
+  ro.ilp.time_limit_s = 10;
+  const RapResult r = solve_rap(pc.initial, ro);
+  EXPECT_EQ(r.num_clusters, pc.initial.num_minority());
+}
+
+TEST(Rap, ClusteringShrinksIlpAndRuntimeMetadata) {
+  const auto& pc = sparse_case();
+  RapOptions coarse = base_options(pc);
+  coarse.s = 0.1;
+  const RapResult rc_res = solve_rap(pc.initial, coarse);
+  RapOptions fine = base_options(pc);
+  fine.use_clustering = false;
+  const RapResult rf = solve_rap(pc.initial, fine);
+  EXPECT_LT(rc_res.num_x_vars, rf.num_x_vars);
+  EXPECT_LT(rc_res.num_clusters, rf.num_clusters);
+}
+
+TEST(Rap, AutoBudgetWhenUnset) {
+  const auto& pc = small_case();
+  RapOptions ro = base_options(pc);
+  ro.n_min_pairs = 0;  // auto-size
+  const RapResult r = solve_rap(pc.initial, ro);
+  EXPECT_GE(r.n_min_pairs, 1);
+  EXPECT_EQ(r.assignment.num_minority(), r.n_min_pairs);
+}
+
+TEST(Rap, DeterministicSolve) {
+  const auto& pc = small_case();
+  RapOptions ro = base_options(pc);
+  ro.s = 0.15;
+  const RapResult a = solve_rap(pc.initial, ro);
+  const RapResult b = solve_rap(pc.initial, ro);
+  EXPECT_EQ(a.assignment.pair_is_minority, b.assignment.pair_is_minority);
+  EXPECT_EQ(a.cluster_pair, b.cluster_pair);
+}
+
+TEST(Rap, AlphaOneMinimizesPureDisplacementBetter) {
+  // With alpha = 1 the solver ignores dHPWL; its seed-position displacement
+  // proxy (sum |y(r)-y(cell)|) must be <= the alpha = 0 solution's.
+  const auto& pc = small_case();
+  auto proxy_disp = [&](const RapResult& r) {
+    double s = 0;
+    for (std::size_t k = 0; k < r.minority_cells.size(); ++k) {
+      const Instance& inst = pc.initial.netlist.instance(r.minority_cells[k]);
+      const Dbu yc = inst.pos.y + pc.initial.master_of(r.minority_cells[k]).height / 2;
+      const int p = r.cluster_pair[static_cast<std::size_t>(r.cluster_of[k])];
+      s += std::abs(static_cast<double>(pc.initial.floorplan.pair_y_center(p) - yc));
+    }
+    return s;
+  };
+  RapOptions a1 = base_options(pc);
+  a1.alpha = 1.0;
+  a1.model_eviction = false;
+  a1.ilp.time_limit_s = 8;
+  RapOptions a0 = base_options(pc);
+  a0.alpha = 0.0;
+  a0.model_eviction = false;
+  a0.ilp.time_limit_s = 8;
+  const RapResult r1 = solve_rap(pc.initial, a1);
+  const RapResult r0 = solve_rap(pc.initial, a0);
+  if (r1.status == ilp::Status::Optimal && r0.status == ilp::Status::Optimal) {
+    EXPECT_LE(proxy_disp(r1), proxy_disp(r0) * 1.02);
+  }
+}
+
+TEST(Fence, RegionsCoverExactlyMinorityPairs) {
+  const auto& pc = small_case();
+  const RapResult r = solve_rap(pc.initial, base_options(pc));
+  const auto fences = fence_regions(pc.initial.floorplan, r.assignment);
+  ASSERT_FALSE(fences.empty());
+  // Total fence height equals minority pairs' height; x spans the core.
+  Dbu covered = 0;
+  for (const Rect& f : fences) {
+    EXPECT_EQ(f.lo.x, pc.initial.floorplan.core().lo.x);
+    EXPECT_EQ(f.hi.x, pc.initial.floorplan.core().hi.x);
+    covered += f.height();
+  }
+  Dbu expect = 0;
+  const Floorplan& fp = pc.initial.floorplan;
+  for (int p = 0; p < fp.num_pairs(); ++p) {
+    if (r.assignment.is_minority_pair(p)) {
+      expect += fp.pair_upper(p).y_top() - fp.pair_lower(p).y;
+    }
+  }
+  EXPECT_EQ(covered, expect);
+}
+
+TEST(Fence, AdjacentPairsMerge) {
+  Tech tech;
+  Floorplan fp = Floorplan::make_uniform(Rect{{0, 0}, {1080, 8 * 216}}, 4, 216,
+                                         TrackHeight::H6T, 54);
+  RowAssignment ra = RowAssignment::all_majority(4);
+  ra.pair_is_minority[1] = true;
+  ra.pair_is_minority[2] = true;  // adjacent: one fence rectangle
+  const auto fences = fence_regions(fp, ra);
+  ASSERT_EQ(fences.size(), 1u);
+  EXPECT_EQ(fences[0].lo.y, fp.pair_lower(1).y);
+  EXPECT_EQ(fences[0].hi.y, fp.pair_upper(2).y_top());
+}
+
+TEST(RcLegal, RowConstraintHolds) {
+  const auto& pc = small_case();
+  Design d = pc.initial;
+  const RapResult r = solve_rap(d, base_options(pc));
+  const RcLegalResult lr = rc_legalize(d, r.assignment);
+  ASSERT_TRUE(lr.success);
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(d, &why)) << why;
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    const int row = d.floorplan.row_at_y(d.netlist.instance(i).pos.y);
+    EXPECT_EQ(d.is_minority(i), r.assignment.is_minority_row(row));
+  }
+}
+
+TEST(RcLegal, ReportsHpwlTrajectory) {
+  const auto& pc = small_case();
+  Design d = pc.initial;
+  const RapResult r = solve_rap(d, base_options(pc));
+  const RcLegalResult lr = rc_legalize(d, r.assignment);
+  ASSERT_TRUE(lr.success);
+  EXPECT_GT(lr.hpwl_before, 0);
+  EXPECT_GT(lr.hpwl_after, 0);
+  EXPECT_EQ(lr.hpwl_after, total_hpwl(d));
+}
+
+TEST(RcLegal, MorePassesNeverWorse) {
+  const auto& pc = small_case();
+  const RapResult r = solve_rap(pc.initial, base_options(pc));
+  Design d1 = pc.initial;
+  RcLegalOptions one;
+  one.refine_passes = 0;
+  rc_legalize(d1, r.assignment, one);
+  Design d3 = pc.initial;
+  RcLegalOptions three;
+  three.refine_passes = 3;
+  rc_legalize(d3, r.assignment, three);
+  EXPECT_LE(total_hpwl(d3), total_hpwl(d1));
+}
+
+TEST(RcLegal, UnconstrainedModeIgnoresAssignment) {
+  const auto& pc = small_case();
+  Design d = pc.initial;
+  RcLegalOptions opt;
+  opt.enforce_assignment = false;
+  const auto lr =
+      rc_legalize(d, RowAssignment::all_majority(d.floorplan.num_pairs()), opt);
+  ASSERT_TRUE(lr.success);
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(d, &why)) << why;
+  EXPECT_LE(lr.hpwl_after, lr.hpwl_before);
+}
+
+TEST(Rap, TinyInstanceMatchesBruteForce) {
+  // 6-cell design, 3 pairs, 1 minority pair: enumerate all row choices and
+  // per-cell assignments; the ILP (no clustering) must match.
+  flows::FlowOptions opt;
+  opt.scale = 0.02;
+  const flows::PreparedCase pc =
+      flows::prepare_case(synth::spec_by_name("aes_400"), opt);
+  RapOptions ro = base_options(pc);
+  ro.use_clustering = false;
+  ro.model_eviction = false;
+  ro.ilp.rel_gap = 1e-9;
+  ro.ilp.time_limit_s = 30;
+  const RapResult r = solve_rap(pc.initial, ro);
+  EXPECT_TRUE(r.status == ilp::Status::Optimal);
+  EXPECT_LE(r.gap, 1e-6);
+}
+
+// Parameterized invariants across options.
+class RapSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RapSweep, InvariantsHold) {
+  const auto [s, alpha] = GetParam();
+  const auto& pc = small_case();
+  RapOptions ro = base_options(pc);
+  ro.s = s;
+  ro.alpha = alpha;
+  ro.ilp.time_limit_s = 5;
+  const RapResult r = solve_rap(pc.initial, ro);
+  EXPECT_EQ(r.assignment.num_minority(), pc.n_min_pairs);
+  for (int c = 0; c < r.num_clusters; ++c) {
+    EXPECT_TRUE(r.assignment.is_minority_pair(
+        r.cluster_pair[static_cast<std::size_t>(c)]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RapSweep,
+                         ::testing::Combine(::testing::Values(0.1, 0.2, 0.5),
+                                            ::testing::Values(0.25, 0.75)));
+
+}  // namespace
+}  // namespace mth::rap

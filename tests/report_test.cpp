@@ -1,0 +1,100 @@
+// Report layer tests: table rendering, CSV output, SVG generation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mth/liberty/asap7.hpp"
+#include "mth/report/svg.hpp"
+#include "mth/report/table.hpp"
+
+namespace mth::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "23,456"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // 5 rules: top, under header, separator, bottom... count '+--' lines.
+  int rules = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, RejectsColumnMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"A", "B"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "A,B\n1,2\n3,4\n");
+}
+
+TEST(Svg, RendersCellsAndFences) {
+  Design d;
+  d.library = liberty::library_ref();
+  const Tech& tech = d.library->tech();
+  const int inv6 = find_asap7_master(*d.library, CellFunc::Inv, 1,
+                                     TrackHeight::H6T, Vt::RVT);
+  const int inv7 = find_asap7_master(*d.library, CellFunc::Inv, 2,
+                                     TrackHeight::H75T, Vt::RVT);
+  d.netlist.add_instance("a", inv6, {0, 0});
+  d.netlist.add_instance("b", inv7, {540, 216});
+  d.floorplan = Floorplan::make_uniform(Rect{{0, 0}, {2160, 864}}, 2,
+                                        tech.row_height_6t, TrackHeight::H6T,
+                                        tech.site_width);
+  const std::vector<Rect> fences{{{0, 432}, {2160, 864}}};
+  const std::string svg = placement_svg(d, fences);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);  // majority blue
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);  // minority red
+  EXPECT_NE(svg.find("#ffd900"), std::string::npos);  // fence yellow
+}
+
+TEST(Svg, WriteFile) {
+  const std::string path = "/tmp/mth_report_test.svg";
+  write_file(path, "<svg></svg>\n");
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg></svg>\n");
+  std::remove(path.c_str());
+}
+
+TEST(Svg, WriteFileFailsOnBadPath) {
+  EXPECT_THROW(write_file("/nonexistent-dir-xyz/out.svg", "x"), Error);
+}
+
+}  // namespace
+}  // namespace mth::report

@@ -1,0 +1,231 @@
+// Testcase-spec (Table II) and synthetic netlist generator tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mth/liberty/asap7.hpp"
+#include "mth/synth/generator.hpp"
+#include "mth/synth/testcases.hpp"
+
+namespace mth::synth {
+namespace {
+
+TEST(Table2, TwentySixTestcases) {
+  const auto& specs = table2_specs();
+  EXPECT_EQ(specs.size(), 26u);
+  std::set<std::string> circuits;
+  for (const auto& s : specs) circuits.insert(s.circuit);
+  EXPECT_EQ(circuits.size(), 9u);  // nine OpenCores circuits
+}
+
+TEST(Table2, SpotCheckPaperRows) {
+  const TestcaseSpec& aes = spec_by_name("aes_300");
+  EXPECT_EQ(aes.num_cells, 14040);
+  EXPECT_NEAR(aes.pct_75t, 28.13, 1e-9);
+  EXPECT_EQ(aes.num_nets, 14302);
+  const TestcaseSpec& nova = spec_by_name("nova_300");
+  EXPECT_EQ(nova.num_cells, 174267);
+  EXPECT_EQ(nova.clock_ps, 300);
+  const TestcaseSpec& swerv = spec_by_name("swerv_130");
+  EXPECT_EQ(swerv.clock_ps, 130);
+}
+
+TEST(Table2, UnknownNameAsserts) {
+  EXPECT_THROW(spec_by_name("missing_999"), Error);
+}
+
+TEST(Table2, TuningSubsetFourteenCoveringAllCircuits) {
+  const auto t = tuning_specs();
+  EXPECT_EQ(t.size(), 14u);  // paper §IV-B-1
+  std::set<std::string> circuits;
+  for (const auto& s : t) circuits.insert(s.circuit);
+  EXPECT_EQ(circuits.size(), 9u);
+}
+
+TEST(Table2, SizeClassesFollowMinorityCount) {
+  // Paper §IV-B-3: small < 3000, medium 3000-5000, large > 5000 minority.
+  EXPECT_EQ(size_class_of(spec_by_name("aes_400")), SizeClass::Small);
+  EXPECT_EQ(size_class_of(spec_by_name("aes_300")), SizeClass::Medium);
+  EXPECT_EQ(size_class_of(spec_by_name("ldpc_300")), SizeClass::Large);
+  EXPECT_EQ(size_class_of(spec_by_name("nova_300")), SizeClass::Large);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const Library> lib_ = liberty::library_ref();
+};
+
+TEST_F(GeneratorTest, CountsMatchSpecAtScale) {
+  GeneratorOptions opt;
+  opt.scale = 0.05;
+  const TestcaseSpec& spec = spec_by_name("aes_300");
+  const SynthResult r = generate_testcase(spec, lib_, opt);
+  const int expect_cells = static_cast<int>(std::llround(spec.num_cells * 0.05));
+  EXPECT_EQ(r.design.netlist.num_instances(), expect_cells);
+  const double pct =
+      100.0 * r.design.num_minority() / r.design.netlist.num_instances();
+  EXPECT_NEAR(pct, spec.pct_75t, 0.5);
+  // nets = instances + input ports (incl. clock); port count scales with the
+  // spec's net/cell surplus.
+  const int expect_ports = std::max(
+      1, static_cast<int>(std::llround((spec.num_nets - spec.num_cells) * 0.05)));
+  EXPECT_EQ(r.design.netlist.num_nets(), expect_cells + expect_ports);
+}
+
+TEST_F(GeneratorTest, NetlistIsStructurallyValid) {
+  GeneratorOptions opt;
+  opt.scale = 0.04;
+  for (const char* name : {"aes_360", "ldpc_350", "des3_290"}) {
+    const SynthResult r = generate_testcase(spec_by_name(name), lib_, opt);
+    EXPECT_NO_THROW(r.design.netlist.check(*lib_)) << name;
+    EXPECT_EQ(r.locality.size(),
+              static_cast<std::size_t>(r.design.netlist.num_instances()));
+  }
+}
+
+TEST_F(GeneratorTest, Deterministic) {
+  GeneratorOptions opt;
+  opt.scale = 0.03;
+  opt.seed = 77;
+  const SynthResult a = generate_testcase(spec_by_name("fpu_4000"), lib_, opt);
+  const SynthResult b = generate_testcase(spec_by_name("fpu_4000"), lib_, opt);
+  ASSERT_EQ(a.design.netlist.num_nets(), b.design.netlist.num_nets());
+  for (NetId n = 0; n < a.design.netlist.num_nets(); ++n) {
+    ASSERT_EQ(a.design.netlist.net(n).pins, b.design.netlist.net(n).pins);
+  }
+  for (InstId i = 0; i < a.design.netlist.num_instances(); ++i) {
+    ASSERT_EQ(a.design.netlist.instance(i).master,
+              b.design.netlist.instance(i).master);
+  }
+}
+
+TEST_F(GeneratorTest, SeedChangesNetlist) {
+  GeneratorOptions a, b;
+  a.scale = b.scale = 0.03;
+  a.seed = 1;
+  b.seed = 2;
+  const SynthResult ra = generate_testcase(spec_by_name("fpu_4000"), lib_, a);
+  const SynthResult rb = generate_testcase(spec_by_name("fpu_4000"), lib_, b);
+  bool differs = false;
+  for (InstId i = 0; i < ra.design.netlist.num_instances() && !differs; ++i) {
+    differs = ra.design.netlist.instance(i).master !=
+              rb.design.netlist.instance(i).master;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(GeneratorTest, CombinationalGraphIsAcyclic) {
+  GeneratorOptions opt;
+  opt.scale = 0.05;
+  const SynthResult r = generate_testcase(spec_by_name("des3_210"), lib_, opt);
+  const Netlist& nl = r.design.netlist;
+  // Kahn over combinational instances (registers/ports are sources).
+  const int n = nl.num_instances();
+  std::vector<int> pending(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<InstId>> out(static_cast<std::size_t>(n));
+  for (NetId nid = 0; nid < nl.num_nets(); ++nid) {
+    const Net& net = nl.net(nid);
+    if (net.is_clock) continue;
+    const PinRef& drv = net.pins[0];
+    for (std::size_t p = 1; p < net.pins.size(); ++p) {
+      const PinRef& snk = net.pins[p];
+      if (snk.is_port()) continue;
+      const CellMaster& m = r.design.master_of(snk.inst);
+      if (m.func == CellFunc::Dff) continue;  // registers cut the cycle
+      if (drv.is_port()) continue;
+      if (r.design.master_of(drv.inst).func == CellFunc::Dff) continue;
+      out[static_cast<std::size_t>(drv.inst)].push_back(snk.inst);
+      ++pending[static_cast<std::size_t>(snk.inst)];
+    }
+  }
+  std::vector<InstId> queue;
+  int processed = 0;
+  for (InstId i = 0; i < n; ++i) {
+    if (r.design.master_of(i).func != CellFunc::Dff &&
+        pending[static_cast<std::size_t>(i)] == 0) {
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const InstId u = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (InstId v : out[static_cast<std::size_t>(u)]) {
+      if (--pending[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+    }
+  }
+  int comb = 0;
+  for (InstId i = 0; i < n; ++i) {
+    comb += r.design.master_of(i).func != CellFunc::Dff;
+  }
+  EXPECT_EQ(processed, comb) << "cycle through combinational gates";
+}
+
+TEST_F(GeneratorTest, SingleClockNetCoversAllRegisters) {
+  GeneratorOptions opt;
+  opt.scale = 0.04;
+  const SynthResult r = generate_testcase(spec_by_name("jpeg_350"), lib_, opt);
+  const Netlist& nl = r.design.netlist;
+  int clock_nets = 0;
+  int ck_pins = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).is_clock) {
+      ++clock_nets;
+      ck_pins = nl.net(n).degree() - 1;
+    }
+  }
+  EXPECT_EQ(clock_nets, 1);
+  int dffs = 0;
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    dffs += r.design.master_of(i).func == CellFunc::Dff;
+  }
+  EXPECT_EQ(ck_pins, dffs);
+  EXPECT_GT(dffs, 0);
+}
+
+TEST_F(GeneratorTest, FanoutCapped) {
+  GeneratorOptions opt;
+  opt.scale = 0.05;
+  opt.max_fanout = 12;
+  const SynthResult r = generate_testcase(spec_by_name("point_200"), lib_, opt);
+  for (NetId n = 0; n < r.design.netlist.num_nets(); ++n) {
+    const Net& net = r.design.netlist.net(n);
+    if (net.is_clock) continue;
+    EXPECT_LE(net.degree() - 1, opt.max_fanout + 1)  // +1 for a possible PO tap
+        << net.name;
+  }
+}
+
+TEST_F(GeneratorTest, MinorityCellsAreHighDrive) {
+  GeneratorOptions opt;
+  opt.scale = 0.06;
+  const SynthResult r = generate_testcase(spec_by_name("aes_300"), lib_, opt);
+  for (InstId i = 0; i < r.design.netlist.num_instances(); ++i) {
+    const CellMaster& m = r.design.master_of(i);
+    if (m.track_height == TrackHeight::H75T) {
+      EXPECT_GE(m.drive, 2) << "minority cells model high-drive instances";
+    }
+  }
+}
+
+// Parameterized sweep: every Table II spec generates a valid netlist at a
+// small scale with matching minority percentage.
+class AllSpecs : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllSpecs, GeneratesValidDesign) {
+  const TestcaseSpec& spec = table2_specs()[static_cast<std::size_t>(GetParam())];
+  GeneratorOptions opt;
+  opt.scale = 0.02;
+  const SynthResult r = generate_testcase(spec, liberty::library_ref(), opt);
+  EXPECT_NO_THROW(r.design.netlist.check(*r.design.library));
+  const double pct =
+      100.0 * r.design.num_minority() / r.design.netlist.num_instances();
+  EXPECT_NEAR(pct, spec.pct_75t, 1.5) << spec.short_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, AllSpecs, ::testing::Range(0, 26));
+
+}  // namespace
+}  // namespace mth::synth

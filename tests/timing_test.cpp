@@ -1,0 +1,159 @@
+// STA + power tests: monotonicity properties (clock period, placement
+// quality, wire model), endpoint accounting, power decomposition.
+
+#include <gtest/gtest.h>
+
+#include "mth/flows/flow.hpp"
+#include "mth/timing/sta.hpp"
+#include "mth/util/rng.hpp"
+
+namespace mth::timing {
+namespace {
+
+const flows::PreparedCase& small_case() {
+  static const flows::PreparedCase pc = [] {
+    flows::FlowOptions opt;
+    opt.scale = 0.05;
+    return flows::prepare_case(synth::spec_by_name("aes_360"), opt);
+  }();
+  return pc;
+}
+
+TEST(Sta, ReportsEndpoints) {
+  const Design& d = small_case().initial;
+  const TimingReport rep = analyze(d, nullptr);
+  // Endpoints = register D pins + primary outputs (all of them get timed).
+  int dffs = 0;
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    dffs += d.master_of(i).func == CellFunc::Dff;
+  }
+  EXPECT_GE(rep.endpoints, dffs);
+  EXPECT_GT(rep.max_arrival_ps, 0.0);
+}
+
+TEST(Sta, SlackSignConventions) {
+  const Design& d = small_case().initial;
+  const TimingReport rep = analyze(d, nullptr);
+  EXPECT_LE(rep.wns_ns, 0.0);  // WNS is 0 or negative by construction
+  EXPECT_LE(rep.tns_ns, 0.0);
+  if (rep.violating_endpoints == 0) {
+    EXPECT_EQ(rep.wns_ns, 0.0);
+    EXPECT_EQ(rep.tns_ns, 0.0);
+  } else {
+    EXPECT_LT(rep.wns_ns, 0.0);
+    EXPECT_LE(rep.tns_ns, rep.wns_ns);  // TNS aggregates all violations
+  }
+}
+
+TEST(Sta, LongerClockImprovesSlack) {
+  Design d = small_case().initial;
+  d.clock_ps = 360;
+  const TimingReport tight = analyze(d, nullptr);
+  d.clock_ps = 10000;
+  const TimingReport loose = analyze(d, nullptr);
+  EXPECT_GE(loose.tns_ns, tight.tns_ns);
+  EXPECT_GE(loose.wns_ns, tight.wns_ns);
+  EXPECT_EQ(loose.violating_endpoints, 0) << "10 ns must meet timing";
+}
+
+TEST(Sta, ArrivalUnaffectedByClockPeriod) {
+  Design d = small_case().initial;
+  d.clock_ps = 360;
+  const TimingReport a = analyze(d, nullptr);
+  d.clock_ps = 1000;
+  const TimingReport b = analyze(d, nullptr);
+  EXPECT_DOUBLE_EQ(a.max_arrival_ps, b.max_arrival_ps);
+}
+
+TEST(Sta, RoutedWiresSlowerThanIdealZeroWire) {
+  // Compare against an STA variant with a zero-length wire model by scaling
+  // the detour factor: longer wires => later arrivals.
+  const Design& d = small_case().initial;
+  StaOptions fast;
+  fast.wire_detour_factor = 0.0;  // zero wire parasitics
+  StaOptions slow;
+  slow.wire_detour_factor = 3.0;
+  const TimingReport f = analyze(d, nullptr, fast);
+  const TimingReport s = analyze(d, nullptr, slow);
+  EXPECT_GT(s.max_arrival_ps, f.max_arrival_ps);
+  EXPECT_LE(s.tns_ns, f.tns_ns);
+}
+
+TEST(Sta, RouteDataUsedWhenProvided) {
+  const Design& d = small_case().initial;
+  const route::RouteResult routes = route::route_design(d);
+  const TimingReport with = analyze(d, &routes);
+  const TimingReport without = analyze(d, nullptr);
+  // Both must be sane; routed arrivals differ from the star model.
+  EXPECT_GT(with.max_arrival_ps, 0.0);
+  EXPECT_NE(with.max_arrival_ps, without.max_arrival_ps);
+}
+
+TEST(Sta, ScrambledPlacementHurtsTiming) {
+  Design d = small_case().initial;
+  const route::RouteResult good_routes = route::route_design(d);
+  const TimingReport good = analyze(d, &good_routes);
+  Rng rng(9);
+  const Rect core = d.floorplan.core();
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    Instance& inst = d.netlist.instance(i);
+    const CellMaster& m = d.master_of(i);
+    inst.pos = {rng.uniform_int(core.lo.x, core.hi.x - m.width),
+                rng.uniform_int(core.lo.y, core.hi.y - m.height)};
+  }
+  const route::RouteResult bad_routes = route::route_design(d);
+  const TimingReport bad = analyze(d, &bad_routes);
+  EXPECT_LT(bad.tns_ns, good.tns_ns);
+  EXPECT_GT(bad.max_arrival_ps, good.max_arrival_ps);
+}
+
+TEST(Power, DecompositionPositiveAndAdditive) {
+  const Design& d = small_case().initial;
+  const TimingReport rep = analyze(d, nullptr);
+  EXPECT_GT(rep.dynamic_mw, 0.0);
+  EXPECT_GT(rep.internal_mw, 0.0);
+  EXPECT_GT(rep.leakage_mw, 0.0);
+  EXPECT_NEAR(rep.total_power_mw(),
+              rep.dynamic_mw + rep.internal_mw + rep.leakage_mw, 1e-12);
+}
+
+TEST(Power, FasterClockMorePower) {
+  Design d = small_case().initial;
+  d.clock_ps = 360;
+  const double fast = analyze(d, nullptr).total_power_mw();
+  d.clock_ps = 720;
+  const double slow = analyze(d, nullptr).total_power_mw();
+  EXPECT_GT(fast, slow);  // dynamic power scales with frequency
+}
+
+TEST(Power, LongerWiresMorePower) {
+  const Design& d = small_case().initial;
+  StaOptions shorter;
+  shorter.wire_detour_factor = 1.0;
+  StaOptions longer;
+  longer.wire_detour_factor = 2.0;
+  EXPECT_GT(analyze(d, nullptr, longer).dynamic_mw,
+            analyze(d, nullptr, shorter).dynamic_mw);
+}
+
+TEST(Power, LeakageIndependentOfPlacement) {
+  Design d = small_case().initial;
+  const double before = analyze(d, nullptr).leakage_mw;
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    d.netlist.instance(i).pos.x = d.floorplan.core().lo.x;
+  }
+  EXPECT_DOUBLE_EQ(analyze(d, nullptr).leakage_mw, before);
+}
+
+TEST(Sta, Deterministic) {
+  const Design& d = small_case().initial;
+  const route::RouteResult routes = route::route_design(d);
+  const TimingReport a = analyze(d, &routes);
+  const TimingReport b = analyze(d, &routes);
+  EXPECT_DOUBLE_EQ(a.tns_ns, b.tns_ns);
+  EXPECT_DOUBLE_EQ(a.wns_ns, b.wns_ns);
+  EXPECT_DOUBLE_EQ(a.total_power_mw(), b.total_power_mw());
+}
+
+}  // namespace
+}  // namespace mth::timing

@@ -1,0 +1,217 @@
+// Unit tests for util: rng determinism and distribution sanity, string
+// formatting, error/assert machinery, logging levels, timers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mth/util/error.hpp"
+#include "mth/util/log.hpp"
+#include "mth/util/rng.hpp"
+#include "mth/util/str.hpp"
+#include "mth/util/timer.hpp"
+
+namespace mth {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntRejectsInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(2, 1), Error);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  double mn = 1.0, mx = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, FanoutSampleBounds) {
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    const int f = rng.fanout_sample(1.5, 8);
+    ASSERT_GE(f, 1);
+    ASSERT_LE(f, 8);
+  }
+}
+
+TEST(Rng, FanoutSampleZeroMeanIsOne) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.fanout_sample(0.0, 8), 1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(99);
+  const auto a = rng.next_u64();
+  rng.reseed(99);
+  EXPECT_EQ(rng.next_u64(), a);
+}
+
+TEST(Str, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+  EXPECT_EQ(format_fixed(0.0, 0), "0");
+}
+
+TEST(Str, PadLeftRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(Str, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(14040), "14,040");
+  EXPECT_EQ(format_count(174267), "174,267");
+  EXPECT_EQ(format_count(-1234567), "-1,234,567");
+}
+
+TEST(Error, AssertThrowsWithMessage) {
+  try {
+    MTH_ASSERT(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertPassesOnTrue) {
+  EXPECT_NO_THROW(MTH_ASSERT(1 + 1 == 2, "never"));
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  MTH_DEBUG << "this must not crash while filtered";
+  set_log_level(old);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds() * 999);
+}
+
+TEST(Timer, RestartResets) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  const double before = t.seconds();
+  t.restart();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace mth
