@@ -1,6 +1,11 @@
 // Experiment F5 — paper Fig. 5: ILP runtime of Flow (5) plotted against the
 // number of minority instances, with a least-squares linear fit (the paper
 // reports "a strong linear correlation").
+//
+// Each point is solved serially (1 thread) and with MTH_THREADS workers; the
+// table reports both cost-matrix times and the speedup, results are checked
+// bit-identical, and BENCH_parallel.json is emitted (override the path with
+// MTH_PARALLEL_JSON; note bench_runtime_profile writes the same file).
 
 #include <cmath>
 #include <iostream>
@@ -23,25 +28,34 @@ int main() {
   // deadline high enough that most points terminate on their own.
   opt.rap.ilp.rel_gap = bench::env_double("MTH_ILP_GAP", 0.02);
   opt.rap.ilp.time_limit_s = bench::env_double("MTH_ILP_SECONDS", 30.0);
+  const int threads = mth::util::default_num_threads();
   report::Table t({"Testcase", "minority insts", "clusters", "ILP status",
-                   "RAP runtime (s)"});
+                   "RAP runtime (s)", "cost 1T (s)",
+                   "cost " + std::to_string(threads) + "T (s)", "speedup"});
 
   std::vector<double> xs, ys;
+  std::vector<bench::ParallelRecord> records;
   for (const synth::TestcaseSpec& spec : bench::bench_specs()) {
     std::cerr << "[fig5] " << spec.short_name << "...\n";
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
     rap::RapOptions ro = opt.rap;
     ro.n_min_pairs = pc.n_min_pairs;
     ro.width_library = pc.original_library.get();
-    const rap::RapResult r = rap::solve_rap(pc.initial, ro);
+    bench::ParallelRecord rec;
+    const rap::RapResult r = bench::measure_parallel_rap(pc, ro, threads, rec);
+    records.push_back(rec);
     const double rap_s = r.cluster_seconds + r.cost_seconds + r.ilp_seconds;
     xs.push_back(static_cast<double>(pc.minority_cells));
     ys.push_back(rap_s);
     t.add_row({spec.short_name, format_count(pc.minority_cells),
                format_count(r.num_clusters), ilp::to_string(r.status),
-               format_fixed(rap_s, 2)});
+               format_fixed(rap_s, 2), format_fixed(rec.serial_cost_s, 3),
+               format_fixed(rec.parallel_cost_s, 3),
+               format_fixed(
+                   bench::speedup(rec.serial_cost_s, rec.parallel_cost_s), 2)});
   }
   t.print(std::cout);
+  bench::write_parallel_json("bench_fig5_ilp_scaling", records);
 
   // Least-squares fit y = a + b x with Pearson correlation.
   const std::size_t n = xs.size();

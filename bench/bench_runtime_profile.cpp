@@ -2,6 +2,12 @@
 // class. The paper reports, for small/medium/large minority-instance sets,
 // RAP share of 4.95% / 30.57% / 72.60% and legalization share of 95.04% /
 // 69.41% / 27.37%.
+//
+// Also measures the deterministic parallel layer on the RAP hot phases
+// (cost-matrix build + k-means): each testcase is solved at 1 thread and at
+// MTH_THREADS (default: hardware concurrency), the speedups are tabulated,
+// results are checked bit-identical, and a machine-readable
+// BENCH_parallel.json is emitted (path override: MTH_PARALLEL_JSON).
 
 #include <iostream>
 
@@ -9,6 +15,7 @@
 #include "mth/report/table.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/str.hpp"
+#include "mth/util/threadpool.hpp"
 
 int main() {
   using namespace mth;
@@ -18,11 +25,16 @@ int main() {
             << bench::scale_banner() << "\n\n";
 
   const flows::FlowOptions opt = bench::bench_options();
+  const int threads = mth::util::default_num_threads();
   double rap_share[3] = {}, legal_share[3] = {};
   int count[3] = {};
 
   report::Table detail({"Testcase", "class", "RAP (s)", "legalization (s)",
                         "RAP %", "legal %"});
+  report::Table par_table({"Testcase", "cost 1T (s)",
+                           "cost " + std::to_string(threads) + "T (s)",
+                           "speedup", "kmeans speedup", "bit-identical"});
+  std::vector<bench::ParallelRecord> records;
   for (const synth::TestcaseSpec& spec : bench::bench_specs()) {
     std::cerr << "[profile] " << spec.short_name << "...\n";
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
@@ -40,8 +52,32 @@ int main() {
                     format_fixed(legal_s, 2),
                     format_fixed(100.0 * rap_s / total, 1),
                     format_fixed(100.0 * legal_s / total, 1)});
+
+    // Serial-vs-parallel split of the RAP hot phases. A short ILP budget
+    // keeps the extra solves cheap — cost/cluster timings don't depend on it.
+    rap::RapOptions ro = opt.rap;
+    ro.n_min_pairs = pc.n_min_pairs;
+    ro.width_library = pc.original_library.get();
+    ro.ilp.time_limit_s = bench::env_double("MTH_PARALLEL_ILP_SECONDS", 3.0);
+    bench::ParallelRecord rec;
+    bench::measure_parallel_rap(pc, ro, threads, rec);
+    par_table.add_row(
+        {spec.short_name, format_fixed(rec.serial_cost_s, 3),
+         format_fixed(rec.parallel_cost_s, 3),
+         format_fixed(bench::speedup(rec.serial_cost_s, rec.parallel_cost_s), 2),
+         format_fixed(
+             bench::speedup(rec.serial_cluster_s, rec.parallel_cluster_s), 2),
+         rec.identical          ? "yes"
+         : rec.deadline_limited ? "n/a (ILP deadline)"
+                                : "NO"});
+    records.push_back(rec);
   }
   detail.print(std::cout);
+
+  std::cout << "\n=== Parallel layer: RAP hot phases, 1 thread vs "
+            << threads << " (MTH_THREADS) ===\n";
+  par_table.print(std::cout);
+  bench::write_parallel_json("bench_runtime_profile", records);
 
   report::Table t({"Set", "testcases", "RAP share", "legalization share"});
   const char* cname[] = {"small (<3000 minority)", "medium (3000-5000)",

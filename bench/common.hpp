@@ -9,11 +9,14 @@
 //   MTH_ILP_SECONDS=<float>  per-RAP ILP deadline (default 10)
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "mth/flows/flow.hpp"
 #include "mth/synth/testcases.hpp"
+#include "mth/util/threadpool.hpp"
 
 namespace mth::bench {
 
@@ -75,6 +78,94 @@ inline double mean_ratio(const std::vector<double>& value,
     }
   }
   return n > 0 ? s / static_cast<double>(n) : 0.0;
+}
+
+/// One serial-vs-parallel measurement of the RAP hot phases on a testcase.
+struct ParallelRecord {
+  std::string testcase;
+  int minority_cells = 0;
+  int threads = 0;               ///< parallel run's worker count
+  double serial_cost_s = 0.0;    ///< cost-matrix build, num_threads = 1
+  double parallel_cost_s = 0.0;  ///< cost-matrix build, num_threads = threads
+  double serial_cluster_s = 0.0;
+  double parallel_cluster_s = 0.0;
+  bool identical = false;  ///< bit-identical RapResult across thread counts
+  /// Either solve stopped on the ILP wall-clock deadline (status != Optimal).
+  /// The incumbent then depends on elapsed time, not thread count, so
+  /// `identical` is not a determinism statement for this record.
+  bool deadline_limited = false;
+};
+
+inline double speedup(double serial_s, double parallel_s) {
+  return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+}
+
+/// Solve the RAP twice (1 thread, then `threads`), fill a ParallelRecord and
+/// return the parallel run's result. `identical` compares the full solver
+/// output (assignment, clustering, objective) bit-for-bit.
+inline rap::RapResult measure_parallel_rap(const flows::PreparedCase& pc,
+                                           rap::RapOptions ro, int threads,
+                                           ParallelRecord& rec) {
+  ro.num_threads = 1;
+  const rap::RapResult serial = rap::solve_rap(pc.initial, ro);
+  ro.num_threads = threads;
+  const rap::RapResult parallel = rap::solve_rap(pc.initial, ro);
+  rec.testcase = pc.spec.short_name;
+  rec.minority_cells = pc.minority_cells;
+  rec.threads = threads;
+  rec.serial_cost_s = serial.cost_seconds;
+  rec.parallel_cost_s = parallel.cost_seconds;
+  rec.serial_cluster_s = serial.cluster_seconds;
+  rec.parallel_cluster_s = parallel.cluster_seconds;
+  rec.identical =
+      serial.assignment.pair_is_minority ==
+          parallel.assignment.pair_is_minority &&
+      serial.cluster_of == parallel.cluster_of &&
+      serial.cluster_pair == parallel.cluster_pair &&
+      serial.objective == parallel.objective;
+  rec.deadline_limited = serial.status != ilp::Status::Optimal ||
+                         parallel.status != ilp::Status::Optimal;
+  return parallel;
+}
+
+/// Emit the machine-readable serial-vs-parallel report. Path from
+/// MTH_PARALLEL_JSON (default BENCH_parallel.json in the working directory).
+inline void write_parallel_json(const std::string& source,
+                                const std::vector<ParallelRecord>& records) {
+  const char* env = std::getenv("MTH_PARALLEL_JSON");
+  const std::string path =
+      env != nullptr && *env != '\0' ? env : "BENCH_parallel.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"source\": \"" << source << "\",\n"
+      << "  \"scale\": " << bench_scale() << ",\n"
+      << "  \"default_threads\": " << util::default_num_threads() << ",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ParallelRecord& r = records[i];
+    out << "    {\"testcase\": \"" << r.testcase << "\", "
+        << "\"minority_cells\": " << r.minority_cells << ", "
+        << "\"threads\": " << r.threads << ", "
+        << "\"serial_cost_s\": " << r.serial_cost_s << ", "
+        << "\"parallel_cost_s\": " << r.parallel_cost_s << ", "
+        << "\"cost_speedup\": " << speedup(r.serial_cost_s, r.parallel_cost_s)
+        << ", "
+        << "\"serial_cluster_s\": " << r.serial_cluster_s << ", "
+        << "\"parallel_cluster_s\": " << r.parallel_cluster_s << ", "
+        << "\"cluster_speedup\": "
+        << speedup(r.serial_cluster_s, r.parallel_cluster_s) << ", "
+        << "\"identical\": " << (r.identical ? "true" : "false") << ", "
+        << "\"deadline_limited\": "
+        << (r.deadline_limited ? "true" : "false") << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\n[bench] wrote " << path << " (" << records.size()
+            << " records)\n";
 }
 
 inline std::string scale_banner() {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "mth/util/error.hpp"
+#include "mth/util/threadpool.hpp"
 
 namespace mth::cluster {
 namespace {
@@ -151,27 +152,59 @@ KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
   res.centroids = grid_seeds(points, k);
   res.assignment.assign(points.size(), -1);
 
+  // Per-chunk accumulators for the parallel assignment step. Chunk geometry
+  // depends only on (n, grain), so merging the partials in chunk order gives
+  // bit-identical centroids for every thread count (including serial).
+  const std::int64_t n = static_cast<std::int64_t>(points.size());
+  util::ParallelOptions par;
+  par.num_threads = options.num_threads;
+  struct ChunkSums {
+    std::vector<double> sx, sy;
+    std::vector<int> cnt;
+    bool changed = false;
+  };
+  std::vector<ChunkSums> partial(
+      static_cast<std::size_t>(util::plan_chunks(n, par.grain)));
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     res.iterations = iter + 1;
-    CentroidGrid grid(res.centroids);
-    bool changed = false;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const int c = grid.nearest(points[i]);
-      if (c != res.assignment[i]) {
-        res.assignment[i] = c;
-        changed = true;
-      }
-    }
+    const CentroidGrid grid(res.centroids);
+    // Assignment step: nearest centroid per point, each chunk folding its
+    // points (in index order) into private sums.
+    util::parallel_chunks(
+        n, par, [&](int chunk, std::int64_t begin, std::int64_t end) {
+          ChunkSums& s = partial[static_cast<std::size_t>(chunk)];
+          s.sx.assign(static_cast<std::size_t>(k), 0.0);
+          s.sy.assign(static_cast<std::size_t>(k), 0.0);
+          s.cnt.assign(static_cast<std::size_t>(k), 0);
+          s.changed = false;
+          for (std::int64_t i = begin; i < end; ++i) {
+            const auto pi = static_cast<std::size_t>(i);
+            const int c = grid.nearest(points[pi]);
+            if (c != res.assignment[pi]) {
+              res.assignment[pi] = c;
+              s.changed = true;
+            }
+            const auto ci = static_cast<std::size_t>(c);
+            s.sx[ci] += static_cast<double>(points[pi].x);
+            s.sy[ci] += static_cast<double>(points[pi].y);
+            ++s.cnt[ci];
+          }
+        });
 
-    // Recompute centroids.
+    // Serial centroid update from the ordered per-chunk partial sums.
+    bool changed = false;
     std::vector<double> sx(static_cast<std::size_t>(k), 0.0);
     std::vector<double> sy(static_cast<std::size_t>(k), 0.0);
     std::vector<int> cnt(static_cast<std::size_t>(k), 0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const auto c = static_cast<std::size_t>(res.assignment[i]);
-      sx[c] += static_cast<double>(points[i].x);
-      sy[c] += static_cast<double>(points[i].y);
-      ++cnt[c];
+    for (const ChunkSums& s : partial) {
+      changed = changed || s.changed;
+      for (int c = 0; c < k; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        sx[ci] += s.sx[ci];
+        sy[ci] += s.sy[ci];
+        cnt[ci] += s.cnt[ci];
+      }
     }
     for (int c = 0; c < k; ++c) {
       const auto ci = static_cast<std::size_t>(c);

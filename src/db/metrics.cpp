@@ -1,11 +1,26 @@
 #include "mth/db/metrics.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "mth/util/error.hpp"
+#include "mth/util/threadpool.hpp"
 
 namespace mth {
+namespace {
+
+/// Netlist-scan grain: per-item work is light (a handful of pin lookups), so
+/// chunks stay coarse to keep scheduling overhead off the hot path. Fixed —
+/// chunk geometry is part of the determinism contract.
+constexpr std::int64_t kScanGrain = 2048;
+
+util::ParallelOptions scan_options(int num_threads) {
+  util::ParallelOptions par;
+  par.num_threads = num_threads;
+  par.grain = kScanGrain;
+  return par;
+}
+
+}  // namespace
 
 Dbu net_hpwl(const Design& design, NetId net_id) {
   const Net& n = design.netlist.net(net_id);
@@ -17,12 +32,14 @@ Dbu net_hpwl(const Design& design, NetId net_id) {
   return bb.half_perimeter();
 }
 
-Dbu total_hpwl(const Design& design) {
-  Dbu sum = 0;
-  for (NetId n = 0; n < design.netlist.num_nets(); ++n) {
-    sum += net_hpwl(design, n);
-  }
-  return sum;
+Dbu total_hpwl(const Design& design, int num_threads) {
+  return util::parallel_reduce<Dbu>(
+      design.netlist.num_nets(), 0,
+      [&](Dbu& acc, std::int64_t n) {
+        acc += net_hpwl(design, static_cast<NetId>(n));
+      },
+      [](Dbu& into, Dbu partial) { into += partial; },
+      scan_options(num_threads));
 }
 
 std::vector<Point> placement_snapshot(const Design& design) {
@@ -34,46 +51,60 @@ std::vector<Point> placement_snapshot(const Design& design) {
   return out;
 }
 
-Dbu total_displacement(const Design& design, const std::vector<Point>& from) {
+Dbu total_displacement(const Design& design, const std::vector<Point>& from,
+                       int num_threads) {
   MTH_ASSERT(from.size() ==
                  static_cast<std::size_t>(design.netlist.num_instances()),
              "displacement: snapshot size mismatch");
-  Dbu sum = 0;
-  for (std::size_t i = 0; i < from.size(); ++i) {
-    sum += manhattan(from[i], design.netlist.instances()[i].pos);
-  }
-  return sum;
+  return util::parallel_reduce<Dbu>(
+      static_cast<std::int64_t>(from.size()), 0,
+      [&](Dbu& acc, std::int64_t i) {
+        const auto ii = static_cast<std::size_t>(i);
+        acc += manhattan(from[ii], design.netlist.instances()[ii].pos);
+      },
+      [](Dbu& into, Dbu partial) { into += partial; },
+      scan_options(num_threads));
 }
 
 namespace {
 
-/// Instances bucketed by the row their bottom edge sits in.
-std::map<int, std::vector<InstId>> bucket_by_row(const Design& design) {
-  std::map<int, std::vector<InstId>> rows;
+/// Instances bucketed by the row their bottom edge sits in, as a flat
+/// row-id-indexed vector (row_at_y clamps into [0, num_rows), so every id is
+/// a valid index; a tree map here was pure allocation churn on a hot
+/// verification path).
+std::vector<std::vector<InstId>> bucket_by_row(const Design& design) {
+  std::vector<std::vector<InstId>> rows(
+      static_cast<std::size_t>(design.floorplan.num_rows()));
   for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
     const Instance& inst = design.netlist.instance(i);
-    rows[design.floorplan.row_at_y(inst.pos.y)].push_back(i);
+    rows[static_cast<std::size_t>(design.floorplan.row_at_y(inst.pos.y))]
+        .push_back(i);
   }
   return rows;
 }
 
 }  // namespace
 
-int count_overlaps(const Design& design) {
-  int overlaps = 0;
+int count_overlaps(const Design& design, int num_threads) {
   auto rows = bucket_by_row(design);
-  for (auto& [row, ids] : rows) {
-    std::sort(ids.begin(), ids.end(), [&](InstId a, InstId b) {
-      return design.netlist.instance(a).pos.x < design.netlist.instance(b).pos.x;
-    });
-    for (std::size_t k = 0; k + 1 < ids.size(); ++k) {
-      const Instance& a = design.netlist.instance(ids[k]);
-      const Instance& b = design.netlist.instance(ids[k + 1]);
-      const Dbu a_end = a.pos.x + design.master_of(ids[k]).width;
-      if (a_end > b.pos.x) ++overlaps;
-    }
-  }
-  return overlaps;
+  util::ParallelOptions par;
+  par.num_threads = num_threads;
+  return util::parallel_reduce<int>(
+      static_cast<std::int64_t>(rows.size()), 0,
+      [&](int& acc, std::int64_t row) {
+        std::vector<InstId>& ids = rows[static_cast<std::size_t>(row)];
+        std::sort(ids.begin(), ids.end(), [&](InstId a, InstId b) {
+          return design.netlist.instance(a).pos.x <
+                 design.netlist.instance(b).pos.x;
+        });
+        for (std::size_t k = 0; k + 1 < ids.size(); ++k) {
+          const Instance& a = design.netlist.instance(ids[k]);
+          const Instance& b = design.netlist.instance(ids[k + 1]);
+          const Dbu a_end = a.pos.x + design.master_of(ids[k]).width;
+          if (a_end > b.pos.x) ++acc;
+        }
+      },
+      [](int& into, int partial) { into += partial; }, par);
 }
 
 bool placement_is_legal(const Design& design, std::string* why,

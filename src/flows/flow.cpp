@@ -175,6 +175,7 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
         rap::RapOptions ro = opt.rap;
         ro.n_min_pairs = pc.n_min_pairs;
         ro.width_library = pc.original_library.get();
+        if (ro.num_threads < 0) ro.num_threads = opt.num_threads;
         pc.rap_cache =
             std::make_shared<const rap::RapResult>(rap::solve_rap(design, ro));
       }
@@ -213,8 +214,9 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
   }
 
   // --- post-placement metrics (mLEF space; Table IV) -------------------------
-  res.displacement = total_displacement(design, pc.initial_positions);
-  res.hpwl = total_hpwl(design);
+  res.displacement =
+      total_displacement(design, pc.initial_positions, opt.num_threads);
+  res.hpwl = total_hpwl(design, opt.num_threads);
   // Table IV total runtime = row assignment + legalization (the cached RAP
   // contributes its original solve time; wall clock otherwise).
   res.total_seconds =

@@ -17,6 +17,12 @@ namespace mth::cluster {
 struct KMeansOptions {
   int max_iterations = 50;
   /// Stop when no point changes cluster in an iteration.
+
+  /// Worker threads for the assignment step (nearest-centroid search).
+  /// -1 = process default (MTH_THREADS env, else hardware concurrency);
+  /// 0/1 = serial. Centroid updates merge per-chunk partial sums in fixed
+  /// chunk order, so results are bit-identical for every value.
+  int num_threads = -1;
 };
 
 struct KMeansResult {

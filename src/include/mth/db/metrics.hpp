@@ -10,19 +10,24 @@ namespace mth {
 /// Half-perimeter wirelength of one net (DBU).
 Dbu net_hpwl(const Design& design, NetId net);
 
-/// Sum of HPWL over all nets (DBU).
-Dbu total_hpwl(const Design& design);
+/// Sum of HPWL over all nets (DBU). `num_threads` follows the process-wide
+/// convention (util/threadpool.hpp): -1 = MTH_THREADS env / hardware
+/// concurrency, 0/1 = serial; the sum is integer, so any value returns the
+/// identical result.
+Dbu total_hpwl(const Design& design, int num_threads = -1);
 
 /// Snapshot of all instance positions (index == InstId).
 std::vector<Point> placement_snapshot(const Design& design);
 
 /// Total displacement between a snapshot and the design's current placement:
 /// sum over instances of the Manhattan distance moved (Table IV definition).
-Dbu total_displacement(const Design& design, const std::vector<Point>& from);
+Dbu total_displacement(const Design& design, const std::vector<Point>& from,
+                       int num_threads = -1);
 
 /// Count of pairs of overlapping placed cells (0 for a legal placement).
-/// Quadratic fallback avoided via row bucketing; intended for tests.
-int count_overlaps(const Design& design);
+/// Quadratic fallback avoided via row bucketing; rows are scanned in
+/// parallel (the count is thread-count invariant).
+int count_overlaps(const Design& design, int num_threads = -1);
 
 /// True when every instance sits inside the core, x on the site grid, bottom
 /// edge on a row boundary, with its height equal to the row height, and no

@@ -39,6 +39,11 @@ const char* to_string(FlowId id);
 struct FlowOptions {
   double scale = 1.0;  ///< testcase cell-count scale (bench default << 1)
   std::uint64_t seed = 1;
+  /// Worker threads for the parallel hot paths (RAP cost matrix, k-means,
+  /// metrics). -1 = process default (MTH_THREADS env, else hardware
+  /// concurrency); 0/1 = serial. Flow results are bit-identical for every
+  /// value. A non-default rap.num_threads takes precedence for the RAP.
+  int num_threads = -1;
   double utilization = 0.60;   ///< paper §IV-A
   double aspect_ratio = 1.0;
   synth::GeneratorOptions gen;

@@ -43,6 +43,11 @@ struct RapOptions {
   /// objective aligned with the reported metric (DESIGN.md §5; ablated in
   /// bench_ablation_clustering).
   bool model_eviction = true;
+  /// Worker threads for the cost-matrix build and k-means assignment step.
+  /// -1 = process default (MTH_THREADS env, else hardware concurrency);
+  /// 0/1 = serial. Results are bit-identical for every value (the parallel
+  /// layer uses thread-count-independent chunking; see util/threadpool.hpp).
+  int num_threads = -1;
   ilp::Options ilp = default_ilp_options();
 
   static ilp::Options default_ilp_options() {
@@ -77,7 +82,28 @@ struct RapResult {
 };
 
 /// Solve the RAP for a design holding an unconstrained initial placement
-/// (mLEF space). Deterministic for fixed options.
+/// (mLEF space). Deterministic for fixed options, including across
+/// `num_threads` values.
 RapResult solve_rap(const Design& design, const RapOptions& options = {});
+
+namespace detail {
+
+/// Greedy capacity-aware warm-start assignment (exposed for unit tests).
+/// Clusters in width-descending order each take the cheapest feasible row;
+/// `cost[c][j]` prices cluster c on candidate row `cand[c][j]`, opening a
+/// closed row additionally pays its `open_cost` (when non-null). When
+/// `forced_rows` is non-null it fixes the open-row set; otherwise up to
+/// `n_min` rows open on demand and the open set is padded to exactly `n_min`
+/// afterwards. All cost ties — including the all-zero ties of a null
+/// `open_cost` during padding — break to the lowest row index.
+bool greedy_assign(const std::vector<std::vector<double>>& cost,
+                   const std::vector<std::vector<int>>& cand,
+                   const std::vector<Dbu>& cluster_w,
+                   const std::vector<Dbu>& cap, int n_min,
+                   const std::vector<double>* open_cost,
+                   const std::vector<char>* forced_rows,
+                   std::vector<int>& pair_out, std::vector<char>& open_out);
+
+}  // namespace detail
 
 }  // namespace mth::rap

@@ -1,0 +1,137 @@
+#pragma once
+// Deterministic parallel execution substrate: a process-wide ThreadPool plus
+// chunked parallel_for / parallel_reduce helpers.
+//
+// Design rules that make parallel results *bit-identical* to serial ones
+// (floating point included), regardless of thread count:
+//
+//  * Work over [0, n) is split into fixed chunks whose geometry depends only
+//    on n and the requested grain — never on the thread count. MTH_THREADS=1
+//    walks the exact same chunks in index order.
+//  * Chunks write only to disjoint state (their own accumulator slot);
+//    reductions merge the per-chunk slots serially in chunk-index order.
+//  * Which OS thread executes a chunk is therefore irrelevant to the result;
+//    only wall-clock changes with the thread count.
+//
+// Thread-count resolution: callers pass a requested count (RapOptions /
+// KMeansOptions / metrics arguments); negative means "use the process
+// default", which is the MTH_THREADS environment variable when set, else
+// std::thread::hardware_concurrency(). 0 and 1 both mean serial execution
+// with no pool spin-up.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mth::util {
+
+/// Process default worker count: MTH_THREADS when set (>= 0; 0 == serial),
+/// else hardware concurrency. Re-read from the environment on every call so
+/// tests can adjust it between solves.
+int default_num_threads();
+
+/// Resolve a user-supplied thread-count option: negative == process default,
+/// otherwise the value itself, clamped to a sane maximum. 0/1 == serial.
+int resolve_num_threads(int requested);
+
+/// A growable pool of worker threads consuming one shared task queue.
+/// Tasks are type-erased void() callables; exceptions thrown by a task are
+/// captured into the future returned by submit().
+class ThreadPool {
+ public:
+  /// Starts with `num_workers` threads (0 is valid: workers are added on
+  /// demand via ensure_workers()).
+  explicit ThreadPool(int num_workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const;
+
+  /// Grow to at least `n` workers. Never shrinks.
+  void ensure_workers(int n);
+
+  /// Enqueue one task. The returned future rethrows the task's exception
+  /// from get().
+  std::future<void> submit(std::function<void()> task);
+
+  /// True when called from one of this process's pool worker threads
+  /// (nested parallel regions fall back to serial to avoid deadlock).
+  static bool on_worker_thread();
+
+  /// The process-wide shared pool (created empty on first use).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Tuning knobs for the parallel helpers below.
+struct ParallelOptions {
+  int num_threads = -1;    ///< -1 = default_num_threads(); 0/1 = serial
+  std::int64_t grain = 0;  ///< iterations per chunk; 0 = auto from n only
+};
+
+/// Iterations per chunk for a loop of `n` iterations under `grain`
+/// (grain <= 0 selects an automatic value derived from n alone).
+std::int64_t effective_grain(std::int64_t n, std::int64_t grain);
+
+/// Number of chunks [0, n) splits into — a function of (n, grain) only, so
+/// chunk geometry (and thus any per-chunk reduction) is independent of the
+/// thread count.
+int plan_chunks(std::int64_t n, std::int64_t grain);
+
+/// Run body(chunk, begin, end) for every chunk of [0, n). Chunks may execute
+/// concurrently and in any order, so the body must only touch chunk-local
+/// state (or disjoint output slots). The first exception (lowest chunk index
+/// among those caught) is rethrown on the calling thread after all workers
+/// drain.
+void parallel_chunks(
+    std::int64_t n, const ParallelOptions& options,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body);
+
+/// Element-wise parallel loop: body(i) for i in [0, n), with i-indexed
+/// outputs disjoint per iteration.
+template <typename Body>
+void parallel_for(std::int64_t n, Body&& body,
+                  const ParallelOptions& options = {}) {
+  parallel_chunks(n, options,
+                  [&](int, std::int64_t begin, std::int64_t end) {
+                    for (std::int64_t i = begin; i < end; ++i) body(i);
+                  });
+}
+
+/// Deterministic chunked reduction: each chunk folds its index range into a
+/// private accumulator (starting from `init`) via body(acc, i) in index
+/// order; the per-chunk accumulators are then merged serially in chunk-index
+/// order via merge(total, partial). The merge tree is fixed by (n, grain),
+/// so floating-point results are bit-identical for every thread count.
+template <typename T, typename Body, typename Merge>
+T parallel_reduce(std::int64_t n, T init, Body&& body, Merge&& merge,
+                  const ParallelOptions& options = {}) {
+  const int chunks = plan_chunks(n, options.grain);
+  std::vector<T> partial(static_cast<std::size_t>(std::max(chunks, 1)), init);
+  parallel_chunks(n, options,
+                  [&](int chunk, std::int64_t begin, std::int64_t end) {
+                    T& acc = partial[static_cast<std::size_t>(chunk)];
+                    for (std::int64_t i = begin; i < end; ++i) body(acc, i);
+                  });
+  T total = init;
+  for (int c = 0; c < chunks; ++c) {
+    merge(total, partial[static_cast<std::size_t>(c)]);
+  }
+  return total;
+}
+
+}  // namespace mth::util

@@ -8,6 +8,7 @@
 #include "mth/cluster/kmeans.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
+#include "mth/util/threadpool.hpp"
 #include "mth/util/timer.hpp"
 
 namespace mth::rap {
@@ -77,10 +78,11 @@ std::vector<YExtremes> build_y_extremes(const Design& d) {
   return out;
 }
 
-/// Greedy capacity-aware assignment: clusters in width-descending order each
-/// take the cheapest feasible row (opening a new row additionally pays its
-/// `open_cost`). `forced_rows` (when non-null) fixes the open-row set;
-/// otherwise up to n_min rows are opened on demand.
+}  // namespace
+
+namespace detail {
+
+// Doc comment on the declaration in rap.hpp (exposed there for unit tests).
 bool greedy_assign(const std::vector<std::vector<double>>& cost,
                    const std::vector<std::vector<int>>& cand,
                    const std::vector<Dbu>& cluster_w,
@@ -131,13 +133,20 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
     pair_out[static_cast<std::size_t>(c)] = best_r;
   }
   // Pad the open set to exactly n_min rows (Eq. 5 is an equality; empty
-  // minority rows are feasible), picking the cheapest rows to open.
+  // minority rows are feasible), picking the cheapest rows to open. Ties —
+  // in particular the all-zero costs of a null open_cost — break to the
+  // lowest row index (strict '<' keeps the first minimum), a behavior unit
+  // tests pin so parallel refactors can't silently reorder it.
   while (open_count < n_min) {
     int best_r = -1;
     double best_c = kInfCost;
     for (int r = 0; r < nr; ++r) {
       if (open_out[static_cast<std::size_t>(r)]) continue;
-      const double c = open_cost != nullptr ? (*open_cost)[static_cast<std::size_t>(r)] : 0.0;
+      if (open_cost == nullptr) {
+        best_r = r;  // all candidates tie at 0.0: lowest index wins outright
+        break;
+      }
+      const double c = (*open_cost)[static_cast<std::size_t>(r)];
       if (c < best_c) {
         best_c = c;
         best_r = r;
@@ -150,7 +159,7 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
   return open_count == n_min;
 }
 
-}  // namespace
+}  // namespace detail
 
 RapResult solve_rap(const Design& design, const RapOptions& opt) {
   MTH_ASSERT(opt.s > 0.0 && opt.s <= 1.0, "rap: clustering resolution out of (0,1]");
@@ -220,6 +229,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     if (opt.use_clustering && n_clusters < n_min_c) {
       cluster::KMeansOptions ko;
       ko.max_iterations = opt.kmeans_max_iterations;
+      ko.num_threads = opt.num_threads;
       res.cluster_of = cluster::kmeans_2d(centers, n_clusters, ko).assignment;
     } else {
       n_clusters = n_min_c;
@@ -246,27 +256,45 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   const auto extremes = build_y_extremes(design);
   const auto& uses = design.netlist.inst_uses();
 
+  // Cluster-major parallel build: each cluster's row-cost vector is written
+  // by exactly one task, and cells within a cluster are visited in ascending
+  // minority index — the same per-slot accumulation order as a serial scan,
+  // so the matrix is bit-identical for every thread count.
+  std::vector<std::vector<int>> cluster_cells(
+      static_cast<std::size_t>(n_clusters));
+  for (int k = 0; k < n_min_c; ++k) {
+    cluster_cells[static_cast<std::size_t>(
+                      res.cluster_of[static_cast<std::size_t>(k)])]
+        .push_back(k);
+  }
   std::vector<std::vector<double>> full_cost(
       static_cast<std::size_t>(n_clusters),
       std::vector<double>(static_cast<std::size_t>(nr), 0.0));
-  for (int k = 0; k < n_min_c; ++k) {
-    const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
-    const int c = res.cluster_of[static_cast<std::size_t>(k)];
-    const Instance& inst = design.netlist.instance(i);
-    const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
-    for (int r = 0; r < nr; ++r) {
-      const Dbu ry = fp.pair_y_center(r);
-      const double disp = static_cast<double>(std::llabs(ry - yc));
-      double dhpwl = 0.0;
-      for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
-        const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
-        if (design.netlist.net(u.net).is_clock) continue;
-        dhpwl += static_cast<double>(ye.span_with(i, ry) - ye.span());
-      }
-      full_cost[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)] +=
-          opt.alpha * disp + (1.0 - opt.alpha) * dhpwl;
-    }
-  }
+  util::ParallelOptions par;
+  par.num_threads = opt.num_threads;
+  util::parallel_for(
+      n_clusters,
+      [&](std::int64_t c) {
+        std::vector<double>& row_cost = full_cost[static_cast<std::size_t>(c)];
+        for (const int k : cluster_cells[static_cast<std::size_t>(c)]) {
+          const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
+          const Instance& inst = design.netlist.instance(i);
+          const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
+          for (int r = 0; r < nr; ++r) {
+            const Dbu ry = fp.pair_y_center(r);
+            const double disp = static_cast<double>(std::llabs(ry - yc));
+            double dhpwl = 0.0;
+            for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+              const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
+              if (design.netlist.net(u.net).is_clock) continue;
+              dhpwl += static_cast<double>(ye.span_with(i, ry) - ye.span());
+            }
+            row_cost[static_cast<std::size_t>(r)] +=
+                opt.alpha * disp + (1.0 - opt.alpha) * dhpwl;
+          }
+        }
+      },
+      par);
 
   // Candidate rows: all rows (exact formulation; pruning handled upstream by
   // clustering, the paper's lever).
@@ -442,7 +470,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   {
     std::vector<int> pair_of;
     std::vector<char> open;
-    if (greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+    if (detail::greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
                       nullptr, pair_of, open)) {
       offer_warm(pair_of, open);
     }
@@ -480,7 +508,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     if (opened == n_min_pairs) {
       std::vector<int> pair_of_km;
       std::vector<char> open_km;
-      if (greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+      if (detail::greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
                         &forced, pair_of_km, open_km)) {
         offer_warm(pair_of_km, open_km);
       }
@@ -494,7 +522,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
           std::vector<double>(static_cast<std::size_t>(nr), 0.0));
       std::vector<int> pair_of_ffd;
       std::vector<char> open_ffd;
-      if (greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs, nullptr,
+      if (detail::greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs, nullptr,
                         nullptr, pair_of_ffd, open_ffd)) {
         offer_warm(pair_of_ffd, open_ffd);
       }
@@ -521,7 +549,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     }
     std::vector<int> pair_of;
     std::vector<char> open;
-    if (!greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+    if (!detail::greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
                        &forced, pair_of, open)) {
       return false;
     }

@@ -1,0 +1,161 @@
+#include "mth/util/threadpool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+namespace mth::util {
+namespace {
+
+/// Upper bound on workers — a fence against absurd MTH_THREADS values, far
+/// above any real machine this targets.
+constexpr int kMaxWorkers = 256;
+
+/// Auto grain aims for this many chunks: enough that the pool load-balances
+/// uneven work, few enough that per-chunk accumulators stay cheap. Part of
+/// the determinism contract — changing it changes FP merge order.
+constexpr std::int64_t kAutoChunks = 128;
+
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+int default_num_threads() {
+  const char* v = std::getenv("MTH_THREADS");
+  if (v != nullptr && *v != '\0') {
+    return std::clamp(std::atoi(v), 0, kMaxWorkers);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int resolve_num_threads(int requested) {
+  if (requested < 0) return default_num_threads();
+  return std::min(requested, kMaxWorkers);
+}
+
+ThreadPool::ThreadPool(int num_workers) { ensure_workers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::ensure_workers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  n = std::min(n, kMaxWorkers);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+std::int64_t effective_grain(std::int64_t n, std::int64_t grain) {
+  if (grain > 0) return grain;
+  return std::max<std::int64_t>(1, (n + kAutoChunks - 1) / kAutoChunks);
+}
+
+int plan_chunks(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  const std::int64_t g = effective_grain(n, grain);
+  return static_cast<int>((n + g - 1) / g);
+}
+
+void parallel_chunks(
+    std::int64_t n, const ParallelOptions& options,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  const std::int64_t grain = effective_grain(n, options.grain);
+  const int chunks = plan_chunks(n, options.grain);
+  auto run_chunk = [&](int c) {
+    const std::int64_t begin = static_cast<std::int64_t>(c) * grain;
+    body(c, begin, std::min(n, begin + grain));
+  };
+
+  // Serial path: same chunk walk, same results, no pool. Nested parallel
+  // regions (a chunk body calling back in) also land here — the caller is
+  // already a worker, and blocking it on further queued tasks can deadlock.
+  const int threads =
+      std::min(resolve_num_threads(options.num_threads), chunks);
+  if (threads <= 1 || ThreadPool::on_worker_thread()) {
+    for (int c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure_workers(threads - 1);
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  int err_chunk = std::numeric_limits<int>::max();
+  std::exception_ptr err;
+  auto drain = [&] {
+    for (int c = next.fetch_add(1, std::memory_order_relaxed); c < chunks;
+         c = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      try {
+        run_chunk(c);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (c < err_chunk) {
+          err_chunk = c;
+          err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  // The caller participates, so progress never depends on a worker being
+  // free; helpers that arrive after the loop is drained simply no-op.
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) helpers.push_back(pool.submit(drain));
+  drain();
+  for (std::future<void>& f : helpers) f.get();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mth::util

@@ -129,6 +129,44 @@ TEST(Kmeans, Deterministic) {
   EXPECT_EQ(a.centroids, b.centroids);
 }
 
+TEST(Kmeans, BitIdenticalAcrossThreadCounts) {
+  // Parallel nearest-centroid with ordered partial-sum merges: assignment
+  // AND centroids (doubles) must match the serial run exactly for every
+  // thread count. Sized above one auto-chunk so real fan-out happens.
+  Rng rng(77);
+  std::vector<Point> pts;
+  for (int i = 0; i < 4000; ++i) {
+    pts.push_back({rng.uniform_int(0, 200000), rng.uniform_int(0, 200000)});
+  }
+  KMeansOptions serial;
+  serial.num_threads = 1;
+  const auto ref = kmeans_2d(pts, 160, serial);
+  for (int threads : {2, 8}) {
+    KMeansOptions opt;
+    opt.num_threads = threads;
+    const auto r = kmeans_2d(pts, 160, opt);
+    EXPECT_EQ(r.assignment, ref.assignment) << "threads=" << threads;
+    EXPECT_EQ(r.centroids, ref.centroids) << "threads=" << threads;
+    EXPECT_EQ(r.iterations, ref.iterations) << "threads=" << threads;
+  }
+}
+
+TEST(Kmeans1d, BitIdenticalAcrossThreadCounts) {
+  Rng rng(79);
+  std::vector<Dbu> vals;
+  for (int i = 0; i < 3000; ++i) vals.push_back(rng.uniform_int(0, 500000));
+  KMeansOptions serial;
+  serial.num_threads = 1;
+  const auto ref = kmeans_1d(vals, 40, serial);
+  for (int threads : {2, 8}) {
+    KMeansOptions opt;
+    opt.num_threads = threads;
+    const auto r = kmeans_1d(vals, 40, opt);
+    EXPECT_EQ(r.assignment, ref.assignment) << "threads=" << threads;
+    EXPECT_EQ(r.centroids, ref.centroids) << "threads=" << threads;
+  }
+}
+
 TEST(Kmeans, AssignmentIsNearestCentroid) {
   Rng rng(31);
   std::vector<Point> pts;

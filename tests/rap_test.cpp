@@ -121,6 +121,64 @@ TEST(Rap, AutoBudgetWhenUnset) {
   EXPECT_EQ(r.assignment.num_minority(), r.n_min_pairs);
 }
 
+TEST(Rap, BitIdenticalAcrossThreadCounts) {
+  // The parallel cost-matrix / k-means layer guarantees bit-identical
+  // results for every thread count (thread-count-independent chunking with
+  // ordered merges) — so the whole RapResult must match the serial solve
+  // exactly, doubles included.
+  const auto& pc = small_case();
+  RapOptions ro = base_options(pc);
+  ro.s = 0.15;
+  ro.num_threads = 1;
+  const RapResult ref = solve_rap(pc.initial, ro);
+  for (int threads : {2, 8}) {
+    ro.num_threads = threads;
+    const RapResult r = solve_rap(pc.initial, ro);
+    EXPECT_EQ(r.assignment.pair_is_minority, ref.assignment.pair_is_minority)
+        << "threads=" << threads;
+    EXPECT_EQ(r.cluster_of, ref.cluster_of) << "threads=" << threads;
+    EXPECT_EQ(r.cluster_pair, ref.cluster_pair) << "threads=" << threads;
+    EXPECT_EQ(r.objective, ref.objective) << "threads=" << threads;
+    EXPECT_EQ(r.num_clusters, ref.num_clusters) << "threads=" << threads;
+  }
+}
+
+TEST(RapGreedy, PaddingOpensLowestIndexRowsOnNullOpenCost) {
+  // One cluster of width 10 over 4 rows with capacity 100 and n_min = 3:
+  // the cluster lands in row 0 (all costs tie at 0, lowest index wins), and
+  // padding must open rows 1 and 2 — bottom-up, never an arbitrary row.
+  const std::vector<std::vector<double>> cost{{0.0, 0.0, 0.0, 0.0}};
+  const std::vector<std::vector<int>> cand{{0, 1, 2, 3}};
+  const std::vector<Dbu> cluster_w{10};
+  const std::vector<Dbu> cap{100, 100, 100, 100};
+  std::vector<int> pair_of;
+  std::vector<char> open;
+  ASSERT_TRUE(detail::greedy_assign(cost, cand, cluster_w, cap, /*n_min=*/3,
+                                    /*open_cost=*/nullptr,
+                                    /*forced_rows=*/nullptr, pair_of, open));
+  EXPECT_EQ(pair_of, (std::vector<int>{0}));
+  EXPECT_EQ(open, (std::vector<char>{1, 1, 1, 0}));
+}
+
+TEST(RapGreedy, PaddingFollowsOpenCostWhenProvided) {
+  // With explicit opening costs the padding picks the cheapest rows instead
+  // (still lowest-index on exact ties).
+  const std::vector<std::vector<double>> cost{{0.0, 0.0, 0.0, 0.0}};
+  const std::vector<std::vector<int>> cand{{0, 1, 2, 3}};
+  const std::vector<Dbu> cluster_w{10};
+  const std::vector<Dbu> cap{100, 100, 100, 100};
+  const std::vector<double> open_cost{5.0, 1.0, 1.0, 0.5};
+  std::vector<int> pair_of;
+  std::vector<char> open;
+  ASSERT_TRUE(detail::greedy_assign(cost, cand, cluster_w, cap, /*n_min=*/3,
+                                    &open_cost, /*forced_rows=*/nullptr,
+                                    pair_of, open));
+  // Cluster goes to row 3 (cheapest cost 0 + open 0.5); padding opens row 1
+  // before row 2 (tie at 1.0 breaks low) and never touches row 0 (5.0).
+  EXPECT_EQ(pair_of, (std::vector<int>{3}));
+  EXPECT_EQ(open, (std::vector<char>{0, 1, 1, 1}));
+}
+
 TEST(Rap, DeterministicSolve) {
   const auto& pc = small_case();
   RapOptions ro = base_options(pc);

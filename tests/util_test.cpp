@@ -1,9 +1,11 @@
 // Unit tests for util: rng determinism and distribution sanity, string
-// formatting, error/assert machinery, logging levels, timers.
+// formatting, error/assert machinery, logging levels, timers, and the
+// deterministic parallel execution layer (ThreadPool / parallel_for).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
 
@@ -11,6 +13,7 @@
 #include "mth/util/log.hpp"
 #include "mth/util/rng.hpp"
 #include "mth/util/str.hpp"
+#include "mth/util/threadpool.hpp"
 #include "mth/util/timer.hpp"
 
 namespace mth {
@@ -211,6 +214,146 @@ TEST(Timer, RestartResets) {
   const double before = t.seconds();
   t.restart();
   EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndIsReusable) {
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.num_workers(), 2);
+  std::atomic<int> hits{0};
+  // Two submit waves through the same pool: workers must survive the first.
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 50; ++i) {
+      futs.push_back(pool.submit([&hits] { ++hits; }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  util::ThreadPool pool(1);
+  auto fut = pool.submit([] { throw Error("task boom"); });
+  EXPECT_THROW(fut.get(), Error);
+  // The worker survives the throw and keeps serving tasks.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsNeverShrinks) {
+  util::ThreadPool pool(1);
+  pool.ensure_workers(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  pool.ensure_workers(2);
+  EXPECT_EQ(pool.num_workers(), 3);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {0, 1, 2, 8}) {
+    const std::int64_t n = 10007;  // prime: exercises a ragged last chunk
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    util::ParallelOptions opt;
+    opt.num_threads = threads;
+    util::parallel_for(
+        n, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; }, opt);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  util::ParallelOptions opt;
+  opt.num_threads = 4;
+  opt.grain = 8;
+  EXPECT_THROW(util::parallel_for(
+                   1000,
+                   [](std::int64_t i) {
+                     if (i == 437) throw Error("loop boom");
+                   },
+                   opt),
+               Error);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool touched = false;
+  util::parallel_for(0, [&](std::int64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelReduce, FloatingPointBitIdenticalAcrossThreadCounts) {
+  // FP addition is non-associative, so this only holds because chunk
+  // geometry and merge order are thread-count independent — the layer's
+  // core determinism guarantee.
+  Rng rng(101);
+  std::vector<double> vals;
+  for (int i = 0; i < 50000; ++i) vals.push_back(rng.uniform01() * 1e6 - 5e5);
+  auto sum_with = [&](int threads) {
+    util::ParallelOptions opt;
+    opt.num_threads = threads;
+    return util::parallel_reduce<double>(
+        static_cast<std::int64_t>(vals.size()), 0.0,
+        [&](double& acc, std::int64_t i) {
+          acc += vals[static_cast<std::size_t>(i)];
+        },
+        [](double& into, double partial) { into += partial; }, opt);
+  };
+  const double serial = sum_with(0);
+  for (int threads : {1, 2, 3, 8}) {
+    EXPECT_EQ(serial, sum_with(threads)) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduce, IntegerSumMatchesClosedForm) {
+  util::ParallelOptions opt;
+  opt.num_threads = 8;
+  const std::int64_t n = 123457;
+  const auto total = util::parallel_reduce<std::int64_t>(
+      n, 0, [](std::int64_t& acc, std::int64_t i) { acc += i; },
+      [](std::int64_t& into, std::int64_t partial) { into += partial; }, opt);
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ParallelChunks, GeometryIndependentOfThreadCount) {
+  // plan_chunks/effective_grain take no thread count at all; pin the
+  // auto-grain invariants the determinism contract rests on.
+  EXPECT_EQ(util::plan_chunks(0, 0), 0);
+  EXPECT_EQ(util::plan_chunks(1, 0), 1);
+  EXPECT_EQ(util::plan_chunks(1000, 10), 100);
+  for (std::int64_t n : {1, 7, 128, 129, 100000}) {
+    const std::int64_t g = util::effective_grain(n, 0);
+    EXPECT_GE(g, 1);
+    EXPECT_EQ(util::plan_chunks(n, 0), (n + g - 1) / g) << "n=" << n;
+  }
+}
+
+TEST(ParallelChunks, NestedRegionsFallBackToSerial) {
+  // A chunk body that itself calls parallel_for must not deadlock the pool.
+  util::ParallelOptions outer;
+  outer.num_threads = 4;
+  outer.grain = 1;
+  std::vector<std::atomic<int>> hits(64);
+  util::parallel_chunks(8, outer, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      util::ParallelOptions inner;
+      inner.num_threads = 4;
+      util::parallel_for(
+          8,
+          [&](std::int64_t j) { ++hits[static_cast<std::size_t>(i * 8 + j)]; },
+          inner);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Threads, ResolveRespectsExplicitAndDefault) {
+  EXPECT_GE(util::default_num_threads(), 0);
+  EXPECT_EQ(util::resolve_num_threads(0), 0);
+  EXPECT_EQ(util::resolve_num_threads(1), 1);
+  EXPECT_EQ(util::resolve_num_threads(7), 7);
+  EXPECT_EQ(util::resolve_num_threads(-1), util::default_num_threads());
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Cross-process determinism check for the parallel execution layer: runs the
+# RAP and k-means test binaries at MTH_THREADS=1 and MTH_THREADS=8 and diffs
+# their output. The suites assert exact solver results internally, so any
+# thread-count-dependent behavior shows up either as a test failure or as a
+# diff between the two runs (gtest timings are normalized away).
+#
+# Usage: tools/check_determinism.sh [build-dir] [gtest-filter]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+FILTER="${2:-*}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+normalize() {
+  # Strip wall-clock noise: gtest "(N ms)" suffixes, logged durations like
+  # "in 0.0123s", and the random-seed line.
+  sed -E -e 's/\([0-9]+ ms( total)?\)//g' \
+         -e 's/[0-9]+(\.[0-9]+)?(e-?[0-9]+)?( ?m?s\b)/<t>\3/g' \
+         -e '/Random seed/d'
+}
+
+status=0
+for t in rap_test cluster_test util_test; do
+  bin="$BUILD_DIR/tests/$t"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (run: cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+  echo "[determinism] $t: MTH_THREADS=1 ..."
+  MTH_THREADS=1 "$bin" --gtest_filter="$FILTER" 2>&1 | normalize > "$TMP/$t.1"
+  echo "[determinism] $t: MTH_THREADS=8 ..."
+  MTH_THREADS=8 "$bin" --gtest_filter="$FILTER" 2>&1 | normalize > "$TMP/$t.8"
+  if diff -u "$TMP/$t.1" "$TMP/$t.8" > "$TMP/$t.diff"; then
+    echo "[determinism] $t: identical output at 1 and 8 threads"
+  else
+    echo "[determinism] $t: OUTPUT DIVERGED between thread counts:" >&2
+    cat "$TMP/$t.diff" >&2
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "[determinism] OK"
+else
+  echo "[determinism] FAILED" >&2
+fi
+exit $status
