@@ -2,12 +2,22 @@
 // number of minority instances, with a least-squares linear fit (the paper
 // reports "a strong linear correlation").
 //
-// Each point is solved serially (1 thread) and with MTH_THREADS workers; the
-// table reports both cost-matrix times and the speedup, results are checked
-// bit-identical, and BENCH_parallel.json is emitted (override the path with
-// MTH_PARALLEL_JSON; note bench_runtime_profile writes the same file).
+// Each point is solved three ways:
+//   dense-cold   max_cand_rows=0, warm_basis=false — the exact formulation
+//                with a cold two-phase simplex at every node (P2 baseline);
+//   sparse-warm  defaults — candidate-row pruning + warm-basis dual-simplex
+//                re-solves, run serially (1 thread) and with MTH_THREADS
+//                workers and checked bit-identical across thread counts.
+// The table reports both, the objective deviation sparse-vs-dense is checked
+// against MTH_SPARSE_GAP (default 2x the ILP rel_gap; skipped when either run
+// stopped on the deadline rather than proving its gap), and the process exits
+// nonzero on a violation — tools/perf_smoke.sh relies on that exit code.
+// BENCH_parallel.json and BENCH_ilp_sparse.json are emitted (override the
+// paths with MTH_PARALLEL_JSON / MTH_SPARSE_JSON).
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
@@ -15,6 +25,72 @@
 #include "mth/report/table.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/str.hpp"
+
+namespace {
+
+struct SparseRecord {
+  std::string testcase;
+  int minority_cells = 0;
+  int dense_lp_iters = 0;
+  int sparse_lp_iters = 0;
+  int dense_nodes = 0;
+  int sparse_nodes = 0;
+  int basis_reuse_hits = 0;
+  int cand_widenings = 0;
+  int dense_x_vars = 0;
+  int sparse_x_vars = 0;
+  double dense_obj = 0.0;
+  double sparse_obj = 0.0;
+  double rel_dev = 0.0;
+  bool dev_checked = false;  ///< both runs proved their gap (status Optimal)
+  bool dev_ok = true;
+  bool identical_assignment = false;  ///< same rows + cluster pairs as dense
+  double dense_s = 0.0;
+  double sparse_s = 0.0;
+};
+
+void write_sparse_json(const std::vector<SparseRecord>& records) {
+  const char* env = std::getenv("MTH_SPARSE_JSON");
+  const std::string path =
+      env != nullptr && *env != '\0' ? env : "BENCH_ilp_sparse.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"source\": \"bench_fig5_ilp_scaling\",\n"
+      << "  \"scale\": " << mth::bench::bench_scale() << ",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SparseRecord& r = records[i];
+    out << "    {\"testcase\": \"" << r.testcase << "\", "
+        << "\"minority_cells\": " << r.minority_cells << ", "
+        << "\"dense_lp_iters\": " << r.dense_lp_iters << ", "
+        << "\"sparse_lp_iters\": " << r.sparse_lp_iters << ", "
+        << "\"dense_nodes\": " << r.dense_nodes << ", "
+        << "\"sparse_nodes\": " << r.sparse_nodes << ", "
+        << "\"basis_reuse_hits\": " << r.basis_reuse_hits << ", "
+        << "\"cand_widenings\": " << r.cand_widenings << ", "
+        << "\"dense_x_vars\": " << r.dense_x_vars << ", "
+        << "\"sparse_x_vars\": " << r.sparse_x_vars << ", "
+        << "\"dense_obj\": " << r.dense_obj << ", "
+        << "\"sparse_obj\": " << r.sparse_obj << ", "
+        << "\"rel_dev\": " << r.rel_dev << ", "
+        << "\"dev_checked\": " << (r.dev_checked ? "true" : "false") << ", "
+        << "\"dev_ok\": " << (r.dev_ok ? "true" : "false") << ", "
+        << "\"identical_assignment\": "
+        << (r.identical_assignment ? "true" : "false") << ", "
+        << "\"dense_s\": " << r.dense_s << ", "
+        << "\"sparse_s\": " << r.sparse_s << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[bench] wrote " << path << " (" << records.size()
+            << " records)\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace mth;
@@ -28,34 +104,106 @@ int main() {
   // deadline high enough that most points terminate on their own.
   opt.rap.ilp.rel_gap = bench::env_double("MTH_ILP_GAP", 0.02);
   opt.rap.ilp.time_limit_s = bench::env_double("MTH_ILP_SECONDS", 30.0);
+  const double sparse_gap =
+      bench::env_double("MTH_SPARSE_GAP", 2.0 * opt.rap.ilp.rel_gap);
   const int threads = mth::util::default_num_threads();
   report::Table t({"Testcase", "minority insts", "clusters", "ILP status",
-                   "RAP runtime (s)", "cost 1T (s)",
+                   "RAP runtime (s)", "dense (s)", "LP iters d/s",
+                   "basis hits", "cost 1T (s)",
                    "cost " + std::to_string(threads) + "T (s)", "speedup"});
 
   std::vector<double> xs, ys;
   std::vector<bench::ParallelRecord> records;
+  std::vector<SparseRecord> sparse_records;
+  long long total_dense_iters = 0, total_sparse_iters = 0;
+  bool all_dev_ok = true;
   for (const synth::TestcaseSpec& spec : bench::bench_specs()) {
     std::cerr << "[fig5] " << spec.short_name << "...\n";
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
     rap::RapOptions ro = opt.rap;
     ro.n_min_pairs = pc.n_min_pairs;
     ro.width_library = pc.original_library.get();
+
+    // Dense-cold baseline: exact candidate set, cold two-phase LP per node.
+    rap::RapOptions dense_ro = ro;
+    dense_ro.max_cand_rows = 0;
+    dense_ro.ilp.warm_basis = false;
+    dense_ro.num_threads = threads;
+    const rap::RapResult dense = rap::solve_rap(pc.initial, dense_ro);
+    const double dense_s =
+        dense.cluster_seconds + dense.cost_seconds + dense.ilp_seconds;
+
+    // Sparse-warm (defaults), with the 1-vs-N-thread bit-identical check.
     bench::ParallelRecord rec;
     const rap::RapResult r = bench::measure_parallel_rap(pc, ro, threads, rec);
     records.push_back(rec);
     const double rap_s = r.cluster_seconds + r.cost_seconds + r.ilp_seconds;
+
+    SparseRecord sr;
+    sr.testcase = spec.short_name;
+    sr.minority_cells = pc.minority_cells;
+    sr.dense_lp_iters = dense.lp_iterations;
+    sr.sparse_lp_iters = r.lp_iterations;
+    sr.dense_nodes = dense.ilp_nodes;
+    sr.sparse_nodes = r.ilp_nodes;
+    sr.basis_reuse_hits = r.basis_reuse_hits;
+    sr.cand_widenings = r.cand_widenings;
+    sr.dense_x_vars = dense.num_x_vars;
+    sr.sparse_x_vars = r.num_x_vars;
+    sr.dense_obj = dense.objective;
+    sr.sparse_obj = r.objective;
+    sr.identical_assignment =
+        dense.assignment.pair_is_minority == r.assignment.pair_is_minority &&
+        dense.cluster_pair == r.cluster_pair;
+    sr.dense_s = dense_s;
+    sr.sparse_s = rap_s;
+    // Objective-quality gate: when both runs prove their gap, the pruned
+    // objective may exceed the dense one by at most sparse_gap (relative).
+    // Deadline-limited runs carry incumbents of unknown quality — skip.
+    sr.dev_checked = dense.status == ilp::Status::Optimal &&
+                     r.status == ilp::Status::Optimal;
+    if (sr.dev_checked) {
+      const double denom =
+          std::abs(dense.objective) > 1e-12 ? std::abs(dense.objective) : 1.0;
+      sr.rel_dev = (r.objective - dense.objective) / denom;
+      sr.dev_ok = sr.rel_dev <= sparse_gap;
+      if (!sr.dev_ok) {
+        std::cerr << "[fig5] FAIL " << spec.short_name
+                  << ": sparse objective deviates " << sr.rel_dev
+                  << " > allowed " << sparse_gap << " (dense " << dense.objective
+                  << ", sparse " << r.objective << ")\n";
+        all_dev_ok = false;
+      }
+    }
+    sparse_records.push_back(sr);
+    total_dense_iters += dense.lp_iterations;
+    total_sparse_iters += r.lp_iterations;
+
     xs.push_back(static_cast<double>(pc.minority_cells));
     ys.push_back(rap_s);
     t.add_row({spec.short_name, format_count(pc.minority_cells),
                format_count(r.num_clusters), ilp::to_string(r.status),
-               format_fixed(rap_s, 2), format_fixed(rec.serial_cost_s, 3),
+               format_fixed(rap_s, 2), format_fixed(dense_s, 2),
+               format_count(dense.lp_iterations) + "/" +
+                   format_count(r.lp_iterations),
+               format_count(r.basis_reuse_hits),
+               format_fixed(rec.serial_cost_s, 3),
                format_fixed(rec.parallel_cost_s, 3),
                format_fixed(
                    bench::speedup(rec.serial_cost_s, rec.parallel_cost_s), 2)});
   }
   t.print(std::cout);
+  std::cout << "\nSparse+warm vs dense+cold: total LP iterations "
+            << total_sparse_iters << " vs " << total_dense_iters << " ("
+            << (total_sparse_iters > 0
+                    ? format_fixed(static_cast<double>(total_dense_iters) /
+                                       static_cast<double>(total_sparse_iters),
+                                   2)
+                    : std::string("inf"))
+            << "x reduction), objective window " << sparse_gap << " "
+            << (all_dev_ok ? "respected" : "VIOLATED") << "\n\n";
   bench::write_parallel_json("bench_fig5_ilp_scaling", records);
+  write_sparse_json(sparse_records);
 
   // Least-squares fit y = a + b x with Pearson correlation.
   const std::size_t n = xs.size();
@@ -83,5 +231,5 @@ int main() {
   std::cout << "Note: runs that hit the ILP deadline (status 'feasible') sit"
                " at the configured MTH_ILP_SECONDS ceiling, flattening the"
                " upper tail.\n";
-  return 0;
+  return all_dev_ok ? 0 : 1;
 }

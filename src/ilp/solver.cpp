@@ -1,6 +1,7 @@
 #include "mth/ilp/solver.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <cmath>
 #include <utility>
@@ -32,6 +33,10 @@ struct BoundChange {
 struct Node {
   std::vector<BoundChange> changes;  ///< cumulative path from the root
   double parent_bound = -lp::kInf;   ///< LP bound inherited from the parent
+  /// Parent's optimal LP basis (shared by both children): the child bound
+  /// change leaves it dual-feasible, so the node LP re-solves with a few
+  /// dual-simplex pivots instead of a cold phase 1.
+  std::shared_ptr<const lp::Basis> basis;
 };
 
 /// Most-fractional integer variable in `x`; -1 when integral.
@@ -69,7 +74,8 @@ std::vector<double> rounded(const std::vector<double>& x,
 }  // namespace
 
 Result solve(lp::Model model, const std::vector<int>& integer_vars,
-             const Options& options, const std::vector<double>* warm_start) {
+             const Options& options, const std::vector<double>* warm_start,
+             const lp::Basis* root_basis) {
   WallTimer timer;
   Result res;
 
@@ -104,6 +110,14 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
 
   if (warm_start != nullptr) try_incumbent(*warm_start);
 
+  // One shared bound-prune predicate: a node (or child) whose LP bound is
+  // already within the relative gap of the incumbent proves nothing more.
+  auto pruned_by_bound = [&](double bound) {
+    if (!have_incumbent || bound <= -lp::kInf) return false;
+    const double denom = std::abs(incumbent) > 1e-12 ? std::abs(incumbent) : 1.0;
+    return (incumbent - bound) / denom <= options.rel_gap;
+  };
+
   // Best-first search: always expand the open node with the weakest
   // (smallest) inherited bound, so the proven global bound — the top of the
   // heap — rises monotonically and the gap actually closes (depth-first
@@ -113,7 +127,13 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
            (a.parent_bound == b.parent_bound && a.changes.size() < b.changes.size());
   };
   std::priority_queue<Node, std::vector<Node>, decltype(worse)> open(worse);
-  open.push(Node{{}, -lp::kInf});
+  {
+    Node root;
+    if (options.warm_basis && root_basis != nullptr && !root_basis->empty()) {
+      root.basis = std::make_shared<lp::Basis>(*root_basis);
+    }
+    open.push(std::move(root));
+  }
 
   auto open_bound = [&]() {
     return open.empty() ? lp::kInf : open.top().parent_bound;
@@ -128,16 +148,14 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
     Node node = open.top();
     open.pop();
 
-    // Bound-based prune without solving.
-    if (have_incumbent && node.parent_bound >= incumbent * (1.0 - options.rel_gap) - 1e-12 &&
-        node.parent_bound > -lp::kInf) {
-      const double denom = std::abs(incumbent) > 1e-12 ? std::abs(incumbent) : 1.0;
-      if ((incumbent - node.parent_bound) / denom <= options.rel_gap) continue;
-    }
+    // Bound-based prune without solving (the incumbent may have improved
+    // since this node was pushed).
+    if (pruned_by_bound(node.parent_bound)) continue;
 
     // Apply node bounds.
     for (const BoundChange& bc : node.changes) model.set_bounds(bc.var, bc.lb, bc.ub);
-    const lp::Result rel = lp::solve(model, options.lp);
+    lp::Result rel = lp::solve(model, options.lp,
+                               options.warm_basis ? node.basis.get() : nullptr);
     // Restore root bounds.
     for (const BoundChange& bc : node.changes) {
       model.set_bounds(bc.var, root_lb[static_cast<std::size_t>(bc.var)],
@@ -145,6 +163,7 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
     }
     ++res.nodes;
     res.lp_iterations += rel.iterations;
+    if (rel.warm_used) ++res.basis_reuse_hits;
 
     if (rel.status == lp::Status::Infeasible) continue;
     if (rel.status != lp::Status::Optimal) {
@@ -154,10 +173,7 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
       exhausted = false;
       continue;
     }
-    if (have_incumbent) {
-      const double denom = std::abs(incumbent) > 1e-12 ? std::abs(incumbent) : 1.0;
-      if ((incumbent - rel.objective) / denom <= options.rel_gap) continue;
-    }
+    if (pruned_by_bound(rel.objective)) continue;
 
     if (is_integral(rel.x, integer_vars, options.int_tol)) {
       try_incumbent(rounded(rel.x, integer_vars));
@@ -171,6 +187,11 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
       if (options.heuristic(rel.x, h)) try_incumbent(h);
     }
 
+    // Prune the children at push time: the heuristics above may have raised
+    // the incumbent past this node's own bound, and dead nodes on the heap
+    // only cost pops later.
+    if (pruned_by_bound(rel.objective)) continue;
+
     int bv = options.priority_vars.empty()
                  ? -1
                  : pick_branch_var(rel.x, options.priority_vars, options.int_tol);
@@ -179,12 +200,18 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
     const double xv = rel.x[static_cast<std::size_t>(bv)];
     const double fl = std::floor(xv);
 
+    std::shared_ptr<const lp::Basis> child_basis;
+    if (options.warm_basis && !rel.basis.empty()) {
+      child_basis = std::make_shared<lp::Basis>(std::move(rel.basis));
+    }
     Node down = node;
     down.parent_bound = rel.objective;
+    down.basis = child_basis;
     down.changes.push_back(
         {bv, root_lb[static_cast<std::size_t>(bv)], fl});
-    Node up = node;
+    Node up = std::move(node);
     up.parent_bound = rel.objective;
+    up.basis = std::move(child_basis);
     up.changes.push_back(
         {bv, fl + 1.0, root_ub[static_cast<std::size_t>(bv)]});
 

@@ -40,6 +40,10 @@ struct Options {
   /// Variables to branch on first while any of them is fractional (e.g. the
   /// RAP's row-opening indicators y_r, whose fixing collapses the search).
   std::vector<int> priority_vars;
+  /// Start each node's LP from the parent's optimal basis (dual simplex
+  /// re-solve) instead of a cold two-phase solve. false = cold baseline for
+  /// A/B measurement (bench_fig5_ilp_scaling).
+  bool warm_basis = true;
 };
 
 struct Result {
@@ -49,6 +53,7 @@ struct Result {
   std::vector<double> x;        ///< incumbent point (structural vars)
   int nodes = 0;
   int lp_iterations = 0;
+  int basis_reuse_hits = 0;     ///< node LPs that accepted an inherited basis
   double solve_seconds = 0.0;
 
   double gap() const {
@@ -60,9 +65,12 @@ struct Result {
 
 /// Solve min c'x with the model's rows/bounds and the listed variables
 /// restricted to integers. `warm_start`, when given and feasible, seeds the
-/// incumbent. The model is taken by value (bounds are mutated during search).
+/// incumbent; `root_basis`, when given (e.g. from a root cut loop's last LP),
+/// warm-starts the root relaxation. The model is taken by value (bounds are
+/// mutated during search).
 Result solve(lp::Model model, const std::vector<int>& integer_vars,
              const Options& options = {},
-             const std::vector<double>* warm_start = nullptr);
+             const std::vector<double>* warm_start = nullptr,
+             const lp::Basis* root_basis = nullptr);
 
 }  // namespace mth::ilp

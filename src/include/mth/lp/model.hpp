@@ -2,8 +2,9 @@
 // Linear-program model container (shared by the LP and MILP solvers).
 //
 // Variables carry bounds and objective coefficients; constraints are stored
-// row-wise during construction and compiled to column-major sparse form by
-// the simplex solver. Minimization convention throughout.
+// row-wise during construction and compiled on demand into flat CSR/CSC
+// arrays that the simplex solver (and feasibility checks) iterate directly —
+// no per-solve column rebuild. Minimization convention throughout.
 
 #include <limits>
 #include <string>
@@ -28,6 +29,15 @@ struct Row {
   std::vector<RowEntry> entries;
 };
 
+/// Flat compressed-sparse view: entries of slice `i` live in
+/// [ptr[i], ptr[i+1]) of the parallel idx/val arrays. Zero coefficients are
+/// dropped at compile time.
+struct SparseView {
+  std::vector<int> ptr;
+  std::vector<int> idx;
+  std::vector<double> val;
+};
+
 class Model {
  public:
   /// Add a variable; returns its index.
@@ -36,6 +46,7 @@ class Model {
     lb_.push_back(lb);
     ub_.push_back(ub);
     obj_.push_back(obj_coef);
+    csc_dirty_ = true;
     return num_vars() - 1;
   }
 
@@ -45,6 +56,8 @@ class Model {
       MTH_ASSERT(e.var >= 0 && e.var < num_vars(), "lp: row references unknown var");
     }
     rows_.push_back(Row{sense, rhs, std::move(entries)});
+    csc_dirty_ = true;
+    csr_dirty_ = true;
     return num_rows() - 1;
   }
 
@@ -56,11 +69,20 @@ class Model {
   double obj(int v) const { return obj_[static_cast<std::size_t>(v)]; }
   const Row& row(int r) const { return rows_[static_cast<std::size_t>(r)]; }
 
+  /// Bound changes do NOT invalidate the compiled sparse views — branch &
+  /// bound tightens bounds at every node while the matrix stays fixed.
   void set_bounds(int v, double lb, double ub) {
     MTH_ASSERT(lb <= ub, "lp: set_bounds with lb > ub");
     lb_[static_cast<std::size_t>(v)] = lb;
     ub_[static_cast<std::size_t>(v)] = ub;
   }
+
+  /// Column-major compiled matrix (ptr indexed by variable). Built lazily on
+  /// first use and cached until the matrix changes; not thread-safe.
+  const SparseView& csc() const;
+
+  /// Row-major compiled matrix (ptr indexed by row). Same caching rules.
+  const SparseView& csr() const;
 
   /// Objective value of a point (no feasibility check).
   double objective_value(const std::vector<double>& x) const {
@@ -76,6 +98,9 @@ class Model {
  private:
   std::vector<double> lb_, ub_, obj_;
   std::vector<Row> rows_;
+
+  mutable SparseView csc_, csr_;
+  mutable bool csc_dirty_ = true, csr_dirty_ = true;
 };
 
 }  // namespace mth::lp

@@ -6,7 +6,17 @@
 // a Bland's-rule anti-cycling fallback. Designed for the RAP ILP relaxations
 // (a few hundred rows, 10^3-10^5 very sparse columns) as the drop-in
 // replacement for CPLEX's LP core (DESIGN.md §2).
+//
+// Warm-basis re-solves: an Optimal solve exports its basis (basic variable
+// per row + nonbasic bound status per structural/slack variable). A later
+// solve of the same matrix — with tightened bounds, or with rows appended
+// (cuts; their slacks enter the basis) — can start from that basis: bound
+// changes leave the old basis dual-feasible, so a bounded-variable dual
+// simplex restores primal feasibility in a handful of pivots and phase 1 is
+// skipped entirely. Any mismatch or numerical trouble falls back to the cold
+// two-phase path, so a warm hint never changes the answer, only the work.
 
+#include <cstdint>
 #include <vector>
 
 #include "mth/lp/model.hpp"
@@ -16,6 +26,21 @@ namespace mth::lp {
 enum class Status { Optimal, Infeasible, Unbounded, IterLimit };
 
 const char* to_string(Status s);
+
+/// Nonbasic rest state of a variable in an exported basis.
+enum class BasisState : std::uint8_t { Basic, AtLower, AtUpper, Free };
+
+/// Simplex basis snapshot over the structural + slack variables (slack of
+/// row i has index num_structs + i; solver-internal artificials are never
+/// exported). Valid as a warm start for the same matrix, optionally with
+/// extra rows appended since the snapshot was taken.
+struct Basis {
+  int num_structs = 0;           ///< structural var count when snapshotted
+  std::vector<int> basic;        ///< row -> basic variable index
+  std::vector<BasisState> state; ///< per-variable status, size num_structs + basic.size()
+
+  bool empty() const { return basic.empty(); }
+};
 
 struct Options {
   int max_iterations = 200000;   ///< combined phase 1+2 pivot budget
@@ -28,10 +53,16 @@ struct Result {
   double objective = 0.0;
   std::vector<double> x;      ///< primal values (structural vars only)
   std::vector<double> duals;  ///< row duals (valid when Optimal)
-  int iterations = 0;
+  int iterations = 0;         ///< total pivots (primal + dual)
+  int dual_iterations = 0;    ///< dual-simplex share of `iterations`
+  bool warm_used = false;     ///< warm basis accepted (phase 1 skipped)
+  Basis basis;                ///< optimal basis (empty unless exportable)
 };
 
-/// Solve min c'x s.t. rows, lb <= x <= ub.
-Result solve(const Model& model, const Options& options = {});
+/// Solve min c'x s.t. rows, lb <= x <= ub. `warm`, when non-null and
+/// compatible (see Basis), seeds the starting basis; an incompatible or
+/// numerically unusable basis is ignored.
+Result solve(const Model& model, const Options& options = {},
+             const Basis* warm = nullptr);
 
 }  // namespace mth::lp

@@ -36,6 +36,14 @@ struct RapOptions {
   /// library when the design is in mLEF space); null == design's library.
   const Library* width_library = nullptr;
   int kmeans_max_iterations = 40;
+  /// Candidate-row pruning: keep only this many cheapest rows (by f_cr, ties
+  /// to the lower row index) as assignment candidates per cluster, shrinking
+  /// the ILP from N_C*N_R to N_C*K variables. 0 = dense/exact formulation —
+  /// every row stays a candidate (the escape hatch benches use to quantify
+  /// the pruning loss). A cluster whose pruned set cannot absorb it is
+  /// widened (candidate count doubled) until feasible, so pruning never
+  /// manufactures infeasibility.
+  int max_cand_rows = 64;
   /// Model the displacement of majority cells evicted from chosen minority
   /// pairs as a linear cost on y_r. The paper's f_cr covers minority cells
   /// only; Table IV's metric is *total* displacement, and at small design
@@ -68,7 +76,10 @@ struct RapResult {
   std::vector<int> cluster_of;   ///< minority-cell index -> cluster
   std::vector<int> cluster_pair; ///< cluster -> assigned row pair
   int num_clusters = 0;
-  int num_x_vars = 0;            ///< ILP size (the paper's N_C x N_R)
+  /// Actual ILP assignment-variable count: the sum of per-cluster candidate
+  /// list lengths (== the paper's N_C x N_R only when pruning is off).
+  int num_x_vars = 0;
+  int num_cand_rows = 0;         ///< widest per-cluster candidate list used
   int n_min_pairs = 0;
 
   double cluster_seconds = 0.0;
@@ -79,6 +90,9 @@ struct RapResult {
   double objective = 0.0;
   double gap = 0.0;
   int ilp_nodes = 0;
+  int lp_iterations = 0;         ///< simplex pivots: root cut loop + all B&B nodes
+  int basis_reuse_hits = 0;      ///< LP solves that started from a warm basis
+  int cand_widenings = 0;        ///< feasibility-repair widening passes taken
 };
 
 /// Solve the RAP for a design holding an unconstrained initial placement
@@ -95,14 +109,18 @@ namespace detail {
 /// `forced_rows` is non-null it fixes the open-row set; otherwise up to
 /// `n_min` rows open on demand and the open set is padded to exactly `n_min`
 /// afterwards. All cost ties — including the all-zero ties of a null
-/// `open_cost` during padding — break to the lowest row index.
+/// `open_cost` during padding — break to the lowest row index. On failure,
+/// `fail_cluster` (when non-null) receives the first cluster that could not
+/// be placed, or -1 when the failure was not cluster-local (open-set
+/// padding) — the candidate-pruning repair pass widens exactly that cluster.
 bool greedy_assign(const std::vector<std::vector<double>>& cost,
                    const std::vector<std::vector<int>>& cand,
                    const std::vector<Dbu>& cluster_w,
                    const std::vector<Dbu>& cap, int n_min,
                    const std::vector<double>* open_cost,
                    const std::vector<char>* forced_rows,
-                   std::vector<int>& pair_out, std::vector<char>& open_out);
+                   std::vector<int>& pair_out, std::vector<char>& open_out,
+                   int* fail_cluster = nullptr);
 
 }  // namespace detail
 

@@ -5,6 +5,62 @@
 
 namespace mth::lp {
 
+const SparseView& Model::csc() const {
+  if (!csc_dirty_) return csc_;
+  const int n = num_vars();
+  csc_.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Count nonzeros per column, then prefix-sum into ptr.
+  for (const Row& r : rows_) {
+    for (const RowEntry& e : r.entries) {
+      if (e.coef != 0.0) ++csc_.ptr[static_cast<std::size_t>(e.var) + 1];
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    csc_.ptr[static_cast<std::size_t>(v) + 1] += csc_.ptr[static_cast<std::size_t>(v)];
+  }
+  const std::size_t nnz = static_cast<std::size_t>(csc_.ptr[static_cast<std::size_t>(n)]);
+  csc_.idx.assign(nnz, 0);
+  csc_.val.assign(nnz, 0.0);
+  std::vector<int> fill(csc_.ptr.begin(), csc_.ptr.end() - 1);
+  // Scanning rows in order leaves each column's row indices ascending.
+  for (int i = 0; i < num_rows(); ++i) {
+    for (const RowEntry& e : rows_[static_cast<std::size_t>(i)].entries) {
+      if (e.coef == 0.0) continue;
+      const std::size_t k = static_cast<std::size_t>(fill[static_cast<std::size_t>(e.var)]++);
+      csc_.idx[k] = i;
+      csc_.val[k] = e.coef;
+    }
+  }
+  csc_dirty_ = false;
+  return csc_;
+}
+
+const SparseView& Model::csr() const {
+  if (!csr_dirty_) return csr_;
+  const int m = num_rows();
+  csr_.ptr.assign(static_cast<std::size_t>(m) + 1, 0);
+  std::size_t nnz = 0;
+  for (const Row& r : rows_) {
+    for (const RowEntry& e : r.entries) {
+      if (e.coef != 0.0) ++nnz;
+    }
+  }
+  csr_.idx.clear();
+  csr_.val.clear();
+  csr_.idx.reserve(nnz);
+  csr_.val.reserve(nnz);
+  for (int i = 0; i < m; ++i) {
+    for (const RowEntry& e : rows_[static_cast<std::size_t>(i)].entries) {
+      if (e.coef == 0.0) continue;
+      csr_.idx.push_back(e.var);
+      csr_.val.push_back(e.coef);
+    }
+    csr_.ptr[static_cast<std::size_t>(i) + 1] = static_cast<int>(csr_.idx.size());
+  }
+  csr_dirty_ = false;
+  return csr_;
+}
+
 double Model::max_violation(const std::vector<double>& x) const {
   MTH_ASSERT(x.size() == obj_.size(), "lp: point size mismatch");
   double worst = 0.0;
@@ -13,11 +69,15 @@ double Model::max_violation(const std::vector<double>& x) const {
     worst = std::max(worst, lb(v) - xv);
     worst = std::max(worst, xv - ub(v));
   }
-  for (const Row& r : rows_) {
+  const SparseView& rows = csr();
+  for (int i = 0; i < num_rows(); ++i) {
     double lhs = 0.0;
-    for (const RowEntry& e : r.entries) {
-      lhs += e.coef * x[static_cast<std::size_t>(e.var)];
+    for (int k = rows.ptr[static_cast<std::size_t>(i)];
+         k < rows.ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      lhs += rows.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(rows.idx[static_cast<std::size_t>(k)])];
     }
+    const Row& r = rows_[static_cast<std::size_t>(i)];
     switch (r.sense) {
       case Sense::LE: worst = std::max(worst, lhs - r.rhs); break;
       case Sense::GE: worst = std::max(worst, r.rhs - lhs); break;

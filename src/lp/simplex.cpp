@@ -124,71 +124,42 @@ struct Eta {
   double pivot_value = 1.0;
 };
 
-enum class VarState : std::uint8_t { Basic, AtLower, AtUpper, Free };
-
 /// Internal pseudo-status: basis went singular, restart from artificials.
 constexpr Status kNeedsRebuild = static_cast<Status>(99);
+/// Internal pseudo-status: warm start unusable, fall back to the cold path.
+constexpr Status kWarmFail = static_cast<Status>(98);
 
 // ---------------------------------------------------------------------------
 // The solver proper.
 // ---------------------------------------------------------------------------
 class Simplex {
  public:
-  Simplex(const Model& model, const Options& opt) : model_(model), opt_(opt) {
-    build_columns();
+  Simplex(const Model& model, const Options& opt, const Basis* warm)
+      : model_(model), opt_(opt), warm_(warm) {
+    build_layout();
   }
 
   Result run() {
     Result res;
     if (m_ == 0) return solve_trivial();
 
-    // A numerically singular basis triggers a full restart from the
-    // artificial basis (rare; correctness over speed).
-    Status st = Status::IterLimit;
-    for (int attempt = 0; attempt < 3; ++attempt) {
-      if (attempt > 0) {
-        MTH_WARN << "simplex: singular basis — restarting (attempt "
-                 << attempt + 1 << ")";
-      }
-      // (Re-)open artificial bounds for phase 1.
-      for (int i = 0; i < m_; ++i) {
-        lb_[static_cast<std::size_t>(art0_ + i)] = 0.0;
-        ub_[static_cast<std::size_t>(art0_ + i)] = kInf;
-      }
-      init_basis();
-
-      // Phase 1: minimize sum of artificials.
-      phase1_ = true;
-      st = iterate(res.iterations);
-      if (st == kNeedsRebuild) continue;
-      if (st == Status::IterLimit) {
-        res.status = st;
-        return res;
-      }
-      if (basic_cost_sum() > 1e-6) {
-        res.status = Status::Infeasible;
-        res.iterations = iterations_;
-        return res;
-      }
-      // Lock artificials to zero and switch to the real objective.
-      for (int j = art0_; j < art0_ + m_; ++j) {
-        lb_[static_cast<std::size_t>(j)] = 0.0;
-        ub_[static_cast<std::size_t>(j)] = 0.0;
-        if (state_[static_cast<std::size_t>(j)] != VarState::Basic) {
-          state_[static_cast<std::size_t>(j)] = VarState::AtLower;
-          value_[static_cast<std::size_t>(j)] = 0.0;
-        }
-      }
+    Status st;
+    if (warm_ != nullptr && !warm_->empty() && load_warm_basis()) {
+      res.warm_used = true;
       phase1_ = false;
-      if (!refactorize()) continue;  // recomputes basic values too
-
-      st = iterate(res.iterations);
-      if (st == kNeedsRebuild) continue;
-      break;
+      st = reoptimize();
+      if (st == kNeedsRebuild || st == kWarmFail) {
+        MTH_DEBUG << "simplex: warm basis abandoned — cold restart";
+        res.warm_used = false;
+        st = cold_solve();
+      }
+    } else {
+      st = cold_solve();
     }
-    if (st == kNeedsRebuild) st = Status::IterLimit;
+
     res.status = st;
     res.iterations = iterations_;
+    res.dual_iterations = dual_iterations_;
     if (st != Status::Optimal) return res;
 
     res.x.assign(static_cast<std::size_t>(model_.num_vars()), 0.0);
@@ -197,10 +168,27 @@ class Simplex {
     }
     res.objective = model_.objective_value(res.x);
     res.duals = compute_duals();
+    export_basis(res.basis);
     return res;
   }
 
  private:
+  /// Column j of the working matrix: structural columns come from the
+  /// model's compiled CSC; slack and artificial columns are implicit unit
+  /// vectors. `f(row, coef)` is invoked per nonzero.
+  template <class F>
+  void for_col(int j, F&& f) const {
+    if (j < nstruct_) {
+      const std::size_t b = static_cast<std::size_t>(csc_->ptr[static_cast<std::size_t>(j)]);
+      const std::size_t e = static_cast<std::size_t>(csc_->ptr[static_cast<std::size_t>(j) + 1]);
+      for (std::size_t k = b; k < e; ++k) f(csc_->idx[k], csc_->val[k]);
+    } else if (j < art0_) {
+      f(j - slack0_, 1.0);
+    } else {
+      f(j - art0_, art_sign_[static_cast<std::size_t>(j - art0_)]);
+    }
+  }
+
   Result solve_trivial() {
     // No constraints: every variable goes to its cheaper finite bound.
     Result res;
@@ -232,17 +220,18 @@ class Simplex {
     return res;
   }
 
-  void build_columns() {
+  void build_layout() {
     m_ = model_.num_rows();
     nstruct_ = model_.num_vars();
     slack0_ = nstruct_;
     art0_ = nstruct_ + m_;
     ntotal_ = nstruct_ + 2 * m_;
+    csc_ = &model_.csc();
 
-    cols_.assign(static_cast<std::size_t>(ntotal_), {});
     lb_.assign(static_cast<std::size_t>(ntotal_), 0.0);
     ub_.assign(static_cast<std::size_t>(ntotal_), 0.0);
     rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+    art_sign_.assign(static_cast<std::size_t>(m_), 1.0);
 
     for (int j = 0; j < nstruct_; ++j) {
       lb_[static_cast<std::size_t>(j)] = model_.lb(j);
@@ -251,14 +240,8 @@ class Simplex {
     for (int i = 0; i < m_; ++i) {
       const Row& r = model_.row(i);
       rhs_[static_cast<std::size_t>(i)] = r.rhs;
-      for (const RowEntry& e : r.entries) {
-        if (e.coef != 0.0) {
-          cols_[static_cast<std::size_t>(e.var)].emplace_back(i, e.coef);
-        }
-      }
       // Slack: row + slack == rhs.
       const int s = slack0_ + i;
-      cols_[static_cast<std::size_t>(s)].emplace_back(i, 1.0);
       switch (r.sense) {
         case Sense::LE:
           lb_[static_cast<std::size_t>(s)] = 0.0;
@@ -273,22 +256,65 @@ class Simplex {
           ub_[static_cast<std::size_t>(s)] = 0.0;
           break;
       }
-      // Artificial sign is fixed at init time; column built there.
+      // Artificial sign is fixed at init time (cold path).
     }
   }
 
   /// Nonbasic starting value for a variable given its bounds.
-  static std::pair<double, VarState> start_point(double lo, double hi) {
-    if (lo == -kInf && hi == kInf) return {0.0, VarState::Free};
-    if (lo == -kInf) return {hi, VarState::AtUpper};
-    if (hi == kInf) return {lo, VarState::AtLower};
-    return std::abs(lo) <= std::abs(hi) ? std::make_pair(lo, VarState::AtLower)
-                                        : std::make_pair(hi, VarState::AtUpper);
+  static std::pair<double, BasisState> start_point(double lo, double hi) {
+    if (lo == -kInf && hi == kInf) return {0.0, BasisState::Free};
+    if (lo == -kInf) return {hi, BasisState::AtUpper};
+    if (hi == kInf) return {lo, BasisState::AtLower};
+    return std::abs(lo) <= std::abs(hi) ? std::make_pair(lo, BasisState::AtLower)
+                                        : std::make_pair(hi, BasisState::AtUpper);
+  }
+
+  // -------------------------------------------------------------------------
+  // Cold start: two-phase from the artificial basis.
+  // -------------------------------------------------------------------------
+  Status cold_solve() {
+    Status st = Status::IterLimit;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (attempt > 0) {
+        MTH_WARN << "simplex: singular basis — restarting (attempt "
+                 << attempt + 1 << ")";
+      }
+      // (Re-)open artificial bounds for phase 1.
+      for (int i = 0; i < m_; ++i) {
+        lb_[static_cast<std::size_t>(art0_ + i)] = 0.0;
+        ub_[static_cast<std::size_t>(art0_ + i)] = kInf;
+      }
+      init_basis();
+
+      // Phase 1: minimize sum of artificials.
+      phase1_ = true;
+      st = iterate();
+      if (st == kNeedsRebuild) continue;
+      if (st == Status::IterLimit) return st;
+      if (basic_cost_sum() > 1e-6) return Status::Infeasible;
+      // Lock artificials to zero and switch to the real objective.
+      for (int j = art0_; j < art0_ + m_; ++j) {
+        lb_[static_cast<std::size_t>(j)] = 0.0;
+        ub_[static_cast<std::size_t>(j)] = 0.0;
+        if (state_[static_cast<std::size_t>(j)] != BasisState::Basic) {
+          state_[static_cast<std::size_t>(j)] = BasisState::AtLower;
+          value_[static_cast<std::size_t>(j)] = 0.0;
+        }
+      }
+      phase1_ = false;
+      if (!refactorize()) continue;  // recomputes basic values too
+
+      st = iterate();
+      if (st == kNeedsRebuild) continue;
+      break;
+    }
+    if (st == kNeedsRebuild) st = Status::IterLimit;
+    return st;
   }
 
   void init_basis() {
     value_.assign(static_cast<std::size_t>(ntotal_), 0.0);
-    state_.assign(static_cast<std::size_t>(ntotal_), VarState::AtLower);
+    state_.assign(static_cast<std::size_t>(ntotal_), BasisState::AtLower);
     for (int j = 0; j < art0_; ++j) {
       const auto [v, st] = start_point(lb_[static_cast<std::size_t>(j)],
                                        ub_[static_cast<std::size_t>(j)]);
@@ -300,25 +326,94 @@ class Simplex {
     for (int j = 0; j < art0_; ++j) {
       const double v = value_[static_cast<std::size_t>(j)];
       if (v != 0.0) {
-        for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+        for_col(j, [&](int row, double coef) {
           resid[static_cast<std::size_t>(row)] -= coef * v;
-        }
+        });
       }
     }
     basic_.resize(static_cast<std::size_t>(m_));
     for (int i = 0; i < m_; ++i) {
       const int a = art0_ + i;
-      const double sign = resid[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
-      cols_[static_cast<std::size_t>(a)] = {{i, sign}};
+      art_sign_[static_cast<std::size_t>(i)] =
+          resid[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
       lb_[static_cast<std::size_t>(a)] = 0.0;
       ub_[static_cast<std::size_t>(a)] = kInf;
-      state_[static_cast<std::size_t>(a)] = VarState::Basic;
+      state_[static_cast<std::size_t>(a)] = BasisState::Basic;
       value_[static_cast<std::size_t>(a)] =
           std::abs(resid[static_cast<std::size_t>(i)]);
       basic_[static_cast<std::size_t>(i)] = a;
     }
     const bool ok = refactorize();
     MTH_ASSERT(ok, "simplex: artificial basis cannot be singular");
+  }
+
+  // -------------------------------------------------------------------------
+  // Warm start: adopt an exported basis (possibly from a model with fewer
+  // rows — appended cut rows get their slack basic), then re-optimize with
+  // the dual simplex. Returns false when the snapshot doesn't fit.
+  // -------------------------------------------------------------------------
+  bool load_warm_basis() {
+    const Basis& b = *warm_;
+    if (b.num_structs != nstruct_) return false;
+    const int m_old = static_cast<int>(b.basic.size());
+    if (m_old <= 0 || m_old > m_) return false;
+    if (static_cast<int>(b.state.size()) != nstruct_ + m_old) return false;
+
+    value_.assign(static_cast<std::size_t>(ntotal_), 0.0);
+    state_.assign(static_cast<std::size_t>(ntotal_), BasisState::AtLower);
+    basic_.assign(static_cast<std::size_t>(m_), -1);
+
+    std::vector<char> is_basic(static_cast<std::size_t>(nstruct_ + m_), 0);
+    for (int i = 0; i < m_old; ++i) {
+      const int j = b.basic[static_cast<std::size_t>(i)];
+      if (j < 0 || j >= nstruct_ + m_old) return false;
+      if (b.state[static_cast<std::size_t>(j)] != BasisState::Basic) return false;
+      if (is_basic[static_cast<std::size_t>(j)]) return false;  // duplicate
+      is_basic[static_cast<std::size_t>(j)] = 1;
+      basic_[static_cast<std::size_t>(i)] = j;
+      state_[static_cast<std::size_t>(j)] = BasisState::Basic;
+    }
+    // Rows appended since the snapshot (cuts): their slacks are basic.
+    for (int i = m_old; i < m_; ++i) {
+      basic_[static_cast<std::size_t>(i)] = slack0_ + i;
+      state_[static_cast<std::size_t>(slack0_ + i)] = BasisState::Basic;
+    }
+    // Nonbasic structural/old-slack variables rest on a bound. Bounds may
+    // have moved since the snapshot; re-anchor on the current ones.
+    for (int j = 0; j < nstruct_ + m_old; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == BasisState::Basic) continue;
+      const double lo = lb_[static_cast<std::size_t>(j)];
+      const double hi = ub_[static_cast<std::size_t>(j)];
+      BasisState st = b.state[static_cast<std::size_t>(j)];
+      if (st == BasisState::AtLower && lo == -kInf) {
+        st = hi != kInf ? BasisState::AtUpper : BasisState::Free;
+      } else if (st == BasisState::AtUpper && hi == kInf) {
+        st = lo != -kInf ? BasisState::AtLower : BasisState::Free;
+      } else if (st == BasisState::Free && (lo != -kInf || hi != kInf)) {
+        st = start_point(lo, hi).second;
+      }
+      state_[static_cast<std::size_t>(j)] = st;
+      value_[static_cast<std::size_t>(j)] =
+          st == BasisState::AtLower ? lo : (st == BasisState::AtUpper ? hi : 0.0);
+    }
+    // Artificials stay locked out of a warm solve.
+    for (int i = 0; i < m_; ++i) {
+      const int a = art0_ + i;
+      art_sign_[static_cast<std::size_t>(i)] = 1.0;
+      lb_[static_cast<std::size_t>(a)] = 0.0;
+      ub_[static_cast<std::size_t>(a)] = 0.0;
+      state_[static_cast<std::size_t>(a)] = BasisState::AtLower;
+      value_[static_cast<std::size_t>(a)] = 0.0;
+    }
+    return refactorize();
+  }
+
+  /// Dual simplex until primal feasible, then primal clean-up. Only entered
+  /// with a loaded warm basis (dual-feasible after bound changes / new cuts).
+  Status reoptimize() {
+    const Status st = dual_iterate();
+    if (st != Status::Optimal) return st;
+    return iterate();
   }
 
   double cost_of(int j) const {
@@ -341,10 +436,10 @@ class Simplex {
     std::vector<double> dense(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
     for (int i = 0; i < m_; ++i) {
       const int j = basic_[static_cast<std::size_t>(i)];
-      for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+      for_col(j, [&](int row, double coef) {
         dense[static_cast<std::size_t>(row) * static_cast<std::size_t>(m_) +
               static_cast<std::size_t>(i)] = coef;
-      }
+      });
     }
     if (!lu_.factorize(std::move(dense), m_, 1e-11)) return false;
     etas_.clear();
@@ -356,12 +451,12 @@ class Simplex {
   void recompute_basic_values() {
     std::vector<double> r = rhs_;
     for (int j = 0; j < ntotal_; ++j) {
-      if (state_[static_cast<std::size_t>(j)] == VarState::Basic) continue;
+      if (state_[static_cast<std::size_t>(j)] == BasisState::Basic) continue;
       const double v = value_[static_cast<std::size_t>(j)];
       if (v != 0.0) {
-        for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+        for_col(j, [&](int row, double coef) {
           r[static_cast<std::size_t>(row)] -= coef * v;
-        }
+        });
       }
     }
     ftran(r);
@@ -402,22 +497,36 @@ class Simplex {
     return duals;
   }
 
+  /// Export the current (optimal) basis unless an artificial is still basic
+  /// — such a basis is meaningless outside this solve.
+  void export_basis(Basis& out) const {
+    for (int i = 0; i < m_; ++i) {
+      if (basic_[static_cast<std::size_t>(i)] >= art0_) return;
+    }
+    out.num_structs = nstruct_;
+    out.basic = basic_;
+    out.state.assign(static_cast<std::size_t>(art0_), BasisState::AtLower);
+    for (int j = 0; j < art0_; ++j) {
+      out.state[static_cast<std::size_t>(j)] = state_[static_cast<std::size_t>(j)];
+    }
+  }
+
   /// Dantzig (or Bland) pricing. Returns entering var or -1 (optimal).
   int price(const std::vector<double>& y, int& direction, bool bland) const {
     int best = -1;
     double best_score = opt_.tol;
     for (int j = 0; j < ntotal_; ++j) {
-      const VarState st = state_[static_cast<std::size_t>(j)];
-      if (st == VarState::Basic) continue;
+      const BasisState st = state_[static_cast<std::size_t>(j)];
+      if (st == BasisState::Basic) continue;
       if (lb_[static_cast<std::size_t>(j)] == ub_[static_cast<std::size_t>(j)]) continue;
       double d = cost_of(j);
-      for (const auto& [row, coef] : cols_[static_cast<std::size_t>(j)]) {
+      for_col(j, [&](int row, double coef) {
         d -= y[static_cast<std::size_t>(row)] * coef;
-      }
+      });
       int dir = 0;
-      if ((st == VarState::AtLower || st == VarState::Free) && d < -opt_.tol) {
+      if ((st == BasisState::AtLower || st == BasisState::Free) && d < -opt_.tol) {
         dir = +1;
-      } else if ((st == VarState::AtUpper || st == VarState::Free) && d > opt_.tol) {
+      } else if ((st == BasisState::AtUpper || st == BasisState::Free) && d > opt_.tol) {
         dir = -1;
       } else {
         continue;
@@ -436,13 +545,10 @@ class Simplex {
     return best;
   }
 
-  Status iterate(int& iters_out) {
+  Status iterate() {
     int degenerate_streak = 0;
     while (true) {
-      if (iterations_ >= opt_.max_iterations) {
-        iters_out = iterations_;
-        return Status::IterLimit;
-      }
+      if (iterations_ >= opt_.max_iterations) return Status::IterLimit;
       const bool bland = degenerate_streak > 400;
 
       std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
@@ -453,16 +559,13 @@ class Simplex {
 
       int dir = 0;
       const int q = price(y, dir, bland);
-      if (q < 0) {
-        iters_out = iterations_;
-        return Status::Optimal;
-      }
+      if (q < 0) return Status::Optimal;
 
       // FTRAN the entering column.
       std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
-      for (const auto& [row, coef] : cols_[static_cast<std::size_t>(q)]) {
+      for_col(q, [&](int row, double coef) {
         w[static_cast<std::size_t>(row)] = coef;
-      }
+      });
       ftran(w);
 
       // Two-pass (Harris-style) ratio test: find the tightest step, then
@@ -525,10 +628,7 @@ class Simplex {
         }
       }
 
-      if (t_max == kInf) {
-        iters_out = iterations_;
-        return Status::Unbounded;
-      }
+      if (t_max == kInf) return Status::Unbounded;
       if (t_max < opt_.tol) {
         ++degenerate_streak;
       } else {
@@ -551,17 +651,17 @@ class Simplex {
       if (leave < 0) {
         // Bound flip: q jumps to its opposite bound; no basis change.
         state_[static_cast<std::size_t>(q)] =
-            dir > 0 ? VarState::AtUpper : VarState::AtLower;
+            dir > 0 ? BasisState::AtUpper : BasisState::AtLower;
         value_[static_cast<std::size_t>(q)] =
             dir > 0 ? ub_[static_cast<std::size_t>(q)] : lb_[static_cast<std::size_t>(q)];
       } else {
         const int out = basic_[static_cast<std::size_t>(leave)];
         value_[static_cast<std::size_t>(out)] = leave_bound;
         state_[static_cast<std::size_t>(out)] =
-            (leave_bound == lb_[static_cast<std::size_t>(out)]) ? VarState::AtLower
-                                                                : VarState::AtUpper;
+            (leave_bound == lb_[static_cast<std::size_t>(out)]) ? BasisState::AtLower
+                                                                : BasisState::AtUpper;
         basic_[static_cast<std::size_t>(leave)] = q;
-        state_[static_cast<std::size_t>(q)] = VarState::Basic;
+        state_[static_cast<std::size_t>(q)] = BasisState::Basic;
 
         // Record the eta (product-form update) for the new basis.
         Eta e;
@@ -574,33 +674,171 @@ class Simplex {
         }
         etas_.push_back(std::move(e));
         if (static_cast<int>(etas_.size()) >= opt_.refactor_interval) {
-          if (!refactorize()) {
-            iters_out = iterations_;
-            return kNeedsRebuild;
-          }
+          if (!refactorize()) return kNeedsRebuild;
         }
       }
       ++iterations_;
     }
   }
 
+  // -------------------------------------------------------------------------
+  // Bounded-variable dual simplex: drive out-of-bound basic variables to
+  // their violated bound while keeping reduced costs dual-feasible. Returns
+  // Optimal once primal feasible (the primal clean-up then finishes),
+  // kWarmFail when no admissible pivot exists (genuinely primal-infeasible
+  // or numerically stuck — the cold path delivers the verdict either way).
+  // -------------------------------------------------------------------------
+  Status dual_iterate() {
+    constexpr double kFeasTol = 1e-7;
+    constexpr double kPivotTol = 1e-9;
+    const int budget = iterations_ + std::max(200, 8 * m_);
+    int degenerate_streak = 0;
+    int repair_attempts = 0;
+    while (true) {
+      if (iterations_ >= opt_.max_iterations) return Status::IterLimit;
+      if (iterations_ >= budget) return kWarmFail;
+
+      // Leaving variable: the most infeasible basic.
+      int p = -1;
+      double worst = kFeasTol;
+      double target = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const int bj = basic_[static_cast<std::size_t>(i)];
+        const double v = value_[static_cast<std::size_t>(bj)];
+        const double lo = lb_[static_cast<std::size_t>(bj)];
+        const double hi = ub_[static_cast<std::size_t>(bj)];
+        if (lo != -kInf && lo - v > worst) {
+          worst = lo - v;
+          p = i;
+          target = lo;
+        } else if (hi != kInf && v - hi > worst) {
+          worst = v - hi;
+          p = i;
+          target = hi;
+        }
+      }
+      if (p < 0) return Status::Optimal;  // primal feasible
+
+      // Row p of B^{-1} (for the alphas) and the duals (for reduced costs).
+      std::vector<double> rho(static_cast<std::size_t>(m_), 0.0);
+      rho[static_cast<std::size_t>(p)] = 1.0;
+      btran(rho);
+      std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        y[static_cast<std::size_t>(i)] = cost_of(basic_[static_cast<std::size_t>(i)]);
+      }
+      btran(y);
+
+      const int pj = basic_[static_cast<std::size_t>(p)];
+      const double e = value_[static_cast<std::size_t>(pj)] - target;
+      const bool bland = degenerate_streak > 400;
+
+      // Entering variable: dual ratio test. Moving nonbasic j by t changes
+      // the leaving value by -alpha_j * t; t = e / alpha_j must respect j's
+      // rest bound, and min |d_j| / |alpha_j| keeps the duals feasible.
+      int q = -1;
+      double best_ratio = kInf;
+      double best_alpha = 0.0;
+      for (int j = 0; j < ntotal_; ++j) {
+        const BasisState st = state_[static_cast<std::size_t>(j)];
+        if (st == BasisState::Basic) continue;
+        if (lb_[static_cast<std::size_t>(j)] == ub_[static_cast<std::size_t>(j)]) continue;
+        double alpha = 0.0;
+        for_col(j, [&](int row, double coef) {
+          alpha += rho[static_cast<std::size_t>(row)] * coef;
+        });
+        if (std::abs(alpha) <= kPivotTol) continue;
+        const double t_sign = e / alpha;  // movement direction of j
+        if (st == BasisState::AtLower && t_sign < 0.0) continue;
+        if (st == BasisState::AtUpper && t_sign > 0.0) continue;
+        double d = cost_of(j);
+        for_col(j, [&](int row, double coef) {
+          d -= y[static_cast<std::size_t>(row)] * coef;
+        });
+        const double ratio = std::abs(d) / std::abs(alpha);
+        const bool better =
+            bland ? (q < 0 || (ratio <= best_ratio + opt_.tol && j < q))
+                  : (ratio < best_ratio - 1e-12 ||
+                     (ratio < best_ratio + 1e-12 && std::abs(alpha) > std::abs(best_alpha)));
+        if (better) {
+          best_ratio = ratio;
+          best_alpha = alpha;
+          q = j;
+        }
+      }
+      if (q < 0) return kWarmFail;  // no admissible pivot
+
+      // FTRAN the entering column; its p-entry must agree with alpha_q.
+      std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+      for_col(q, [&](int row, double coef) {
+        w[static_cast<std::size_t>(row)] = coef;
+      });
+      ftran(w);
+      const double wp = w[static_cast<std::size_t>(p)];
+      if (std::abs(wp) <= kPivotTol ||
+          std::abs(wp - best_alpha) > 1e-6 * std::max(1.0, std::abs(best_alpha))) {
+        if (++repair_attempts > 3 || !refactorize()) return kWarmFail;
+        continue;  // recompute with a fresh factorization
+      }
+
+      const double t = e / wp;
+      for (int i = 0; i < m_; ++i) {
+        const double wi = w[static_cast<std::size_t>(i)];
+        if (i != p && wi != 0.0) {
+          value_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+              t * wi;
+        }
+      }
+      value_[static_cast<std::size_t>(q)] += t;
+      value_[static_cast<std::size_t>(pj)] = target;
+      state_[static_cast<std::size_t>(pj)] =
+          (target == lb_[static_cast<std::size_t>(pj)]) ? BasisState::AtLower
+                                                        : BasisState::AtUpper;
+      basic_[static_cast<std::size_t>(p)] = q;
+      state_[static_cast<std::size_t>(q)] = BasisState::Basic;
+
+      Eta eta;
+      eta.pivot_row = p;
+      eta.pivot_value = wp;
+      for (int i = 0; i < m_; ++i) {
+        if (i != p && std::abs(w[static_cast<std::size_t>(i)]) > 1e-12) {
+          eta.col.emplace_back(i, w[static_cast<std::size_t>(i)]);
+        }
+      }
+      etas_.push_back(std::move(eta));
+      if (static_cast<int>(etas_.size()) >= opt_.refactor_interval) {
+        if (!refactorize()) return kNeedsRebuild;
+      }
+
+      if (std::abs(t) < opt_.tol) {
+        ++degenerate_streak;
+      } else {
+        degenerate_streak = 0;
+      }
+      ++iterations_;
+      ++dual_iterations_;
+    }
+  }
+
   const Model& model_;
   Options opt_;
+  const Basis* warm_ = nullptr;
   int m_ = 0, nstruct_ = 0, slack0_ = 0, art0_ = 0, ntotal_ = 0;
-  std::vector<std::vector<std::pair<int, double>>> cols_;
-  std::vector<double> lb_, ub_, rhs_, value_;
-  std::vector<VarState> state_;
+  const SparseView* csc_ = nullptr;
+  std::vector<double> lb_, ub_, rhs_, value_, art_sign_;
+  std::vector<BasisState> state_;
   std::vector<int> basic_;
   DenseLu lu_;
   std::vector<Eta> etas_;
   bool phase1_ = true;
   int iterations_ = 0;
+  int dual_iterations_ = 0;
 };
 
 }  // namespace
 
-Result solve(const Model& model, const Options& options) {
-  Simplex s(model, options);
+Result solve(const Model& model, const Options& options, const Basis* warm) {
+  Simplex s(model, options, warm);
   return s.run();
 }
 

@@ -89,7 +89,9 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
                    const std::vector<Dbu>& cap, int n_min,
                    const std::vector<double>* open_cost,
                    const std::vector<char>* forced_rows,
-                   std::vector<int>& pair_out, std::vector<char>& open_out) {
+                   std::vector<int>& pair_out, std::vector<char>& open_out,
+                   int* fail_cluster) {
+  if (fail_cluster != nullptr) *fail_cluster = -1;
   const int nc = static_cast<int>(cost.size());
   const int nr = static_cast<int>(cap.size());
   std::vector<Dbu> left = cap;
@@ -124,7 +126,10 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
         best_r = r;
       }
     }
-    if (best_r < 0) return false;
+    if (best_r < 0) {
+      if (fail_cluster != nullptr) *fail_cluster = c;
+      return false;
+    }
     if (!open_out[static_cast<std::size_t>(best_r)]) {
       open_out[static_cast<std::size_t>(best_r)] = 1;
       ++open_count;
@@ -296,16 +301,39 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       },
       par);
 
-  // Candidate rows: all rows (exact formulation; pruning handled upstream by
-  // clustering, the paper's lever).
+  // Candidate rows (§III-C + pruning): with `max_cand_rows` = K in (0, nr)
+  // each cluster keeps only its K cheapest rows by f_cr (a cost window
+  // around the cluster's y mass, since displacement dominates f_cr away
+  // from it; ties break to the lower row index for determinism), shrinking
+  // the ILP from N_C*N_R to N_C*K variables. 0 keeps the dense exact
+  // formulation. Infeasible prunings are repaired below by widening.
+  std::vector<int> cand_k(
+      static_cast<std::size_t>(n_clusters),
+      opt.max_cand_rows <= 0 ? nr : std::min(opt.max_cand_rows, nr));
   std::vector<std::vector<int>> cand(static_cast<std::size_t>(n_clusters));
   std::vector<std::vector<double>> cost(static_cast<std::size_t>(n_clusters));
-  for (int c = 0; c < n_clusters; ++c) {
-    cand[static_cast<std::size_t>(c)].resize(static_cast<std::size_t>(nr));
-    std::iota(cand[static_cast<std::size_t>(c)].begin(),
-              cand[static_cast<std::size_t>(c)].end(), 0);
-    cost[static_cast<std::size_t>(c)] = full_cost[static_cast<std::size_t>(c)];
-  }
+  auto build_cluster_cand = [&](int c) {
+    const int k = cand_k[static_cast<std::size_t>(c)];
+    std::vector<int>& cc = cand[static_cast<std::size_t>(c)];
+    const std::vector<double>& fc = full_cost[static_cast<std::size_t>(c)];
+    cc.resize(static_cast<std::size_t>(nr));
+    std::iota(cc.begin(), cc.end(), 0);
+    if (k < nr) {
+      std::partial_sort(cc.begin(), cc.begin() + k, cc.end(), [&](int a, int b) {
+        const double fa = fc[static_cast<std::size_t>(a)];
+        const double fb = fc[static_cast<std::size_t>(b)];
+        return fa < fb || (fa == fb && a < b);
+      });
+      cc.resize(static_cast<std::size_t>(k));
+      std::sort(cc.begin(), cc.end());
+    }
+    std::vector<double>& co = cost[static_cast<std::size_t>(c)];
+    co.resize(cc.size());
+    for (std::size_t j = 0; j < cc.size(); ++j) {
+      co[j] = fc[static_cast<std::size_t>(cc[j])];
+    }
+  };
+  for (int c = 0; c < n_clusters; ++c) build_cluster_cand(c);
   res.cost_seconds = t_cost.seconds();
 
   // --- ILP (Eqs. 1–5) --------------------------------------------------------------
@@ -313,15 +341,40 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   const Dbu pair_cap = 2 * fp.core().width();
   std::vector<Dbu> caps(static_cast<std::size_t>(nr), pair_cap);
 
-  lp::Model model;
-  // x vars, c-major over candidate lists; then y vars.
-  std::vector<std::vector<int>> xvar(static_cast<std::size_t>(n_clusters));
-  for (int c = 0; c < n_clusters; ++c) {
-    for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
-      xvar[static_cast<std::size_t>(c)].push_back(model.add_var(
-          0.0, 1.0, cost[static_cast<std::size_t>(c)][j]));
+  auto widen_cluster = [&](int c) {
+    const int k = cand_k[static_cast<std::size_t>(c)];
+    if (k >= nr) return false;
+    cand_k[static_cast<std::size_t>(c)] = std::min(nr, 2 * k);
+    build_cluster_cand(c);
+    return true;
+  };
+
+  // Feasibility repair: a pruned candidate set can starve a cluster even
+  // though the dense instance is feasible. The cost-blind first-fit check
+  // reports the first unplaceable cluster; widen exactly that cluster's
+  // window and re-check until placement succeeds or it is fully dense.
+  if (opt.max_cand_rows > 0) {
+    for (;;) {
+      std::vector<std::vector<double>> zero_cost(
+          static_cast<std::size_t>(n_clusters));
+      for (int c = 0; c < n_clusters; ++c) {
+        zero_cost[static_cast<std::size_t>(c)].assign(
+            cand[static_cast<std::size_t>(c)].size(), 0.0);
+      }
+      int fail_c = -1;
+      std::vector<int> pair_of;
+      std::vector<char> open;
+      if (detail::greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs,
+                                nullptr, nullptr, pair_of, open, &fail_c)) {
+        break;
+      }
+      if (fail_c < 0 || !widen_cluster(fail_c)) break;
+      ++res.cand_widenings;
+      MTH_DEBUG << "rap: widened candidate window of cluster " << fail_c
+                << " to " << cand_k[static_cast<std::size_t>(fail_c)];
     }
   }
+
   // Optional eviction model: opening pair r as minority displaces its
   // current majority occupants by at least one pair pitch; charge
   // alpha * (majority cells in r) * pitch on y_r.
@@ -338,12 +391,35 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
           opt.alpha * static_cast<double>(pitch);
     }
   }
-  std::vector<int> yvar(static_cast<std::size_t>(nr));
+
+  // Build + solve, re-entered with widened candidate windows if the pruned
+  // ILP comes back infeasible (the dense formulation never does — the
+  // MTH_ASSERT below preserves the historical contract).
+  std::vector<std::vector<int>> xvar;
+  std::vector<int> yvar;
+  ilp::Result ir;
+  for (;;) {
+  lp::Model model;
+  // x vars, c-major over candidate lists; then y vars.
+  xvar.assign(static_cast<std::size_t>(n_clusters), {});
+  for (int c = 0; c < n_clusters; ++c) {
+    for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+      xvar[static_cast<std::size_t>(c)].push_back(model.add_var(
+          0.0, 1.0, cost[static_cast<std::size_t>(c)][j]));
+    }
+  }
+  yvar.assign(static_cast<std::size_t>(nr), 0);
   for (int r = 0; r < nr; ++r) {
     yvar[static_cast<std::size_t>(r)] =
         model.add_var(0.0, 1.0, evict_cost[static_cast<std::size_t>(r)]);
   }
-  res.num_x_vars = n_clusters * nr;
+  res.num_x_vars = 0;
+  res.num_cand_rows = 0;
+  for (int c = 0; c < n_clusters; ++c) {
+    const int len = static_cast<int>(cand[static_cast<std::size_t>(c)].size());
+    res.num_x_vars += len;
+    res.num_cand_rows = std::max(res.num_cand_rows, len);
+  }
 
   // Eq. 3: unique assignment.
   for (int c = 0; c < n_clusters; ++c) {
@@ -401,6 +477,13 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   // violated disaggregated linking cuts x_cr <= y_r (the facility-location
   // "strong formulation") until the root relaxation respects them; this
   // mirrors what CPLEX's cut generation does and collapses the B&B tree.
+  //
+  // Each round re-solves the same LP plus a handful of new rows, so the
+  // previous round's optimal basis (extended with the new cut slacks, which
+  // stay dual-feasible) warm-starts the next round; the last basis then
+  // warm-starts the B&B root relaxation.
+  lp::Basis round_basis;
+  bool have_basis = false;
   {
     // Cut budget: the dense-LU basis factorization costs O(m^3), so the row
     // count must stay bounded; a few hundred of the most-violated cuts close
@@ -414,8 +497,16 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     double prev_bound = -std::numeric_limits<double>::max();
     for (int round = 0; round < 8 && added_total < kMaxCuts; ++round) {
       if (t_ilp.seconds() > cut_deadline) break;
-      const lp::Result rel = lp::solve(model, opt.ilp.lp);
+      lp::Result rel = lp::solve(
+          model, opt.ilp.lp,
+          opt.ilp.warm_basis && have_basis ? &round_basis : nullptr);
+      res.lp_iterations += rel.iterations;
+      if (rel.warm_used) ++res.basis_reuse_hits;
       if (rel.status != lp::Status::Optimal) break;
+      if (!rel.basis.empty()) {
+        round_basis = std::move(rel.basis);
+        have_basis = true;
+      }
       // Stop when the root bound stagnates.
       if (round > 1 && rel.objective < prev_bound + 1e-3 * std::abs(prev_bound)) {
         break;
@@ -557,21 +648,37 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     return true;
   };
 
-  const ilp::Result ir =
-      ilp::solve(model, [&] {
+  ir = ilp::solve(model, [&] {
         std::vector<int> ints;
         ints.reserve(static_cast<std::size_t>(num_vars));
         for (int v = 0; v < num_vars; ++v) ints.push_back(v);
         return ints;
-      }(), iopt, have_warm ? &warm : nullptr);
+      }(), iopt, have_warm ? &warm : nullptr,
+      have_basis ? &round_basis : nullptr);
+  res.lp_iterations += ir.lp_iterations;
+  res.basis_reuse_hits += ir.basis_reuse_hits;
+  if (ir.status == ilp::Status::Optimal || ir.status == ilp::Status::Feasible) {
+    break;
+  }
+  // The pruned formulation came back with no feasible point even though the
+  // greedy pre-pass placed every cluster — interacting capacity constraints
+  // the repair pass cannot see. Widen every widenable window and rebuild;
+  // once everything is dense this is the historical dense-formulation
+  // contract violation.
+  bool widened = false;
+  for (int c = 0; c < n_clusters; ++c) widened = widen_cluster(c) || widened;
+  MTH_ASSERT(widened,
+             "rap: ILP found no feasible assignment (capacity too tight?)");
+  ++res.cand_widenings;
+  MTH_DEBUG << "rap: pruned ILP " << ilp::to_string(ir.status)
+            << "; widened all candidate windows, rebuilding";
+  }  // candidate-window retry loop
+
   res.ilp_seconds = t_ilp.seconds();
   res.status = ir.status;
   res.objective = ir.objective;
   res.gap = ir.gap();
   res.ilp_nodes = ir.nodes;
-
-  MTH_ASSERT(ir.status == ilp::Status::Optimal || ir.status == ilp::Status::Feasible,
-             "rap: ILP found no feasible assignment (capacity too tight?)");
 
   // --- extract ----------------------------------------------------------------
   res.assignment = RowAssignment::all_majority(nr);

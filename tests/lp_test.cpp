@@ -164,6 +164,158 @@ TEST(Simplex, DualsMatchObjectiveOnEqualities) {
   EXPECT_NEAR(r.duals[0], 2.0, 1e-8);  // marginal cost of one more unit
 }
 
+// --- warm-basis re-solves (dual simplex) ------------------------------------
+// Costs and bounds below are small integers, so every pivot is exact in
+// binary floating point and warm-vs-cold comparisons can demand bit-for-bit
+// equality, not just tolerance.
+
+TEST(SimplexWarm, BoundTighteningResolvesInFewIterations) {
+  // min -x - 2y  s.t. x + y <= 4, x in [0,3], y in [0,2] -> (2,2), obj -6.
+  Model m;
+  const int x = m.add_var(0, 3, -1.0);
+  const int y = m.add_var(0, 2, -2.0);
+  m.add_row(Sense::LE, 4.0, {{x, 1.0}, {y, 1.0}});
+  const Result cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+
+  // Tighten the basic variable's upper bound past the old optimum (x sits
+  // basic at 2 with y at its bound): the parent basis stays dual-feasible
+  // but turns primal-infeasible, so the dual simplex repairs it in O(1)
+  // pivots instead of a cold phase 1 + phase 2.
+  m.set_bounds(x, 0.0, 1.0);
+  const Result warm = solve(m, {}, &cold.basis);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_LE(warm.iterations, 3);
+  EXPECT_GE(warm.dual_iterations, 1);
+
+  const Result recold = solve(m);
+  ASSERT_EQ(recold.status, Status::Optimal);
+  EXPECT_FALSE(recold.warm_used);
+  // Unique integral vertex (1,2): warm and cold must agree bit-for-bit.
+  EXPECT_EQ(warm.objective, recold.objective);
+  ASSERT_EQ(warm.x.size(), recold.x.size());
+  for (std::size_t i = 0; i < warm.x.size(); ++i) {
+    EXPECT_EQ(warm.x[i], recold.x[i]) << "component " << i;
+  }
+  EXPECT_EQ(warm.objective, -5.0);
+}
+
+TEST(SimplexWarm, CutRowExtensionKeepsBasis) {
+  // Appended rows after a solve (a root cut loop): the stored basis is for
+  // the smaller row set; new slacks enter basic and the re-solve stays warm.
+  Model m;
+  const int x = m.add_var(0, 4, -1.0);
+  const int y = m.add_var(0, 4, -1.0);
+  m.add_row(Sense::LE, 6.0, {{x, 1.0}, {y, 1.0}});
+  const Result cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  EXPECT_EQ(cold.objective, -6.0);  // any vertex with x + y == 6
+
+  m.add_row(Sense::LE, 5.0, {{x, 1.0}, {y, 1.0}});  // violated cut
+  const Result warm = solve(m, {}, &cold.basis);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_used);
+  const Result recold = solve(m);
+  EXPECT_EQ(warm.objective, recold.objective);
+  EXPECT_EQ(warm.objective, -5.0);
+}
+
+TEST(SimplexWarm, StaleBasisFallsBackToColdSolve) {
+  Model m;
+  const int x = m.add_var(0, 3, -1.0);
+  m.add_var(0, 2, -2.0);
+  m.add_row(Sense::LE, 4.0, {{x, 1.0}});
+  Basis stale;
+  stale.num_structs = 7;  // from some other model
+  stale.basic = {0};
+  stale.state = {BasisState::Basic, BasisState::AtLower};
+  const Result r = solve(m, {}, &stale);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_FALSE(r.warm_used);
+  EXPECT_EQ(r.objective, -7.0);
+}
+
+TEST(SimplexWarm, WarmResolveWithoutChangesIsInstant) {
+  Model m;
+  const int x = m.add_var(0, 5, 1.0);
+  const int y = m.add_var(0, 5, 2.0);
+  m.add_row(Sense::GE, 4.0, {{x, 1.0}, {y, 1.0}});
+  const Result cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  const Result warm = solve(m, {}, &cold.basis);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_EQ(warm.dual_iterations, 0);  // already primal-feasible: no pivots
+  EXPECT_EQ(warm.objective, cold.objective);
+}
+
+TEST(SimplexWarm, DegenerateDualResolveTerminates) {
+  // Known-degenerate vertex: many redundant rows through (2,0)/(0,2) ties.
+  // After tightening, the dual simplex must terminate (anti-cycling) and
+  // reproduce the cold objective exactly.
+  Model m;
+  const int x = m.add_var(0, kInf, -1.0);
+  const int y = m.add_var(0, kInf, -1.0);
+  for (int k = 1; k <= 12; ++k) {
+    m.add_row(Sense::LE, 2.0, {{x, 1.0}, {y, static_cast<double>(k) / 6.0}});
+  }
+  m.add_row(Sense::LE, 2.0, {{x, 1.0}});
+  m.add_row(Sense::LE, 2.0, {{y, 1.0}});
+  const Result cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+
+  m.set_bounds(x, 0.0, 1.0);
+  const Result warm = solve(m, {}, &cold.basis);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  const Result recold = solve(m);
+  ASSERT_EQ(recold.status, Status::Optimal);
+  EXPECT_EQ(warm.objective, recold.objective);
+  EXPECT_LE(m.max_violation(warm.x), 1e-7);
+}
+
+TEST(SimplexWarm, RandomBoundTighteningsMatchColdExactly) {
+  // Property: on integral assignment-style LPs, warm re-solves after a bound
+  // fix (the branch & bound step) must match the cold solve bit-for-bit.
+  Rng rng(20240807u);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 4;
+    Model m;
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        vars.push_back(
+            m.add_var(0, 1, static_cast<double>(rng.uniform_int(0, 16))));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<RowEntry> row_i, col_i;
+      for (int j = 0; j < n; ++j) {
+        row_i.push_back({vars[static_cast<std::size_t>(i * n + j)], 1.0});
+        col_i.push_back({vars[static_cast<std::size_t>(j * n + i)], 1.0});
+      }
+      m.add_row(Sense::EQ, 1.0, row_i);
+      m.add_row(Sense::EQ, 1.0, col_i);
+    }
+    const Result root = solve(m);
+    ASSERT_EQ(root.status, Status::Optimal);
+    // Fix one variable to each side, as branching does.
+    const int bv = vars[rng.uniform_int(0, static_cast<int>(vars.size()) - 1)];
+    for (double fixed : {0.0, 1.0}) {
+      m.set_bounds(bv, fixed, fixed);
+      const Result warm = solve(m, {}, &root.basis);
+      const Result cold = solve(m);
+      ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+      if (cold.status == Status::Optimal) {
+        EXPECT_EQ(warm.objective, cold.objective) << "trial " << trial;
+      }
+      m.set_bounds(bv, 0.0, 1.0);
+    }
+  }
+}
+
 TEST(Simplex, DegenerateProblemTerminates) {
   // Many redundant constraints through the same vertex.
   Model m;

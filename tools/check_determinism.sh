@@ -46,4 +46,14 @@ if [[ $status -eq 0 ]]; then
 else
   echo "[determinism] FAILED" >&2
 fi
+
+# Performance smoke ride-along: the sparse-vs-dense objective gate shares this
+# script's CI slot. Skipped when the bench binary is not built (tests-only
+# builds stay usable).
+if [[ -x "$BUILD_DIR/bench/bench_fig5_ilp_scaling" ]]; then
+  SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  "$SCRIPT_DIR/perf_smoke.sh" "$BUILD_DIR" || status=1
+else
+  echo "[determinism] note: bench_fig5_ilp_scaling not built, skipping perf smoke"
+fi
 exit $status

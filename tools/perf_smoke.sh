@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Performance smoke test for the sparse RAP ILP (P3): runs
+# bench_fig5_ilp_scaling on the two smallest bundled testcases, which solves
+# every case dense-cold (max_cand_rows=0, cold simplex per node) and
+# sparse-warm (candidate pruning + warm-basis dual re-solves) and exits
+# nonzero when the sparse objective deviates from the dense one beyond the
+# configured window (MTH_SPARSE_GAP, default 2x the ILP rel_gap) on any
+# gap-proven case. The bench also re-checks the 1-vs-8-thread bit-identical
+# guarantee internally.
+#
+# Usage: tools/perf_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/bench/bench_fig5_ilp_scaling"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (run: cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+BIN="$(cd "$(dirname "$BIN")" && pwd)/$(basename "$BIN")"
+
+: "${MTH_CASES:=2}"
+export MTH_CASES
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+echo "[perf-smoke] $BIN (MTH_CASES=$MTH_CASES)"
+if "$BIN"; then
+  echo "[perf-smoke] OK"
+else
+  echo "[perf-smoke] FAILED: sparse objective outside the allowed window" >&2
+  exit 1
+fi
