@@ -10,6 +10,8 @@
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/timer.hpp"
+#include "mth/verify/certifier.hpp"
+#include "mth/verify/checker.hpp"
 
 namespace mth::flows {
 
@@ -25,6 +27,17 @@ const char* to_string(FlowId id) {
 }
 
 namespace {
+
+/// FlowOptions::verify hook: grade a stage's output with the independent
+/// placement oracle and abort the flow on any violation.
+void verify_stage(const Design& design, const char* stage,
+                  const RowAssignment* assignment, bool require_track_match) {
+  verify::CheckOptions co;
+  co.assignment = assignment;
+  co.require_track_match = require_track_match;
+  const verify::CheckReport rep = verify::check_placement(design, co);
+  MTH_ASSERT(rep.ok(), std::string("verify[") + stage + "]: " + rep.summary());
+}
 
 /// Fraction of total cell area contributed by 7.5T masters.
 double minority_area_fraction(const Design& d) {
@@ -76,6 +89,8 @@ PreparedCase prepare_case(const synth::TestcaseSpec& spec,
       dp_opt);
   MTH_ASSERT(dp_res.success, "prepare: detailed refinement failed");
   legal::swap_polish_converge(pc.initial);
+
+  if (opt.verify) verify_stage(pc.initial, "prepare", nullptr, false);
 
   pc.initial_positions = placement_snapshot(pc.initial);
   pc.n_min_pairs = baseline::auto_minority_pairs(
@@ -180,6 +195,13 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
             std::make_shared<const rap::RapResult>(rap::solve_rap(design, ro));
       }
       const rap::RapResult& rr = *pc.rap_cache;
+      if (opt.verify) {
+        rap::RapOptions ro = opt.rap;
+        ro.n_min_pairs = pc.n_min_pairs;
+        ro.width_library = pc.original_library.get();
+        const verify::CertifyReport cr = verify::certify_rap(design, rr, ro);
+        MTH_ASSERT(cr.ok(), "verify[rap]: " + cr.summary());
+      }
       assignment = rr.assignment;
       res.num_clusters = rr.num_clusters;
       res.ilp_seconds = rr.ilp_seconds;
@@ -211,6 +233,7 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
       MTH_ASSERT(rr.success, "flow: rc legalization failed");
     }
     res.legal_seconds = t_legal.seconds();
+    if (opt.verify) verify_stage(design, "legalize", &assignment, false);
   }
 
   // --- post-placement metrics (mLEF space; Table IV) -------------------------
@@ -226,6 +249,7 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
   if (with_route) {
     if (flow != FlowId::F1) {
       finalize_mixed(design, *pc.mlef, assignment);
+      if (opt.verify) verify_stage(design, "finalize", &assignment, true);
     }
     const route::RouteResult routes = route_design(design, opt.router);
     res.post.routed_wl = routes.total_wirelength;

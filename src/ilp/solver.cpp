@@ -165,6 +165,13 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
     res.lp_iterations += rel.iterations;
     if (rel.warm_used) ++res.basis_reuse_hits;
 
+    // Export the root relaxation's dual certificate (the root is the unique
+    // node with no bound changes, always popped first).
+    if (node.changes.empty() && rel.status == lp::Status::Optimal) {
+      res.root_duals = rel.duals;
+      res.root_lp_objective = rel.objective;
+    }
+
     if (rel.status == lp::Status::Infeasible) continue;
     if (rel.status != lp::Status::Optimal) {
       // Unbounded/iteration-limited relaxation: treat conservatively as an

@@ -46,6 +46,15 @@ struct FlowOptions {
   int num_threads = -1;
   double utilization = 0.60;   ///< paper §IV-A
   double aspect_ratio = 1.0;
+  /// Run the independent verification oracle after every stage: placement
+  /// legality (verify::check_placement) after prepare, after each flow's
+  /// row-constraint legalization (fence compliance against the assignment)
+  /// and after the mixed-space finalize; RAP certification
+  /// (verify::certify_rap — feasibility, objective recompute, LP-dual gap
+  /// bound) for the ILP flows. Any violation throws mth::Error with the
+  /// oracle's summary. Off by default: it roughly doubles the metric-side
+  /// work per flow.
+  bool verify = false;
   synth::GeneratorOptions gen;
   place::GlobalPlaceOptions gp;
   rap::RapOptions rap;

@@ -55,6 +55,13 @@ struct Result {
   int lp_iterations = 0;
   int basis_reuse_hits = 0;     ///< node LPs that accepted an inherited basis
   double solve_seconds = 0.0;
+  /// Dual certificate of the root relaxation (lp::solve row duals at the
+  /// root node's optimum, over the model as handed in). Empty when the root
+  /// LP never solved to optimality. An independent verifier can recompute
+  /// the Lagrangian bound b'y + min_box (c - A'y)'x from these and the model
+  /// without trusting the simplex (mth::verify::IlpCertifier does).
+  std::vector<double> root_duals;
+  double root_lp_objective = -lp::kInf;  ///< root relaxation optimum
 
   double gap() const {
     if (status == Status::NoSolution || status == Status::Infeasible) return lp::kInf;

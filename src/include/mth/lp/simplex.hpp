@@ -52,7 +52,12 @@ struct Result {
   Status status = Status::IterLimit;
   double objective = 0.0;
   std::vector<double> x;      ///< primal values (structural vars only)
-  std::vector<double> duals;  ///< row duals (valid when Optimal)
+  /// Row duals at the optimum (valid when Optimal) — the exported dual
+  /// certificate. Sign convention of the internal slack formulation: LE rows
+  /// have duals <= 0, GE rows >= 0, EQ rows free (up to the pivot
+  /// tolerance), so b'y + min_{lb<=x<=ub} (c - A'y)'x is a machine-checkable
+  /// lower bound on the optimum that equals `objective` at an exact basis.
+  std::vector<double> duals;
   int iterations = 0;         ///< total pivots (primal + dual)
   int dual_iterations = 0;    ///< dual-simplex share of `iterations`
   bool warm_used = false;     ///< warm basis accepted (phase 1 skipped)

@@ -56,6 +56,10 @@ struct RapOptions {
   /// 0/1 = serial. Results are bit-identical for every value (the parallel
   /// layer uses thread-count-independent chunking; see util/threadpool.hpp).
   int num_threads = -1;
+  /// Attach a RapCertificate (final root model + LP duals) to the result so
+  /// verify::certify_rap can bound the optimality gap independently. Costs
+  /// one copy of the (sparse, pruned) model; off for memory-tight sweeps.
+  bool export_certificate = true;
   ilp::Options ilp = default_ilp_options();
 
   static ilp::Options default_ilp_options() {
@@ -68,6 +72,25 @@ struct RapOptions {
     o.lp.refactor_interval = 96;
     return o;
   }
+};
+
+/// Everything an external verifier needs to re-derive the solved ILP and
+/// bound its optimality gap without trusting the solver: the final root
+/// model (Eqs. 3-5 + linking cuts, exactly what branch & bound searched),
+/// the root relaxation's lp::solve dual vector, and the index maps tying
+/// model variables back to (cluster, candidate pair) / pair indicators.
+/// verify::certify_rap checks the model's rows and objective coefficients
+/// against its own recomputation of f_cr / Eq. 4 data, then evaluates the
+/// Lagrangian bound from the duals with independent arithmetic.
+struct RapCertificate {
+  lp::Model model;                     ///< final root model, root bounds
+  std::vector<double> duals;           ///< root-LP row duals (lp::solve)
+  double root_lp_objective = 0.0;      ///< claimed root relaxation optimum
+  std::vector<std::vector<int>> xvar;  ///< cluster -> model var per candidate
+  std::vector<std::vector<int>> cand;  ///< cluster -> candidate pair indices
+  std::vector<int> yvar;               ///< pair -> indicator model var
+  std::vector<Dbu> cluster_w;          ///< Eq. 4 cluster widths (width lib)
+  std::vector<double> evict_cost;      ///< y_r objective coefficients
 };
 
 struct RapResult {
@@ -93,6 +116,12 @@ struct RapResult {
   int lp_iterations = 0;         ///< simplex pivots: root cut loop + all B&B nodes
   int basis_reuse_hits = 0;      ///< LP solves that started from a warm basis
   int cand_widenings = 0;        ///< feasibility-repair widening passes taken
+
+  /// Dual certificate for independent gap verification; null when
+  /// RapOptions::export_certificate is off or the root LP never reached
+  /// optimality (deadline hit before the first node solved). Shared so
+  /// RapResult copies stay cheap.
+  std::shared_ptr<const RapCertificate> certificate;
 };
 
 /// Solve the RAP for a design holding an unconstrained initial placement

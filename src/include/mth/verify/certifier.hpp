@@ -1,0 +1,85 @@
+#pragma once
+// ILP solution certifier (independent verification subsystem).
+//
+// Grades a rap::RapResult without trusting src/rap or the LP/ILP solvers:
+//
+//   1. Feasibility — re-checks the paper's Eqs. 3/4/5 directly from the
+//      Design and the result's cluster maps: every minority cell in exactly
+//      one cluster, every cluster on exactly one row pair (Eq. 3), per-pair
+//      width load within capacity and only on opened pairs (Eq. 4 +
+//      linking), exactly N_minR minority pairs (Eq. 5).
+//   2. Objective — recomputes every f_cr term (Eq. 1/2: alpha-weighted
+//      displacement + HPWL delta) by brute-force net scans (no incremental
+//      extreme tracking) plus the eviction surcharge, and compares against
+//      the reported objective.
+//   3. Optimality gap — verifies the exported RapCertificate structurally
+//      (each model row must be a well-formed Eq. 3/4/5 row or a valid
+//      x_cr <= y_r linking cut; objective coefficients must equal the
+//      recomputed costs), then evaluates the Lagrangian dual bound
+//      b'y + min_{0<=x<=1} (c - A'y)'x from the exported lp::solve duals
+//      with its own arithmetic. Duals are clamped into the valid cone per
+//      row sense first, so a numerically noisy dual vector can only weaken
+//      the bound, never invalidate it. The certified gap is
+//      (objective - bound) / max(|objective|, 1).
+//
+// The certifier never calls lp::solve or ilp::solve; lp::Model is used as a
+// read-only data container only.
+
+#include <string>
+#include <vector>
+
+#include "mth/db/design.hpp"
+#include "mth/rap/rap.hpp"
+
+namespace mth::verify {
+
+struct CertifyOptions {
+  /// Relative tolerance for the objective recomputation (the reference
+  /// implementation sums the same integer-derived terms in the same order,
+  /// so real divergence shows up far above this).
+  double obj_rel_tol = 1e-6;
+  /// Allowed certified gap; <= 0 picks max(0.15, 2x the ilp rel_gap of the
+  /// options the result was solved with). The floor is the *root
+  /// integrality allowance*: the certificate bounds against the root LP
+  /// relaxation, and branch & bound closes the remaining root integrality
+  /// gap by search, which no root-level certificate can see. That gap
+  /// measures <= ~0.12 across the bundled Table II cases and small fuzz
+  /// instances (adding every linking cut moves it by < 1e-3 — it stems
+  /// from the eviction/knapsack structure, not weak linking), so the 0.15
+  /// window still convicts a solver returning a grossly suboptimal
+  /// incumbent while never indicting an honest optimal one.
+  double gap_window = -1.0;
+  /// Fail (ok() == false) when the result carries no usable certificate.
+  bool require_certificate = false;
+};
+
+struct CertifyReport {
+  bool feasible = false;         ///< Eqs. 3/4/5 hold for the integral result
+  bool objective_ok = false;     ///< recomputed objective matches reported
+  bool certificate_ok = false;   ///< model rows/costs verified structurally
+  bool bound_available = false;  ///< a usable dual certificate was attached
+  bool gap_ok = false;           ///< certified gap within the window
+
+  double recomputed_objective = 0.0;
+  double reported_objective = 0.0;
+  double dual_bound = 0.0;       ///< valid only when bound_available
+  double certified_gap = 0.0;    ///< (reported - bound)/max(|reported|,1)
+  double gap_window_used = 0.0;
+
+  std::vector<std::string> problems;
+
+  /// Overall verdict. The gap window is only enforced for results claiming
+  /// Status::Optimal — a deadline-limited incumbent (Feasible) is certified
+  /// for feasibility/objective and its gap is reported, not judged.
+  bool ok() const { return problems.empty(); }
+  std::string summary(std::size_t max_lines = 6) const;
+};
+
+/// Certify `result` against `design`. `rap_options` must be the options the
+/// result was solved with (alpha, eviction model and width library feed the
+/// cost recomputation). Read-only and deterministic.
+CertifyReport certify_rap(const Design& design, const rap::RapResult& result,
+                          const rap::RapOptions& rap_options,
+                          const CertifyOptions& options = {});
+
+}  // namespace mth::verify

@@ -1,0 +1,83 @@
+#pragma once
+// Placement legality oracle (independent verification subsystem).
+//
+// Re-derives legality from the Design alone — own row lookup, own overlap
+// sweep, own capacity accounting — sharing no code with the legalizers or
+// the metrics helpers it polices (db/metrics.cpp's placement_is_legal is
+// *used by* the flow; this checker exists to catch the flow lying). Modeled
+// on OpenROAD's external checkPlacement-after-improvePlacement contract
+// (SNIPPETS Snippet 1): every stage's output can be graded by a module that
+// never produced it.
+//
+// Checks performed:
+//   - core containment and row-span containment of every instance
+//   - x on the site grid, bottom edge exactly on a row boundary
+//   - instance height equals its row height (and, in mixed space,
+//     track-height tag equality when `require_track_match`)
+//   - no two instances overlap (sweep over row buckets; cells straddling
+//     rows are checked against every row they touch, so corrupted inputs
+//     cannot hide an overlap between mis-aligned cells)
+//   - row width capacity: the widths of the cells in a row fit its span
+//   - fence compliance against a RowAssignment: minority (7.5T-tagged)
+//     cells only inside minority row pairs, majority cells only outside
+//     (the exact-match row-constraint of paper Eqs. 3-5)
+
+#include <string>
+#include <vector>
+
+#include "mth/db/design.hpp"
+#include "mth/db/rowassign.hpp"
+
+namespace mth::verify {
+
+enum class ViolationKind {
+  OutsideCore,          ///< instance rect not inside the core (or row span)
+  OffSiteGrid,          ///< x not a multiple of the site width from core.lo.x
+  OffRowBoundary,       ///< bottom edge on no row's bottom edge
+  HeightMismatch,       ///< master height != row height
+  TrackMismatch,        ///< master track-height tag != row tag (mixed space)
+  Overlap,              ///< two instance rects intersect
+  MinorityOutsideFence, ///< 7.5T cell in a majority row pair
+  MajorityInsideFence,  ///< 6T cell in a minority row pair
+  RowOverCapacity,      ///< sum of cell widths in a row exceeds its span
+  AssignmentShape,      ///< RowAssignment pair count != floorplan pair count
+};
+
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::OutsideCore;
+  InstId inst = kInvalidId;   ///< offending instance (when instance-local)
+  InstId other = kInvalidId;  ///< second instance (Overlap)
+  int row = -1;               ///< physical row index (when row-local)
+  std::string detail;
+};
+
+struct CheckOptions {
+  /// Fence compliance is checked when non-null (pair count must match the
+  /// floorplan). The pointer is only read during check_placement.
+  const RowAssignment* assignment = nullptr;
+  /// Mixed space: additionally require the row's track-height tag to equal
+  /// the cell's. Leave false in mLEF space, where rows are tagged 6T but
+  /// tall cells keep their logical 7.5T tag.
+  bool require_track_match = false;
+  /// Stop recording (but keep counting) after this many violations.
+  int max_violations = 100;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;  ///< first max_violations, in scan order
+  int total_violations = 0;           ///< full count, never truncated
+  int instances_checked = 0;
+  int rows_checked = 0;
+
+  bool ok() const { return total_violations == 0; }
+  /// Human-readable digest: up to `max_lines` violations plus a tail count.
+  std::string summary(std::size_t max_lines = 8) const;
+};
+
+/// Grade the design's placement. Pure read-only; deterministic.
+CheckReport check_placement(const Design& design,
+                            const CheckOptions& options = {});
+
+}  // namespace mth::verify

@@ -397,9 +397,10 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   // MTH_ASSERT below preserves the historical contract).
   std::vector<std::vector<int>> xvar;
   std::vector<int> yvar;
+  lp::Model model;
   ilp::Result ir;
   for (;;) {
-  lp::Model model;
+  model = lp::Model();
   // x vars, c-major over candidate lists; then y vars.
   xvar.assign(static_cast<std::size_t>(n_clusters), {});
   for (int c = 0; c < n_clusters; ++c) {
@@ -679,6 +680,22 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   res.objective = ir.objective;
   res.gap = ir.gap();
   res.ilp_nodes = ir.nodes;
+
+  // Dual-certificate export: the model kept here is the exact root model
+  // branch & bound searched (ilp::solve took its own copy and only its copy
+  // had bounds mutated), and ir.root_duals certifies its root relaxation.
+  if (opt.export_certificate && !ir.root_duals.empty()) {
+    auto cert = std::make_shared<RapCertificate>();
+    cert->model = std::move(model);
+    cert->duals = std::move(ir.root_duals);
+    cert->root_lp_objective = ir.root_lp_objective;
+    cert->xvar = xvar;
+    cert->cand = cand;
+    cert->yvar = yvar;
+    cert->cluster_w = cluster_w;
+    cert->evict_cost = evict_cost;
+    res.certificate = std::move(cert);
+  }
 
   // --- extract ----------------------------------------------------------------
   res.assignment = RowAssignment::all_majority(nr);

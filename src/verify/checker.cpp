@@ -1,0 +1,223 @@
+#include "mth/verify/checker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mth/util/error.hpp"
+
+namespace mth::verify {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::OutsideCore: return "outside-core";
+    case ViolationKind::OffSiteGrid: return "off-site-grid";
+    case ViolationKind::OffRowBoundary: return "off-row-boundary";
+    case ViolationKind::HeightMismatch: return "height-mismatch";
+    case ViolationKind::TrackMismatch: return "track-mismatch";
+    case ViolationKind::Overlap: return "overlap";
+    case ViolationKind::MinorityOutsideFence: return "minority-outside-fence";
+    case ViolationKind::MajorityInsideFence: return "majority-inside-fence";
+    case ViolationKind::RowOverCapacity: return "row-over-capacity";
+    case ViolationKind::AssignmentShape: return "assignment-shape";
+  }
+  return "?";
+}
+
+std::string CheckReport::summary(std::size_t max_lines) const {
+  if (ok()) return "placement legal";
+  std::string out = std::to_string(total_violations) + " violation(s): ";
+  const std::size_t n = std::min(max_lines, violations.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += "; ";
+    out += to_string(violations[i].kind);
+    if (!violations[i].detail.empty()) out += " (" + violations[i].detail + ")";
+  }
+  if (total_violations > static_cast<int>(n)) {
+    out += "; ... " +
+           std::to_string(total_violations - static_cast<int>(n)) + " more";
+  }
+  return out;
+}
+
+namespace {
+
+/// Report sink with truncation-but-keep-counting semantics.
+struct Sink {
+  CheckReport& report;
+  int cap;
+
+  void add(Violation v) {
+    ++report.total_violations;
+    if (static_cast<int>(report.violations.size()) < cap) {
+      report.violations.push_back(std::move(v));
+    }
+  }
+};
+
+}  // namespace
+
+CheckReport check_placement(const Design& design, const CheckOptions& opt) {
+  MTH_ASSERT(design.library != nullptr, "verify: design has no library");
+  const Floorplan& fp = design.floorplan;
+  MTH_ASSERT(fp.num_rows() > 0, "verify: design has no rows");
+
+  CheckReport report;
+  Sink sink{report, std::max(0, opt.max_violations)};
+  report.instances_checked = design.netlist.num_instances();
+  report.rows_checked = fp.num_rows();
+
+  if (opt.assignment != nullptr &&
+      opt.assignment->num_pairs() != fp.num_pairs()) {
+    sink.add({ViolationKind::AssignmentShape, kInvalidId, kInvalidId, -1,
+              "assignment has " + std::to_string(opt.assignment->num_pairs()) +
+                  " pairs, floorplan has " + std::to_string(fp.num_pairs())});
+    return report;  // fence/pair indexing below would be meaningless
+  }
+
+  // Own view of the row geometry: bottom edges in floorplan order. Rows are
+  // documented as stacked gap-free bottom-up; verify that here instead of
+  // assuming it, since every later lookup leans on it.
+  const int nrows = fp.num_rows();
+  for (int r = 0; r + 1 < nrows; ++r) {
+    MTH_ASSERT(fp.row(r).y_top() == fp.row(r + 1).y,
+               "verify: floorplan rows not stacked gap-free");
+  }
+  // Binary search for the row whose bottom edge equals y exactly; -1 if none.
+  auto row_with_bottom = [&](Dbu y) {
+    int lo = 0, hi = nrows - 1;
+    while (lo <= hi) {
+      const int mid = lo + (hi - lo) / 2;
+      const Dbu ry = fp.row(mid).y;
+      if (ry == y) return mid;
+      if (ry < y) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return -1;
+  };
+  // All rows whose [y, y_top) span intersects [ylo, yhi).
+  auto rows_touching = [&](Dbu ylo, Dbu yhi, int& first, int& last) {
+    first = 0;
+    while (first < nrows && fp.row(first).y_top() <= ylo) ++first;
+    last = first;
+    while (last + 1 < nrows && fp.row(last + 1).y < yhi) ++last;
+    if (first >= nrows) first = last = nrows - 1;  // above the core: clamp
+  };
+
+  const Rect& core = fp.core();
+  std::vector<std::vector<InstId>> row_cells(static_cast<std::size_t>(nrows));
+  std::vector<Dbu> row_fill(static_cast<std::size_t>(nrows), 0);
+
+  for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+    const Instance& inst = design.netlist.instance(i);
+    const CellMaster& m = design.master_of(i);
+    const Dbu x0 = inst.pos.x, x1 = inst.pos.x + m.width;
+    const Dbu y0 = inst.pos.y, y1 = inst.pos.y + m.height;
+
+    if (x0 < core.lo.x || x1 > core.hi.x || y0 < core.lo.y || y1 > core.hi.y) {
+      sink.add({ViolationKind::OutsideCore, i, kInvalidId, -1,
+                inst.name + " at (" + std::to_string(x0) + "," +
+                    std::to_string(y0) + ")"});
+      continue;  // row attribution below would clamp arbitrarily
+    }
+    if ((x0 - core.lo.x) % fp.site_width() != 0) {
+      sink.add({ViolationKind::OffSiteGrid, i, kInvalidId, -1,
+                inst.name + " x=" + std::to_string(x0)});
+    }
+
+    const int exact_row = row_with_bottom(y0);
+    if (exact_row < 0) {
+      sink.add({ViolationKind::OffRowBoundary, i, kInvalidId, -1,
+                inst.name + " y=" + std::to_string(y0)});
+    } else {
+      const Row& row = fp.row(exact_row);
+      if (m.height != row.height) {
+        sink.add({ViolationKind::HeightMismatch, i, kInvalidId, exact_row,
+                  inst.name + " height " + std::to_string(m.height) +
+                      " in row of height " + std::to_string(row.height)});
+      }
+      if (opt.require_track_match && m.track_height != row.track_height) {
+        sink.add({ViolationKind::TrackMismatch, i, kInvalidId, exact_row,
+                  inst.name});
+      }
+      if (x0 < row.x0 || x1 > row.x1) {
+        sink.add({ViolationKind::OutsideCore, i, kInvalidId, exact_row,
+                  inst.name + " outside row placeable span"});
+      }
+      if (opt.assignment != nullptr) {
+        const bool minority_cell = design.is_minority(i);
+        const bool minority_pair =
+            opt.assignment->is_minority_pair(exact_row / 2);
+        if (minority_cell && !minority_pair) {
+          sink.add({ViolationKind::MinorityOutsideFence, i, kInvalidId,
+                    exact_row, inst.name + " in majority pair " +
+                                   std::to_string(exact_row / 2)});
+        } else if (!minority_cell && minority_pair) {
+          sink.add({ViolationKind::MajorityInsideFence, i, kInvalidId,
+                    exact_row, inst.name + " in minority pair " +
+                                   std::to_string(exact_row / 2)});
+        }
+      }
+    }
+
+    // Bucket into every row the cell's y-span touches, so a cell straddling
+    // rows is swept against the neighbors it physically collides with.
+    int first = 0, last = 0;
+    rows_touching(y0, y1, first, last);
+    for (int r = first; r <= last; ++r) {
+      row_cells[static_cast<std::size_t>(r)].push_back(i);
+    }
+    // Capacity is attributed to the bottom row only (a legally placed cell
+    // occupies exactly one row; corrupted cells still count somewhere).
+    row_fill[static_cast<std::size_t>(first)] += m.width;
+  }
+
+  // Capacity per row.
+  for (int r = 0; r < nrows; ++r) {
+    if (row_fill[static_cast<std::size_t>(r)] > fp.row(r).width()) {
+      sink.add({ViolationKind::RowOverCapacity, kInvalidId, kInvalidId, r,
+                "fill " + std::to_string(row_fill[static_cast<std::size_t>(r)]) +
+                    " > width " + std::to_string(fp.row(r).width())});
+    }
+  }
+
+  // Overlap sweep per row bucket; a pair sharing several rows is reported in
+  // its lowest shared row only.
+  std::vector<std::pair<InstId, InstId>> seen;
+  for (int r = 0; r < nrows; ++r) {
+    std::vector<InstId>& ids = row_cells[static_cast<std::size_t>(r)];
+    std::sort(ids.begin(), ids.end(), [&](InstId a, InstId b) {
+      const Dbu xa = design.netlist.instance(a).pos.x;
+      const Dbu xb = design.netlist.instance(b).pos.x;
+      return xa < xb || (xa == xb && a < b);
+    });
+    Dbu sweep_end = INT64_MIN;
+    InstId sweep_owner = kInvalidId;
+    for (InstId id : ids) {
+      const Instance& inst = design.netlist.instance(id);
+      const Dbu x0 = inst.pos.x;
+      const Dbu x1 = x0 + design.master_of(id).width;
+      if (sweep_owner != kInvalidId && x0 < sweep_end) {
+        const auto key = std::minmax(sweep_owner, id);
+        if (std::find(seen.begin(), seen.end(),
+                      std::pair<InstId, InstId>(key.first, key.second)) ==
+            seen.end()) {
+          seen.emplace_back(key.first, key.second);
+          sink.add({ViolationKind::Overlap, key.first, key.second, r,
+                    design.netlist.instance(key.first).name + " x " +
+                        design.netlist.instance(key.second).name});
+        }
+      }
+      if (x1 > sweep_end) {
+        sweep_end = x1;
+        sweep_owner = id;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace mth::verify

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
 
 #include "mth/cluster/kmeans.hpp"
 #include "mth/util/error.hpp"
@@ -208,6 +210,78 @@ TEST(Kmeans1d, ClustersSortedValues) {
   EXPECT_EQ(r.assignment[6], r.assignment[7]);
   EXPECT_NE(r.assignment[0], r.assignment[3]);
   EXPECT_NE(r.assignment[3], r.assignment[6]);
+}
+
+TEST(Kmeans, CentroidsInvariantUnderPointPermutation) {
+  // Property: the converged centroid *set* must not depend on the order the
+  // cells arrive in (grid seeding reads only the bbox; nearest-centroid ties
+  // break by centroid index, not point index). Assignments are compared
+  // through the permutation; centroids as sorted multisets.
+  Rng rng(101);
+  std::vector<Point> pts;
+  for (int i = 0; i < 600; ++i) {
+    pts.push_back({rng.uniform_int(0, 50000), rng.uniform_int(0, 50000)});
+  }
+  const int k = 24;
+  const auto ref = kmeans_2d(pts, k);
+
+  std::vector<std::size_t> perm(pts.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1],
+              perm[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<int>(i) - 1))]);
+  }
+  std::vector<Point> shuffled(pts.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) shuffled[i] = pts[perm[i]];
+  const auto r = kmeans_2d(shuffled, k);
+
+  auto sorted = [](std::vector<std::pair<double, double>> c) {
+    std::sort(c.begin(), c.end());
+    return c;
+  };
+  const auto ca = sorted(ref.centroids);
+  const auto cb = sorted(r.centroids);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t c = 0; c < ca.size(); ++c) {
+    EXPECT_NEAR(ca[c].first, cb[c].first, 1e-6) << "centroid " << c;
+    EXPECT_NEAR(ca[c].second, cb[c].second, 1e-6) << "centroid " << c;
+  }
+  // Same partition: points co-clustered before must be co-clustered after.
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    for (std::size_t j = i + 1; j < perm.size() && j < i + 5; ++j) {
+      EXPECT_EQ(ref.assignment[perm[i]] == ref.assignment[perm[j]],
+                r.assignment[i] == r.assignment[j]);
+    }
+  }
+}
+
+TEST(Kmeans, EmptyClustersReseededOnClusteredData) {
+  // Two tight far-apart blobs with k far above 2: most grid seeds start in
+  // dead space between the blobs and go empty on the first assignment; the
+  // reseeding rule (move onto the point farthest from its centroid) must
+  // leave every cluster non-empty at convergence.
+  Rng rng(55);
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform_int(0, 400), rng.uniform_int(0, 400)});
+  }
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back(
+        {rng.uniform_int(900000, 900400), rng.uniform_int(900000, 900400)});
+  }
+  for (int k : {4, 8, 16}) {
+    const auto r = kmeans_2d(pts, k);
+    std::vector<int> count(static_cast<std::size_t>(k), 0);
+    for (int a : r.assignment) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, k);
+      ++count[static_cast<std::size_t>(a)];
+    }
+    for (int c = 0; c < k; ++c) {
+      EXPECT_GT(count[static_cast<std::size_t>(c)], 0) << "k=" << k;
+    }
+  }
 }
 
 // Property: increasing k never increases total within-cluster SSE by much

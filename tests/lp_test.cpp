@@ -419,5 +419,96 @@ TEST_P(RandomLp, OptimalBeatsSampledPoints) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLp, ::testing::Range(1, 7));
 
+// ---------------------------------------------------------------------------
+// Dual certificate property: the exported duals must reconstruct the optimum.
+// This is the identity verify::certify_rap leans on — evaluate it here with
+// independent arithmetic on every class of LP the solver emits duals for.
+// ---------------------------------------------------------------------------
+
+/// Lagrangian box bound b'y + sum_j min(d_j lb_j, d_j ub_j), d = c - A'y,
+/// with duals clamped into the valid cone per row sense first (min-problem:
+/// LE rows need y <= 0, GE rows y >= 0). At an optimal basis the bound
+/// equals the primal objective exactly (strong duality + complementary
+/// slackness); clamping is a no-op there and only guards noisy duals.
+double dual_bound(const Model& m, const Result& r) {
+  std::vector<double> d(static_cast<std::size_t>(m.num_vars()));
+  for (int j = 0; j < m.num_vars(); ++j) {
+    d[static_cast<std::size_t>(j)] = m.obj(j);
+  }
+  double bound = 0.0;
+  for (int i = 0; i < m.num_rows(); ++i) {
+    const Row& row = m.row(i);
+    double y = r.duals[static_cast<std::size_t>(i)];
+    if (row.sense == Sense::LE) y = std::min(y, 0.0);
+    if (row.sense == Sense::GE) y = std::max(y, 0.0);
+    bound += y * row.rhs;
+    for (const RowEntry& e : row.entries) {
+      d[static_cast<std::size_t>(e.var)] -= y * e.coef;
+    }
+  }
+  for (int j = 0; j < m.num_vars(); ++j) {
+    const double dj = d[static_cast<std::size_t>(j)];
+    bound += std::min(dj * m.lb(j), dj * m.ub(j));
+  }
+  return bound;
+}
+
+class DualCertificate : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualCertificate, BoundMatchesObjectiveAtOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131u + 7u);
+  for (int trial = 0; trial < 6; ++trial) {
+    Model m;
+    const int nv = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int v = 0; v < nv; ++v) {
+      m.add_var(0.0, rng.uniform_real(1.0, 6.0), rng.uniform_real(-4, 4));
+    }
+    const int nc = 2 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int r = 0; r < nc; ++r) {
+      std::vector<RowEntry> row;
+      for (int v = 0; v < nv; ++v) {
+        if (rng.chance(0.7)) row.push_back({v, rng.uniform_real(-1.5, 2.0)});
+      }
+      if (row.empty()) row.push_back({0, 1.0});
+      const int pick = static_cast<int>(rng.uniform_int(0, 2));
+      const Sense sense =
+          pick == 0 ? Sense::LE : (pick == 1 ? Sense::GE : Sense::EQ);
+      // Keep the row satisfiable at x == midpoint to avoid mass infeasibility.
+      double mid = 0.0;
+      for (const RowEntry& e : row) mid += e.coef * m.ub(e.var) * 0.5;
+      const double slack = rng.uniform_real(0.0, 3.0);
+      const double rhs = sense == Sense::GE ? mid - slack
+                         : sense == Sense::LE ? mid + slack
+                                              : mid;
+      m.add_row(sense, rhs, std::move(row));
+    }
+    const Result r = solve(m);
+    if (r.status != Status::Optimal) continue;  // infeasible draws are fine
+    ASSERT_EQ(r.duals.size(), static_cast<std::size_t>(m.num_rows()));
+    const double scale = std::max(1.0, std::abs(r.objective));
+    EXPECT_NEAR(dual_bound(m, r), r.objective, 1e-6 * scale)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualCertificate, ::testing::Range(1, 9));
+
+TEST(DualCertificate, NoisyDualsStayValidLowerBound) {
+  // Perturbed duals must still give a *lower* bound after cone clamping —
+  // this is what makes the certifier robust to solver round-off.
+  Rng rng(424242u);
+  Model m;
+  const int x = m.add_var(0, 3, -1.0);
+  const int y = m.add_var(0, 2, -2.0);
+  m.add_row(Sense::LE, 4.0, {{x, 1.0}, {y, 1.0}});
+  const Result r = solve(m);
+  ASSERT_EQ(r.status, Status::Optimal);
+  for (int trial = 0; trial < 50; ++trial) {
+    Result noisy = r;
+    for (double& d : noisy.duals) d += rng.uniform_real(-0.5, 0.5);
+    EXPECT_LE(dual_bound(m, noisy), r.objective + 1e-9) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace mth::lp

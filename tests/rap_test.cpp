@@ -91,6 +91,33 @@ TEST(Rap, ClusterCountFollowsResolution) {
   }
 }
 
+TEST(Rap, ClusterCountLawHoldsAcrossSeeds) {
+  // N_C = clamp(round(s * N_minC), 1, N_minC) must hold for *every* testcase
+  // draw, not just the shared fixture — different seeds change the minority
+  // population and its geometry, but never the count law.
+  for (const std::uint64_t seed : {2ull, 3ull}) {
+    flows::FlowOptions opt;
+    opt.scale = 0.04;
+    opt.seed = seed;
+    const flows::PreparedCase pc =
+        flows::prepare_case(synth::spec_by_name("aes_300"), opt);
+    const int n_min_c = pc.initial.num_minority();
+    ASSERT_GT(n_min_c, 0) << "seed=" << seed;
+    RapOptions ro = base_options(pc);
+    ro.ilp.time_limit_s = 5;
+    const RapResult r = solve_rap(pc.initial, ro);
+    EXPECT_EQ(r.num_clusters,
+              std::clamp(static_cast<int>(std::llround(ro.s * n_min_c)), 1,
+                         n_min_c))
+        << "seed=" << seed;
+    EXPECT_EQ(static_cast<int>(r.cluster_of.size()), n_min_c);
+    for (const int c : r.cluster_of) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, r.num_clusters);
+    }
+  }
+}
+
 TEST(Rap, NoClusteringMeansOneCellPerCluster) {
   const auto& pc = sparse_case();
   RapOptions ro = base_options(pc);
@@ -219,14 +246,18 @@ TEST(Rap, PrunedCandidatesMatchDenseWithinGap) {
   EXPECT_LT(rp.num_x_vars, rd.num_x_vars);
   EXPECT_LE(rp.num_cand_rows, rd.num_cand_rows);
   // Dense proves optimality only if it beats its deadline; a deadline-limited
-  // incumbent may legitimately lose to the pruned solve. Either way the two
-  // objectives must sit within a small window of each other.
+  // incumbent may legitimately lose to the pruned solve (and under sanitizer
+  // or load slowdown either side may time out with an arbitrarily weak
+  // incumbent), so the quality window is only meaningful between *proven*
+  // optima.
   if (rd.status == ilp::Status::Optimal) {
     EXPECT_GE(rp.objective, rd.objective - 1e-6);
+    if (rp.status == ilp::Status::Optimal) {
+      const double denom = std::max(std::abs(rd.objective), 1.0);
+      EXPECT_LE(std::abs(rp.objective - rd.objective) / denom, 0.05)
+          << "pruned " << rp.objective << " vs dense " << rd.objective;
+    }
   }
-  const double denom = std::max(std::abs(rd.objective), 1.0);
-  EXPECT_LE(std::abs(rp.objective - rd.objective) / denom, 0.05)
-      << "pruned " << rp.objective << " vs dense " << rd.objective;
   // Both must still satisfy the row budget.
   EXPECT_EQ(rp.assignment.num_minority(), pc.n_min_pairs);
 }

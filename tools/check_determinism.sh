@@ -15,14 +15,17 @@ trap 'rm -rf "$TMP"' EXIT
 
 normalize() {
   # Strip wall-clock noise: gtest "(N ms)" suffixes, logged durations like
-  # "in 0.0123s", and the random-seed line.
+  # "in 0.0123s", and the random-seed line. The duration pattern must not
+  # fire inside identifiers (testcase names like nova_500s would otherwise
+  # be mangled into nova_<t>s), so it requires a non-identifier character —
+  # or line start — in front of the number and captures it back out.
   sed -E -e 's/\([0-9]+ ms( total)?\)//g' \
-         -e 's/[0-9]+(\.[0-9]+)?(e-?[0-9]+)?( ?m?s\b)/<t>\3/g' \
+         -e 's/(^|[^_[:alnum:]])[0-9]+(\.[0-9]+)?(e-?[0-9]+)?( ?m?s\b)/\1<t>\4/g' \
          -e '/Random seed/d'
 }
 
 status=0
-for t in rap_test cluster_test util_test; do
+for t in rap_test cluster_test util_test lp_test ilp_test verify_test; do
   bin="$BUILD_DIR/tests/$t"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (run: cmake --build $BUILD_DIR)" >&2
@@ -55,5 +58,14 @@ if [[ -x "$BUILD_DIR/bench/bench_fig5_ilp_scaling" ]]; then
   "$SCRIPT_DIR/perf_smoke.sh" "$BUILD_DIR" || status=1
 else
   echo "[determinism] note: bench_fig5_ilp_scaling not built, skipping perf smoke"
+fi
+
+# Differential fuzz ride-along: seeded mth_fuzz iterations + optional ASan
+# pass over the verification suites (tools/fuzz_smoke.sh). Same skip rule.
+if [[ -x "$BUILD_DIR/tools/mth_fuzz" ]]; then
+  SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  "$SCRIPT_DIR/fuzz_smoke.sh" "$BUILD_DIR" || status=1
+else
+  echo "[determinism] note: mth_fuzz not built, skipping fuzz smoke"
 fi
 exit $status
