@@ -62,7 +62,7 @@ int main() {
       o.rap.s = variants[v].s;
       o.rap.model_eviction = variants[v].model_eviction;
       pc.rap_cache = nullptr;
-      const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F4, o, false);
+      const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F4, o, false, false).result;
       rap_s[v] += r.cluster_seconds + r.ilp_seconds;
       disp[v] += static_cast<double>(r.displacement);
       hpwl[v] += static_cast<double>(r.hpwl);

@@ -40,7 +40,7 @@ int main() {
     std::cerr << "[patterns] " << name << "...\n";
     const flows::PreparedCase pc =
         flows::prepare_case(synth::spec_by_name(name), opt);
-    const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+    const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, false, false).result;
     hpwl_custom += static_cast<double>(f5.hpwl);
     disp_custom += static_cast<double>(f5.displacement);
     for (int p = 0; p < 4; ++p) {

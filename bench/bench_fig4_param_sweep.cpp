@@ -54,7 +54,7 @@ int main() {
     o.rap.s = s;
     o.rap.alpha = alpha;
     pc.rap_cache = nullptr;  // each sweep point re-solves
-    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, o, false);
+    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, o, false, false).result;
     return SweepPoint{static_cast<double>(r.displacement),
                       static_cast<double>(r.hpwl),
                       r.cluster_seconds + r.ilp_seconds};

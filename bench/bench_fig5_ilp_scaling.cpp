@@ -128,7 +128,7 @@ int main() {
     rap::RapOptions dense_ro = ro;
     dense_ro.max_cand_rows = 0;
     dense_ro.ilp.warm_basis = false;
-    dense_ro.num_threads = threads;
+    dense_ro.ctx.exec.num_threads = threads;
     const rap::RapResult dense = rap::solve_rap(pc.initial, dense_ro);
     const double dense_s =
         dense.cluster_seconds + dense.cost_seconds + dense.ilp_seconds;

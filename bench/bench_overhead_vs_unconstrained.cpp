@@ -25,9 +25,9 @@ int main() {
   for (const synth::TestcaseSpec& spec : bench::bench_specs()) {
     std::cerr << "[overhead] " << spec.short_name << "...\n";
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
-    const flows::FlowResult f1 = flows::run_flow(pc, flows::FlowId::F1, opt, true);
-    const flows::FlowResult f2 = flows::run_flow(pc, flows::FlowId::F2, opt, true);
-    const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, true);
+    const flows::FlowResult f1 = flows::run_flow(pc, flows::FlowId::F1, opt, true, false).result;
+    const flows::FlowResult f2 = flows::run_flow(pc, flows::FlowId::F2, opt, true, false).result;
+    const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, true, false).result;
     hpwl_oh2 += static_cast<double>(f2.hpwl) / f1.hpwl - 1.0;
     hpwl_oh5 += static_cast<double>(f5.hpwl) / f1.hpwl - 1.0;
     wl_oh2 += static_cast<double>(f2.post.routed_wl) / f1.post.routed_wl - 1.0;

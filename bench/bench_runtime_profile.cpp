@@ -9,13 +9,99 @@
 // results are checked bit-identical, and a machine-readable
 // BENCH_parallel.json is emitted (path override: MTH_PARALLEL_JSON).
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
 #include "mth/report/table.hpp"
+#include "mth/trace/collector.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/str.hpp"
 #include "mth/util/threadpool.hpp"
+#include "mth/util/timer.hpp"
+
+namespace {
+
+/// Trace-overhead proof: the same RAP solve, dark vs with a Collector
+/// installed, min-of-N on the deterministic hot phases (clustering +
+/// cost-matrix build — dense span/counter traffic, no ILP-deadline noise).
+/// Also prices a dark instrumentation site directly. Emits
+/// BENCH_trace_overhead.json (override: MTH_TRACE_OVERHEAD_JSON).
+void measure_trace_overhead(const mth::synth::TestcaseSpec& spec,
+                            mth::flows::FlowOptions opt) {
+  using namespace mth;
+  // Span traffic is bounded by the fixed chunk geometry while useful work
+  // grows with instance size, so at the reduced default bench scale the
+  // fixed per-span collection cost dwarfs the sub-millisecond hot phases and
+  // the ratio says nothing about real runs. Measure at paper scale (on the
+  // smallest testcase) regardless of MTH_SCALE so chunks amortize the span
+  // cost the way production runs do.
+  opt.scale = std::max(bench::bench_scale(),
+                       bench::env_double("MTH_TRACE_OVERHEAD_SCALE", 1.0));
+  const flows::PreparedCase pc = flows::prepare_case(spec, opt);
+  rap::RapOptions ro = opt.rap;
+  ro.n_min_pairs = pc.n_min_pairs;
+  ro.width_library = pc.original_library.get();
+  // The gate reads only cluster_seconds + cost_seconds; a short deadline
+  // keeps the (untimed) ILP tail of each repeat cheap.
+  ro.ilp.time_limit_s = 0.5;
+  const int repeats = bench::env_int("MTH_TRACE_OVERHEAD_REPEATS", 5);
+
+  auto hot_phases_s = [&](trace::Sink* sink) {
+    ro.ctx.sink = sink;
+    double best = 1e300;
+    for (int i = 0; i < repeats; ++i) {
+      const rap::RapResult r = rap::solve_rap(pc.initial, ro);
+      best = std::min(best, r.cluster_seconds + r.cost_seconds);
+    }
+    return best;
+  };
+
+  const double dark_s = hot_phases_s(nullptr);
+  trace::Collector collector;
+  const double traced_s = hot_phases_s(&collector);
+  const double overhead_pct =
+      dark_s > 0.0 ? 100.0 * (traced_s - dark_s) / dark_s : 0.0;
+
+  // Per-site cost when no sink is installed (the "~0% when dark" claim):
+  // one relaxed atomic load per MTH_SPAN / MTH_COUNT.
+  const int kDarkSites = 10'000'000;
+  WallTimer dark_timer;
+  for (int i = 0; i < kDarkSites; ++i) {
+    MTH_SPAN("bench/dark_site");
+    MTH_COUNT("bench/dark_site_counter", 1);
+  }
+  const double dark_site_ns = dark_timer.seconds() * 1e9 / kDarkSites;
+
+  const double budget_pct = 2.0;
+  const char* env = std::getenv("MTH_TRACE_OVERHEAD_JSON");
+  const std::string path =
+      env != nullptr && *env != '\0' ? env : "BENCH_trace_overhead.json";
+  std::ofstream f(path);
+  f << "{\n"
+    << "  \"source\": \"bench_runtime_profile\",\n"
+    << "  \"testcase\": \"" << pc.spec.short_name << "\",\n"
+    << "  \"scale\": " << opt.scale << ",\n"
+    << "  \"repeats\": " << repeats << ",\n"
+    << "  \"workload\": \"rap cluster + cost-matrix phases (min of repeats)\",\n"
+    << "  \"dark_s\": " << dark_s << ",\n"
+    << "  \"traced_s\": " << traced_s << ",\n"
+    << "  \"overhead_pct\": " << overhead_pct << ",\n"
+    << "  \"dark_site_ns\": " << dark_site_ns << ",\n"
+    << "  \"spans_collected\": " << collector.sorted_spans().size() << ",\n"
+    << "  \"budget_pct\": " << budget_pct << ",\n"
+    << "  \"pass\": " << (overhead_pct <= budget_pct ? "true" : "false")
+    << "\n}\n";
+  std::cout << "\n=== Trace overhead (sink installed vs dark) ===\n"
+            << "hot phases: dark " << format_fixed(dark_s, 4) << "s, traced "
+            << format_fixed(traced_s, 4) << "s -> "
+            << format_fixed(overhead_pct, 2) << "% (budget "
+            << format_fixed(budget_pct, 1) << "%); dark site "
+            << format_fixed(dark_site_ns, 2) << " ns\nwrote " << path << "\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace mth;
@@ -38,7 +124,7 @@ int main() {
   for (const synth::TestcaseSpec& spec : bench::bench_specs()) {
     std::cerr << "[profile] " << spec.short_name << "...\n";
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
-    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, opt, false, false).result;
     const double rap_s = r.assign_seconds;
     const double legal_s = r.legal_seconds;
     const double total = rap_s + legal_s;
@@ -78,6 +164,7 @@ int main() {
             << threads << " (MTH_THREADS) ===\n";
   par_table.print(std::cout);
   bench::write_parallel_json("bench_runtime_profile", records);
+  measure_trace_overhead(bench::bench_specs().front(), opt);
 
   report::Table t({"Set", "testcases", "RAP share", "legalization share"});
   const char* cname[] = {"small (<3000 minority)", "medium (3000-5000)",

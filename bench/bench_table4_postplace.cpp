@@ -53,7 +53,7 @@ int main() {
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
     flows::FlowResult r[6];
     for (int f = 1; f <= 5; ++f) {
-      r[f] = flows::run_flow(pc, static_cast<flows::FlowId>(f), opt, false);
+      r[f] = flows::run_flow(pc, static_cast<flows::FlowId>(f), opt, false, false).result;
       disp[f].push_back(static_cast<double>(r[f].displacement));
       hpwl[f].push_back(static_cast<double>(r[f].hpwl));
       runt[f].push_back(r[f].total_seconds);

@@ -28,7 +28,7 @@ int main() {
     const flows::PreparedCase pc = flows::prepare_case(spec, opt);
     flows::FlowResult r[6];
     for (int f : flows_run) {
-      r[f] = flows::run_flow(pc, static_cast<flows::FlowId>(f), opt, true);
+      r[f] = flows::run_flow(pc, static_cast<flows::FlowId>(f), opt, true, false).result;
       wl[f].push_back(static_cast<double>(r[f].post.routed_wl));
       pw[f].push_back(r[f].post.timing.total_power_mw());
       // WNS/TNS are negative; normalize on magnitudes like the paper.

@@ -106,9 +106,9 @@ inline double speedup(double serial_s, double parallel_s) {
 inline rap::RapResult measure_parallel_rap(const flows::PreparedCase& pc,
                                            rap::RapOptions ro, int threads,
                                            ParallelRecord& rec) {
-  ro.num_threads = 1;
+  ro.ctx.exec.num_threads = 1;
   const rap::RapResult serial = rap::solve_rap(pc.initial, ro);
-  ro.num_threads = threads;
+  ro.ctx.exec.num_threads = threads;
   const rap::RapResult parallel = rap::solve_rap(pc.initial, ro);
   rec.testcase = pc.spec.short_name;
   rec.minority_cells = pc.minority_cells;

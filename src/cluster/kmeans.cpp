@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/threadpool.hpp"
 
@@ -148,6 +149,7 @@ KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
                        const KMeansOptions& options) {
   MTH_ASSERT(k >= 1 && k <= static_cast<int>(points.size()),
              "kmeans: k out of range");
+  MTH_SPAN("cluster/kmeans");
   KMeansResult res;
   res.centroids = grid_seeds(points, k);
   res.assignment.assign(points.size(), -1);
@@ -157,7 +159,8 @@ KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
   // bit-identical centroids for every thread count (including serial).
   const std::int64_t n = static_cast<std::int64_t>(points.size());
   util::ParallelOptions par;
-  par.num_threads = options.num_threads;
+  par.num_threads = options.exec.num_threads;
+  par.trace_name = "cluster/kmeans_chunk";
   struct ChunkSums {
     std::vector<double> sx, sy;
     std::vector<int> cnt;
@@ -241,6 +244,7 @@ KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
     }
     if (!changed) break;
   }
+  MTH_COUNT("cluster/kmeans_iterations", res.iterations);
   return res;
 }
 

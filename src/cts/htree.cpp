@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 
 namespace mth::cts {
@@ -82,6 +83,7 @@ class HTreeBuilder {
 }  // namespace
 
 CtsResult build_clock_tree(const Design& design, const CtsOptions& opt) {
+  MTH_SPAN("cts/build");
   MTH_ASSERT(opt.max_sinks_per_leaf >= 1, "cts: bad leaf capacity");
   CtsResult res;
   res.sink_insertion_ps.assign(

@@ -7,6 +7,7 @@
 #include "mth/legal/abacus.hpp"
 #include "mth/legal/polish.hpp"
 #include "mth/liberty/asap7.hpp"
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/timer.hpp"
@@ -54,17 +55,22 @@ double minority_area_fraction(const Design& d) {
 
 PreparedCase prepare_case(const synth::TestcaseSpec& spec,
                           const FlowOptions& opt) {
+  trace::SinkScope sink_scope(opt.ctx.sink);
+  MTH_SPAN("flow/prepare");
   WallTimer timer;
   PreparedCase pc;
   pc.spec = spec;
 
   synth::GeneratorOptions gen = opt.gen;
   gen.scale = opt.scale;
-  gen.seed = opt.seed;
+  gen.seed = opt.ctx.exec.seed;
   pc.original_library = liberty::library_ref();
 
-  auto synth_res = synth::generate_testcase(spec, pc.original_library, gen);
-  pc.initial = std::move(synth_res.design);
+  {
+    MTH_SPAN("synth/generate");
+    auto synth_res = synth::generate_testcase(spec, pc.original_library, gen);
+    pc.initial = std::move(synth_res.design);
+  }
   pc.minority_cells = pc.initial.num_minority();
 
   // mLEF transform (paper step ii) and floorplan at 60% util / AR 1.0.
@@ -74,21 +80,27 @@ PreparedCase prepare_case(const synth::TestcaseSpec& spec,
   place::build_uniform_floorplan(pc.initial, opt.utilization, opt.aspect_ratio);
 
   // Unconstrained initial placement (paper step iii).
-  place::GlobalPlaceOptions gp = opt.gp;
-  gp.seed = opt.seed;
-  place::global_place(pc.initial, gp);
-  const auto ar = legal::abacus_legalize(pc.initial, {});
-  MTH_ASSERT(ar.success, "prepare: initial legalization failed");
-  // Detailed-placement refinement, as a commercial initial placement would
-  // include (median pulls + swap polish, no row constraint). All flows
-  // branch after this, so none gets an unfair head start.
-  rap::RcLegalOptions dp_opt = opt.rclegal;
-  dp_opt.enforce_assignment = false;
-  const auto dp_res = rap::rc_legalize(
-      pc.initial, RowAssignment::all_majority(pc.initial.floorplan.num_pairs()),
-      dp_opt);
-  MTH_ASSERT(dp_res.success, "prepare: detailed refinement failed");
-  legal::swap_polish_converge(pc.initial);
+  {
+    MTH_SPAN("place/global");
+    place::GlobalPlaceOptions gp = opt.gp;
+    gp.seed = opt.ctx.exec.seed;
+    place::global_place(pc.initial, gp);
+    const auto ar = legal::abacus_legalize(pc.initial, {});
+    MTH_ASSERT(ar.success, "prepare: initial legalization failed");
+  }
+  {
+    // Detailed-placement refinement, as a commercial initial placement would
+    // include (median pulls + swap polish, no row constraint). All flows
+    // branch after this, so none gets an unfair head start.
+    MTH_SPAN("place/refine");
+    rap::RcLegalOptions dp_opt = opt.rclegal;
+    dp_opt.enforce_assignment = false;
+    const auto dp_res = rap::rc_legalize(
+        pc.initial,
+        RowAssignment::all_majority(pc.initial.floorplan.num_pairs()), dp_opt);
+    MTH_ASSERT(dp_res.success, "prepare: detailed refinement failed");
+    legal::swap_polish_converge(pc.initial);
+  }
 
   if (opt.verify) verify_stage(pc.initial, "prepare", nullptr, false);
 
@@ -161,10 +173,13 @@ void finalize_mixed(Design& design, const MlefTransform& mlef,
   MTH_ASSERT(ar.success, "finalize: mixed-height legalization failed");
 }
 
-FlowResult run_flow(const PreparedCase& pc, FlowId flow,
+FlowOutput run_flow(const PreparedCase& pc, FlowId flow,
                     const FlowOptions& opt, bool with_route,
-                    Design* final_design) {
-  FlowResult res;
+                    bool capture_design) {
+  trace::SinkScope sink_scope(opt.ctx.sink);
+  MTH_SPAN("flow/run");
+  FlowOutput out;
+  FlowResult& res = out.result;
   res.flow = flow;
   res.testcase = pc.spec.short_name;
   res.n_min_pairs = pc.n_min_pairs;
@@ -179,67 +194,81 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
     WallTimer t_assign;
     std::vector<InstId> bound_cells;
     std::vector<int> bound_pairs;
-    if (flow == FlowId::F2 || flow == FlowId::F3) {
-      baseline::KmeansAssignment ka =
-          baseline::assign_rows_kmeans(design, pc.n_min_pairs, opt.baseline);
-      assignment = std::move(ka.rows);
-      bound_cells = std::move(ka.minority_cells);
-      bound_pairs = std::move(ka.cell_pair);
-    } else {
-      if (pc.rap_cache == nullptr) {
-        rap::RapOptions ro = opt.rap;
-        ro.n_min_pairs = pc.n_min_pairs;
-        ro.width_library = pc.original_library.get();
-        if (ro.num_threads < 0) ro.num_threads = opt.num_threads;
-        pc.rap_cache =
-            std::make_shared<const rap::RapResult>(rap::solve_rap(design, ro));
+    {
+      MTH_SPAN("flow/assign");
+      if (flow == FlowId::F2 || flow == FlowId::F3) {
+        MTH_SPAN("baseline/assign");
+        baseline::KmeansAssignment ka =
+            baseline::assign_rows_kmeans(design, pc.n_min_pairs, opt.baseline);
+        assignment = std::move(ka.rows);
+        bound_cells = std::move(ka.minority_cells);
+        bound_pairs = std::move(ka.cell_pair);
+      } else {
+        if (pc.rap_cache == nullptr) {
+          rap::RapOptions ro = opt.rap;
+          ro.n_min_pairs = pc.n_min_pairs;
+          ro.width_library = pc.original_library.get();
+          if (ro.ctx.exec.num_threads < 0) {
+            ro.ctx.exec.num_threads = opt.ctx.exec.num_threads;
+          }
+          pc.rap_cache = std::make_shared<const rap::RapResult>(
+              rap::solve_rap(design, ro));
+        }
+        const rap::RapResult& rr = *pc.rap_cache;
+        if (opt.verify) {
+          rap::RapOptions ro = opt.rap;
+          ro.n_min_pairs = pc.n_min_pairs;
+          ro.width_library = pc.original_library.get();
+          const verify::CertifyReport cr = verify::certify_rap(design, rr, ro);
+          MTH_ASSERT(cr.ok(), "verify[rap]: " + cr.summary());
+        }
+        assignment = rr.assignment;
+        res.num_clusters = rr.num_clusters;
+        res.ilp_seconds = rr.ilp_seconds;
+        res.cluster_seconds = rr.cluster_seconds;
+        res.ilp_status = rr.status;
+        bound_cells = rr.minority_cells;
+        bound_pairs.resize(bound_cells.size());
+        for (std::size_t k = 0; k < bound_cells.size(); ++k) {
+          bound_pairs[k] =
+              rr.cluster_pair[static_cast<std::size_t>(rr.cluster_of[k])];
+        }
+        // On a cache hit report the original solve time (both flows "ran"
+        // it).
+        res.assign_seconds =
+            rr.cluster_seconds + rr.cost_seconds + rr.ilp_seconds;
       }
-      const rap::RapResult& rr = *pc.rap_cache;
-      if (opt.verify) {
-        rap::RapOptions ro = opt.rap;
-        ro.n_min_pairs = pc.n_min_pairs;
-        ro.width_library = pc.original_library.get();
-        const verify::CertifyReport cr = verify::certify_rap(design, rr, ro);
-        MTH_ASSERT(cr.ok(), "verify[rap]: " + cr.summary());
-      }
-      assignment = rr.assignment;
-      res.num_clusters = rr.num_clusters;
-      res.ilp_seconds = rr.ilp_seconds;
-      res.cluster_seconds = rr.cluster_seconds;
-      res.ilp_status = rr.status;
-      bound_cells = rr.minority_cells;
-      bound_pairs.resize(bound_cells.size());
-      for (std::size_t k = 0; k < bound_cells.size(); ++k) {
-        bound_pairs[k] =
-            rr.cluster_pair[static_cast<std::size_t>(rr.cluster_of[k])];
-      }
-      // On a cache hit report the original solve time (both flows "ran" it).
-      res.assign_seconds =
-          rr.cluster_seconds + rr.cost_seconds + rr.ilp_seconds;
     }
     if (res.assign_seconds == 0.0) res.assign_seconds = t_assign.seconds();
 
     // --- row-constraint legalization -----------------------------------------
     WallTimer t_legal;
-    if (flow == FlowId::F2 || flow == FlowId::F4) {
-      // Previous work's legalization: displacement-minimizing Abacus seeded
-      // by the cluster -> row binding.
-      const auto ar = baseline::legalize_with_assignment(
-          design, assignment, &bound_cells, &bound_pairs);
-      MTH_ASSERT(ar.success, "flow: baseline legalization failed");
-    } else {
-      // Proposed fence-region legalization (free assignment within fences).
-      const auto rr = rap::rc_legalize(design, assignment, opt.rclegal);
-      MTH_ASSERT(rr.success, "flow: rc legalization failed");
+    {
+      MTH_SPAN("flow/legalize");
+      if (flow == FlowId::F2 || flow == FlowId::F4) {
+        // Previous work's legalization: displacement-minimizing Abacus seeded
+        // by the cluster -> row binding.
+        MTH_SPAN("legal/baseline");
+        const auto ar = baseline::legalize_with_assignment(
+            design, assignment, &bound_cells, &bound_pairs);
+        MTH_ASSERT(ar.success, "flow: baseline legalization failed");
+      } else {
+        // Proposed fence-region legalization (free assignment within fences).
+        const auto rr = rap::rc_legalize(design, assignment, opt.rclegal);
+        MTH_ASSERT(rr.success, "flow: rc legalization failed");
+      }
     }
     res.legal_seconds = t_legal.seconds();
     if (opt.verify) verify_stage(design, "legalize", &assignment, false);
   }
 
   // --- post-placement metrics (mLEF space; Table IV) -------------------------
-  res.displacement =
-      total_displacement(design, pc.initial_positions, opt.num_threads);
-  res.hpwl = total_hpwl(design, opt.num_threads);
+  {
+    MTH_SPAN("flow/metrics");
+    res.displacement = total_displacement(design, pc.initial_positions,
+                                          opt.ctx.exec.num_threads);
+    res.hpwl = total_hpwl(design, opt.ctx.exec.num_threads);
+  }
   // Table IV total runtime = row assignment + legalization (the cached RAP
   // contributes its original solve time; wall clock otherwise).
   res.total_seconds =
@@ -248,6 +277,7 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
   // --- finalize + post-route (Table V; routing time not part of Table IV) -----
   if (with_route) {
     if (flow != FlowId::F1) {
+      MTH_SPAN("flow/finalize");
       finalize_mixed(design, *pc.mlef, assignment);
       if (opt.verify) verify_stage(design, "finalize", &assignment, true);
     }
@@ -258,8 +288,17 @@ FlowResult run_flow(const PreparedCase& pc, FlowId flow,
     res.post.cts = cts::build_clock_tree(design);
     res.routed = true;
   }
-  if (final_design != nullptr) *final_design = std::move(design);
-  return res;
+  if (capture_design) out.design = std::move(design);
+  return out;
+}
+
+FlowResult run_flow(const PreparedCase& pc, FlowId flow,
+                    const FlowOptions& opt, bool with_route,
+                    Design* final_design) {
+  FlowOutput out =
+      run_flow(pc, flow, opt, with_route, final_design != nullptr);
+  if (final_design != nullptr) *final_design = std::move(*out.design);
+  return std::move(out.result);
 }
 
 }  // namespace mth::flows

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <utility>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/timer.hpp"
@@ -23,6 +24,10 @@ const char* to_string(Status s) {
 }
 
 namespace {
+
+/// Every Nth branch & bound node wraps its LP re-solve in an `ilp/node_lp`
+/// span (the `ilp/nodes` counter stays exact for every node).
+constexpr int kNodeSpanSample = 64;
 
 struct BoundChange {
   int var = 0;
@@ -154,14 +159,25 @@ Result solve(lp::Model model, const std::vector<int>& integer_vars,
 
     // Apply node bounds.
     for (const BoundChange& bc : node.changes) model.set_bounds(bc.var, bc.lb, bc.ub);
-    lp::Result rel = lp::solve(model, options.lp,
-                               options.warm_basis ? node.basis.get() : nullptr);
+    lp::Result rel;
+    if (res.nodes % kNodeSpanSample == 0) {
+      // Sampled node-LP spans: one in kNodeSpanSample nodes gets a span so
+      // large searches stay legible in the trace; the counters below are
+      // exact regardless.
+      MTH_SPAN("ilp/node_lp");
+      rel = lp::solve(model, options.lp,
+                      options.warm_basis ? node.basis.get() : nullptr);
+    } else {
+      rel = lp::solve(model, options.lp,
+                      options.warm_basis ? node.basis.get() : nullptr);
+    }
     // Restore root bounds.
     for (const BoundChange& bc : node.changes) {
       model.set_bounds(bc.var, root_lb[static_cast<std::size_t>(bc.var)],
                        root_ub[static_cast<std::size_t>(bc.var)]);
     }
     ++res.nodes;
+    MTH_COUNT("ilp/nodes", 1);
     res.lp_iterations += rel.iterations;
     if (rel.warm_used) ++res.basis_reuse_hits;
 

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "mth/util/exec.hpp"
 #include "mth/util/geometry.hpp"
 
 namespace mth::cluster {
@@ -18,11 +19,17 @@ struct KMeansOptions {
   int max_iterations = 50;
   /// Stop when no point changes cluster in an iteration.
 
-  /// Worker threads for the assignment step (nearest-centroid search).
-  /// -1 = process default (MTH_THREADS env, else hardware concurrency);
-  /// 0/1 = serial. Centroid updates merge per-chunk partial sums in fixed
-  /// chunk order, so results are bit-identical for every value.
-  int num_threads = -1;
+  /// Execution policy (util::ExecPolicy). exec.num_threads drives the
+  /// assignment step (nearest-centroid search); centroid updates merge
+  /// per-chunk partial sums in fixed chunk order, so results are
+  /// bit-identical for every value. exec.seed is unused — k-means seeding
+  /// is the paper's deterministic grid (grid_seeds).
+  util::ExecPolicy exec;
+
+  /// \deprecated Pre-ExecPolicy field layout, kept one release as a
+  /// forwarding accessor; use exec.num_threads.
+  int& num_threads() { return exec.num_threads; }
+  int num_threads() const { return exec.num_threads; }
 };
 
 struct KMeansResult {

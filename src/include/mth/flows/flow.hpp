@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "mth/baseline/linchang.hpp"
@@ -29,6 +30,7 @@
 #include "mth/route/router.hpp"
 #include "mth/synth/generator.hpp"
 #include "mth/timing/sta.hpp"
+#include "mth/util/exec.hpp"
 
 namespace mth::flows {
 
@@ -38,12 +40,12 @@ const char* to_string(FlowId id);
 
 struct FlowOptions {
   double scale = 1.0;  ///< testcase cell-count scale (bench default << 1)
-  std::uint64_t seed = 1;
-  /// Worker threads for the parallel hot paths (RAP cost matrix, k-means,
-  /// metrics). -1 = process default (MTH_THREADS env, else hardware
-  /// concurrency); 0/1 = serial. Flow results are bit-identical for every
-  /// value. A non-default rap.num_threads takes precedence for the RAP.
-  int num_threads = -1;
+  /// Run-wide execution contract: thread count + seed (ctx.exec) and the
+  /// observability sink (ctx.sink). prepare_case/run_flow install ctx.sink
+  /// process-wide for their duration, so every stage they call emits spans
+  /// and counters against it (README "Observability"). A non-default
+  /// rap.ctx takes precedence for the RAP solve.
+  RunContext ctx;
   double utilization = 0.60;   ///< paper §IV-A
   double aspect_ratio = 1.0;
   /// Run the independent verification oracle after every stage: placement
@@ -62,6 +64,14 @@ struct FlowOptions {
   rap::RcLegalOptions rclegal;
   route::RouterOptions router;
   timing::StaOptions sta;
+
+  /// \deprecated Pre-RunContext field layout, kept one release as
+  /// forwarding accessors; use ctx.exec.seed / ctx.exec.num_threads.
+  std::uint64_t& seed() { return ctx.exec.seed; }
+  std::uint64_t seed() const { return ctx.exec.seed; }
+  /// \deprecated See seed().
+  int& num_threads() { return ctx.exec.num_threads; }
+  int num_threads() const { return ctx.exec.num_threads; }
 };
 
 /// One testcase prepared through synthesis, mLEF and initial placement; all
@@ -119,10 +129,28 @@ struct FlowResult {
 PreparedCase prepare_case(const synth::TestcaseSpec& spec,
                           const FlowOptions& options);
 
+/// Everything a flow run produces: the Table IV/V metrics plus, on request,
+/// the final design itself (mixed space after routing flows, mLEF space
+/// otherwise). Replaces the former `Design*` out-parameter of run_flow.
+struct FlowOutput {
+  FlowResult result;
+  std::optional<Design> design;  ///< engaged when capture_design was true
+};
+
 /// Run one flow from the prepared state. `with_route` adds the Table V
-/// post-route analysis. The prepared case is not modified. When
-/// `final_design` is non-null it receives the flow's output design (mixed
-/// space after routing flows, mLEF space otherwise).
+/// post-route analysis; `capture_design` materializes the flow's output
+/// design in FlowOutput::design (skip it when only metrics are needed — the
+/// design copy is not free). The prepared case is not modified. When
+/// options.ctx.sink is set it is installed for the duration, and the run is
+/// traced (stage spans flow/assign, flow/legalize, ...; README
+/// "Observability").
+FlowOutput run_flow(const PreparedCase& prepared, FlowId flow,
+                    const FlowOptions& options, bool with_route,
+                    bool capture_design);
+
+/// \deprecated Out-parameter form, kept one release as a thin wrapper over
+/// the FlowOutput overload. When `final_design` is non-null it receives the
+/// flow's output design.
 FlowResult run_flow(const PreparedCase& prepared, FlowId flow,
                     const FlowOptions& options, bool with_route,
                     Design* final_design = nullptr);

@@ -40,9 +40,12 @@ struct Options {
   /// Variables to branch on first while any of them is fractional (e.g. the
   /// RAP's row-opening indicators y_r, whose fixing collapses the search).
   std::vector<int> priority_vars;
-  /// Start each node's LP from the parent's optimal basis (dual simplex
-  /// re-solve) instead of a cold two-phase solve. false = cold baseline for
-  /// A/B measurement (bench_fig5_ilp_scaling).
+  /// A/B toggle — start each node's LP from the parent's optimal basis
+  /// (dual simplex re-solve) instead of a cold two-phase solve. false =
+  /// cold baseline. The warm-vs-cold A/B lives in `bench_fig5_ilp_scaling`
+  /// (BENCH_ilp_sparse.json; gated by tools/perf_smoke.sh); no dedicated
+  /// CLI flag. Acceptance rate shows up as Result::basis_reuse_hits and the
+  /// `lp/warm_hits` trace counter (README "Observability").
   bool warm_basis = true;
 };
 

@@ -21,13 +21,17 @@
 #include "mth/db/design.hpp"
 #include "mth/db/rowassign.hpp"
 #include "mth/ilp/solver.hpp"
+#include "mth/util/exec.hpp"
 
 namespace mth::rap {
 
 struct RapOptions {
   double s = 0.2;        ///< clustering resolution (paper-tuned; Fig. 4a)
   double alpha = 0.75;   ///< displacement weight (paper-tuned; Fig. 4b)
-  bool use_clustering = true;  ///< false == one cluster per cell (ablation)
+  /// A/B toggle — false == one cluster per cell, the paper's unclustered
+  /// exact formulation. Benched by `bench_ablation_clustering` (EXPERIMENTS
+  /// A1); no dedicated CLI flag (edit the bench env or call solve_rap).
+  bool use_clustering = true;
   /// Minority row-pair budget; 0 = auto-size from minority width demand
   /// (paper: "set N_minR to match the result from the Flow (2)").
   int n_min_pairs = 0;
@@ -36,13 +40,14 @@ struct RapOptions {
   /// library when the design is in mLEF space); null == design's library.
   const Library* width_library = nullptr;
   int kmeans_max_iterations = 40;
-  /// Candidate-row pruning: keep only this many cheapest rows (by f_cr, ties
-  /// to the lower row index) as assignment candidates per cluster, shrinking
-  /// the ILP from N_C*N_R to N_C*K variables. 0 = dense/exact formulation —
-  /// every row stays a candidate (the escape hatch benches use to quantify
-  /// the pruning loss). A cluster whose pruned set cannot absorb it is
-  /// widened (candidate count doubled) until feasible, so pruning never
-  /// manufactures infeasibility.
+  /// A/B knob — candidate-row pruning: keep only this many cheapest rows
+  /// (by f_cr, ties to the lower row index) as assignment candidates per
+  /// cluster, shrinking the ILP from N_C*N_R to N_C*K variables. 0 =
+  /// dense/exact formulation — every row stays a candidate. The dense-cold
+  /// vs sparse-warm A/B lives in `bench_fig5_ilp_scaling`
+  /// (BENCH_ilp_sparse.json; gated by tools/perf_smoke.sh). A cluster whose
+  /// pruned set cannot absorb it is widened (candidate count doubled) until
+  /// feasible, so pruning never manufactures infeasibility.
   int max_cand_rows = 64;
   /// Model the displacement of majority cells evicted from chosen minority
   /// pairs as a linear cost on y_r. The paper's f_cr covers minority cells
@@ -51,16 +56,23 @@ struct RapOptions {
   /// objective aligned with the reported metric (DESIGN.md §5; ablated in
   /// bench_ablation_clustering).
   bool model_eviction = true;
-  /// Worker threads for the cost-matrix build and k-means assignment step.
-  /// -1 = process default (MTH_THREADS env, else hardware concurrency);
-  /// 0/1 = serial. Results are bit-identical for every value (the parallel
-  /// layer uses thread-count-independent chunking; see util/threadpool.hpp).
-  int num_threads = -1;
-  /// Attach a RapCertificate (final root model + LP duals) to the result so
-  /// verify::certify_rap can bound the optimality gap independently. Costs
-  /// one copy of the (sparse, pruned) model; off for memory-tight sweeps.
+  /// Execution policy (ctx.exec.num_threads drives the cost-matrix build
+  /// and k-means assignment; see util::ExecPolicy) and observability sink.
+  /// solve_rap installs ctx.sink for its duration, emitting rap/cluster,
+  /// rap/cost_matrix and rap/ilp spans plus the solver counters (README
+  /// "Observability"); a null sink inherits the caller's.
+  RunContext ctx;
+  /// A/B toggle — attach a RapCertificate (final root model + LP duals) to
+  /// the result so verify::certify_rap can bound the optimality gap
+  /// independently (`mth_fuzz --certify`; EXPERIMENTS V1). Costs one copy
+  /// of the (sparse, pruned) model; off for memory-tight sweeps.
   bool export_certificate = true;
   ilp::Options ilp = default_ilp_options();
+
+  /// \deprecated Pre-RunContext field layout, kept one release as a
+  /// forwarding accessor; use ctx.exec.num_threads.
+  int& num_threads() { return ctx.exec.num_threads; }
+  int num_threads() const { return ctx.exec.num_threads; }
 
   static ilp::Options default_ilp_options() {
     // CPLEX-with-a-deadline semantics: prove optimality within the gap when

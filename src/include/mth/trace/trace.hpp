@@ -1,0 +1,155 @@
+#pragma once
+// Structured observability core: deterministic, thread-aware RAII spans and
+// monotonic counters, delivered to a process-global trace::Sink.
+//
+// Design rules (mirrors the determinism contract of util/threadpool.hpp):
+//
+//  * Zero-cost when dark. Every instrumentation site (MTH_SPAN / MTH_COUNT)
+//    performs exactly one relaxed atomic pointer load when no sink is
+//    installed — no clock reads, no allocation, no branches beyond the null
+//    check. Hot paths stay as fast as their un-instrumented selves.
+//  * Deterministic event *structure*. Span names are string literals chosen
+//    at the call site; the set of (span name, count) and every counter value
+//    depends only on the work performed, never on the thread count — the
+//    parallel layer's fixed chunk geometry guarantees chunk spans replay
+//    identically at MTH_THREADS=1 and 8. Only wall-clock durations (and the
+//    thread/track an event landed on) vary between runs.
+//  * Thread-aware rendering. Each OS thread gets a stable small integer
+//    track id on first use; util::ThreadPool names its workers, so chunked
+//    parallel_for work renders on per-worker rows in chrome://tracing.
+//
+// The sink pointer is carried across API seams on mth::RunContext
+// (util/exec.hpp) and installed for the duration of an entry point with a
+// SinkScope; deep callees (lp::solve, kmeans_2d, pool workers) pick it up
+// through the process-global current sink without any extra plumbing.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mth::trace {
+
+/// One completed span. `name` must be a string literal (or otherwise have
+/// static storage duration) — records keep the pointer, not a copy.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint32_t track = 0;    ///< per-thread track id (track_id())
+  std::int32_t depth = 0;     ///< nesting depth on this track at entry
+  std::int64_t start_ns = 0;  ///< steady-clock ns since the sink epoch
+  std::int64_t dur_ns = 0;
+};
+
+/// Receiver of trace events. Implementations must be thread-safe: spans and
+/// counters arrive concurrently from pool workers. See trace::Collector for
+/// the standard in-memory implementation with Chrome-trace and aggregated
+/// summary exporters.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// One completed span (called from the Span destructor).
+  virtual void span(const SpanRecord& rec) = 0;
+  /// Monotonic counter increment; `delta` must be >= 0 and `name` must have
+  /// static storage duration.
+  virtual void counter(const char* name, std::int64_t delta) = 0;
+};
+
+namespace detail {
+extern std::atomic<Sink*> g_sink;  // process-global current sink (or null)
+
+/// Nesting bookkeeping for the enabled path only (thread-local depth).
+std::int32_t enter_span();
+void exit_span();
+std::int32_t current_depth();
+std::int64_t since_epoch_ns(std::chrono::steady_clock::time_point tp);
+}  // namespace detail
+
+/// The currently installed sink, or null. A single relaxed load — this is
+/// the whole cost of a dark instrumentation site.
+inline Sink* current_sink() {
+  return detail::g_sink.load(std::memory_order_relaxed);
+}
+
+inline bool enabled() { return current_sink() != nullptr; }
+
+/// Install `sink` as the process-global sink for this scope's lifetime,
+/// restoring the previous sink on destruction. A null `sink` is a no-op
+/// (the ambient sink, if any, stays installed) — this lets nested entry
+/// points carry an unset RunContext::sink without masking the caller's.
+/// Installing over a previously dark process also (re)starts the trace
+/// epoch, so timestamps are relative to the outermost installation.
+class SinkScope {
+ public:
+  explicit SinkScope(Sink* sink);
+  ~SinkScope();
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+
+ private:
+  Sink* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Stable per-thread track id (0, 1, 2, ... in first-use order).
+std::uint32_t track_id();
+
+/// Human-readable name for a track, shown as the row label in
+/// chrome://tracing (util::ThreadPool names its workers "pool-worker-N").
+void set_track_name(std::uint32_t track, const std::string& name);
+
+/// Name previously registered for `track` ("" when unnamed).
+std::string track_name(std::uint32_t track);
+
+/// Monotonic counter increment against the current sink; dark sites cost
+/// one relaxed load. `delta` must be >= 0 (counters only ever grow).
+inline void count(const char* name, std::int64_t delta = 1) {
+  Sink* s = current_sink();
+  if (s != nullptr) s->counter(name, delta);
+}
+
+/// RAII span: records [construction, destruction) against the current sink.
+/// When no sink is installed at construction the object is inert — no clock
+/// reads, no allocation — and destruction is a single branch. The sink
+/// captured at construction is used at destruction, so a span never
+/// straddles two sinks even if the scope changes mid-flight.
+class Span {
+ public:
+  explicit Span(const char* name) : sink_(current_sink()) {
+    if (sink_ == nullptr) return;
+    name_ = name;
+    depth_ = detail::enter_span();
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() {
+    if (sink_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    detail::exit_span();
+    SpanRecord rec;
+    rec.name = name_;
+    rec.track = track_id();
+    rec.depth = depth_;
+    rec.start_ns = detail::since_epoch_ns(start_);
+    rec.dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     end - start_)
+                     .count();
+    sink_->span(rec);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Sink* sink_ = nullptr;
+  const char* name_ = nullptr;
+  std::int32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mth::trace
+
+// Macro plumbing: MTH_SPAN("rap/cost_matrix") declares a uniquely named
+// local Span covering the rest of the enclosing scope.
+#define MTH_TRACE_CONCAT2(a, b) a##b
+#define MTH_TRACE_CONCAT(a, b) MTH_TRACE_CONCAT2(a, b)
+#define MTH_SPAN(name) \
+  ::mth::trace::Span MTH_TRACE_CONCAT(mth_trace_span_, __LINE__)(name)
+#define MTH_COUNT(name, delta) ::mth::trace::count((name), (delta))

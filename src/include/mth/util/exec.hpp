@@ -1,0 +1,46 @@
+#pragma once
+// The run-wide execution contract, shared by every stage of the flow.
+//
+// Before this header each options struct (FlowOptions, RapOptions,
+// KMeansOptions) re-declared its own `num_threads` / `seed` with
+// copy-pasted doc comments; ExecPolicy is the single source of those
+// semantics, and RunContext pairs it with the observability sink so one
+// object carries "how to execute and where to report" across API seams.
+
+#include <cstdint>
+
+namespace mth::trace {
+class Sink;  // mth/trace/trace.hpp; a pointer is all RunContext needs
+}
+
+namespace mth::util {
+
+/// Execution policy shared by all parallel/randomized stages.
+struct ExecPolicy {
+  /// Worker threads for the parallel hot paths (RAP cost matrix, k-means
+  /// assignment, metrics scans). -1 = process default (MTH_THREADS env, else
+  /// hardware concurrency); 0/1 = serial. Results are bit-identical for
+  /// every value — the parallel layer uses thread-count-independent chunk
+  /// geometry (util/threadpool.hpp).
+  int num_threads = -1;
+  /// Seed for every seeded stage (testcase synthesis, global placement).
+  /// Identical seeds give identical runs.
+  std::uint64_t seed = 1;
+};
+
+}  // namespace mth::util
+
+namespace mth {
+
+/// Everything a run needs beyond its inputs: the execution policy plus the
+/// observability sink. Carried by value on FlowOptions / RapOptions; entry
+/// points install `sink` process-wide (trace::SinkScope) for their duration
+/// so deep callees emit spans/counters without extra plumbing. A null sink
+/// means "inherit whatever the caller installed" (tracing stays off when
+/// nobody installed one).
+struct RunContext {
+  util::ExecPolicy exec;
+  trace::Sink* sink = nullptr;
+};
+
+}  // namespace mth

@@ -81,6 +81,12 @@ class ThreadPool {
 struct ParallelOptions {
   int num_threads = -1;    ///< -1 = default_num_threads(); 0/1 = serial
   std::int64_t grain = 0;  ///< iterations per chunk; 0 = auto from n only
+  /// When non-null (must be a string literal) and a trace sink is installed,
+  /// every chunk is wrapped in a span of this name on its executing worker's
+  /// track, so parallel regions render as per-worker rows in chrome://
+  /// tracing. Chunk geometry is thread-count-independent, so the span
+  /// *count* per name is deterministic; null = no chunk spans (default).
+  const char* trace_name = nullptr;
 };
 
 /// Iterations per chunk for a loop of `n` iterations under `grain`

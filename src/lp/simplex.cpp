@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 
@@ -839,7 +840,11 @@ class Simplex {
 
 Result solve(const Model& model, const Options& options, const Basis* warm) {
   Simplex s(model, options, warm);
-  return s.run();
+  Result res = s.run();
+  MTH_COUNT("lp/pivots", res.iterations - res.dual_iterations);
+  MTH_COUNT("lp/dual_pivots", res.dual_iterations);
+  if (res.warm_used) MTH_COUNT("lp/warm_hits", 1);
+  return res;
 }
 
 }  // namespace mth::lp

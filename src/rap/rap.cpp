@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "mth/cluster/kmeans.hpp"
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/threadpool.hpp"
@@ -167,6 +168,8 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
 }  // namespace detail
 
 RapResult solve_rap(const Design& design, const RapOptions& opt) {
+  trace::SinkScope sink_scope(opt.ctx.sink);
+  MTH_SPAN("rap/solve");
   MTH_ASSERT(opt.s > 0.0 && opt.s <= 1.0, "rap: clustering resolution out of (0,1]");
   MTH_ASSERT(opt.alpha >= 0.0 && opt.alpha <= 1.0, "rap: alpha out of [0,1]");
   const Floorplan& fp = design.floorplan;
@@ -230,21 +233,24 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     const CellMaster& m = design.master_of(i);
     centers.push_back({inst.pos.x + m.width / 2, inst.pos.y + m.height / 2});
   }
-  while (true) {
-    if (opt.use_clustering && n_clusters < n_min_c) {
-      cluster::KMeansOptions ko;
-      ko.max_iterations = opt.kmeans_max_iterations;
-      ko.num_threads = opt.num_threads;
-      res.cluster_of = cluster::kmeans_2d(centers, n_clusters, ko).assignment;
-    } else {
-      n_clusters = n_min_c;
-      res.cluster_of.resize(static_cast<std::size_t>(n_min_c));
-      std::iota(res.cluster_of.begin(), res.cluster_of.end(), 0);
+  {
+    MTH_SPAN("rap/cluster");
+    while (true) {
+      if (opt.use_clustering && n_clusters < n_min_c) {
+        cluster::KMeansOptions ko;
+        ko.max_iterations = opt.kmeans_max_iterations;
+        ko.exec = opt.ctx.exec;
+        res.cluster_of = cluster::kmeans_2d(centers, n_clusters, ko).assignment;
+      } else {
+        n_clusters = n_min_c;
+        res.cluster_of.resize(static_cast<std::size_t>(n_min_c));
+        std::iota(res.cluster_of.begin(), res.cluster_of.end(), 0);
+      }
+      if (n_clusters >= n_min_c || widths_fit(res.cluster_of, n_clusters)) break;
+      n_clusters = std::min(n_min_c, 2 * n_clusters);
+      MTH_DEBUG << "rap: cluster wider than a pair — refining to N_C="
+                << n_clusters;
     }
-    if (n_clusters >= n_min_c || widths_fit(res.cluster_of, n_clusters)) break;
-    n_clusters = std::min(n_min_c, 2 * n_clusters);
-    MTH_DEBUG << "rap: cluster wider than a pair — refining to N_C="
-              << n_clusters;
   }
   res.num_clusters = n_clusters;
   res.cluster_seconds = t_cluster.seconds();
@@ -275,31 +281,36 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   std::vector<std::vector<double>> full_cost(
       static_cast<std::size_t>(n_clusters),
       std::vector<double>(static_cast<std::size_t>(nr), 0.0));
-  util::ParallelOptions par;
-  par.num_threads = opt.num_threads;
-  util::parallel_for(
-      n_clusters,
-      [&](std::int64_t c) {
-        std::vector<double>& row_cost = full_cost[static_cast<std::size_t>(c)];
-        for (const int k : cluster_cells[static_cast<std::size_t>(c)]) {
-          const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
-          const Instance& inst = design.netlist.instance(i);
-          const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
-          for (int r = 0; r < nr; ++r) {
-            const Dbu ry = fp.pair_y_center(r);
-            const double disp = static_cast<double>(std::llabs(ry - yc));
-            double dhpwl = 0.0;
-            for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
-              const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
-              if (design.netlist.net(u.net).is_clock) continue;
-              dhpwl += static_cast<double>(ye.span_with(i, ry) - ye.span());
+  {
+    MTH_SPAN("rap/cost_matrix");
+    util::ParallelOptions par;
+    par.num_threads = opt.ctx.exec.num_threads;
+    par.trace_name = "rap/cost_chunk";
+    util::parallel_for(
+        n_clusters,
+        [&](std::int64_t c) {
+          std::vector<double>& row_cost =
+              full_cost[static_cast<std::size_t>(c)];
+          for (const int k : cluster_cells[static_cast<std::size_t>(c)]) {
+            const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
+            const Instance& inst = design.netlist.instance(i);
+            const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
+            for (int r = 0; r < nr; ++r) {
+              const Dbu ry = fp.pair_y_center(r);
+              const double disp = static_cast<double>(std::llabs(ry - yc));
+              double dhpwl = 0.0;
+              for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+                const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
+                if (design.netlist.net(u.net).is_clock) continue;
+                dhpwl += static_cast<double>(ye.span_with(i, ry) - ye.span());
+              }
+              row_cost[static_cast<std::size_t>(r)] +=
+                  opt.alpha * disp + (1.0 - opt.alpha) * dhpwl;
             }
-            row_cost[static_cast<std::size_t>(r)] +=
-                opt.alpha * disp + (1.0 - opt.alpha) * dhpwl;
           }
-        }
-      },
-      par);
+        },
+        par);
+  }
 
   // Candidate rows (§III-C + pruning): with `max_cand_rows` = K in (0, nr)
   // each cluster keeps only its K cheapest rows by f_cr (a cost window
@@ -338,6 +349,10 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
 
   // --- ILP (Eqs. 1–5) --------------------------------------------------------------
   WallTimer t_ilp;
+  // Named span (not MTH_SPAN): the ILP section's locals (model, xvar, ...)
+  // feed the certificate export below, so there is no natural brace scope to
+  // close at res.ilp_seconds; the extraction tail it also covers is noise.
+  trace::Span ilp_span("rap/ilp");
   const Dbu pair_cap = 2 * fp.core().width();
   std::vector<Dbu> caps(static_cast<std::size_t>(nr), pair_cap);
 
@@ -370,6 +385,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       }
       if (fail_c < 0 || !widen_cluster(fail_c)) break;
       ++res.cand_widenings;
+      MTH_COUNT("rap/cand_widenings", 1);
       MTH_DEBUG << "rap: widened candidate window of cluster " << fail_c
                 << " to " << cand_k[static_cast<std::size_t>(fail_c)];
     }
@@ -541,6 +557,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       }
       added_total += take;
     }
+    MTH_COUNT("rap/linking_cuts", added_total);
     MTH_DEBUG << "rap: added " << added_total << " linking cuts at the root";
   }
 
@@ -671,6 +688,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   MTH_ASSERT(widened,
              "rap: ILP found no feasible assignment (capacity too tight?)");
   ++res.cand_widenings;
+  MTH_COUNT("rap/cand_widenings", 1);
   MTH_DEBUG << "rap: pruned ILP " << ilp::to_string(ir.status)
             << "; widened all candidate windows, rebuilding";
   }  // candidate-window retry loop

@@ -5,6 +5,7 @@
 
 #include "mth/db/metrics.hpp"
 #include "mth/legal/polish.hpp"
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 
@@ -46,6 +47,10 @@ Dbu median_of(std::vector<Dbu>& v, Dbu fallback) {
 
 RcLegalResult rc_legalize(Design& design, const RowAssignment& ra,
                           const RcLegalOptions& opt) {
+  // Two names for one routine: prepare_case drives it as an unconstrained
+  // detailed-placement polish, which must not pollute the legal/* totals
+  // that reconcile against FlowResult::legal_seconds.
+  trace::Span span(opt.enforce_assignment ? "legal/rc" : "legal/refine");
   MTH_ASSERT(ra.num_pairs() == design.floorplan.num_pairs(),
              "rclegal: assignment / floorplan mismatch");
   const Floorplan& fp = design.floorplan;

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 
@@ -191,6 +192,7 @@ struct EdgeRoute {
 }  // namespace
 
 RouteResult route_design(const Design& design, const RouterOptions& opt) {
+  MTH_SPAN("route/global");
   const Floorplan& fp = design.floorplan;
   const Tech& tech = design.library->tech();
   const Dbu gcell = opt.gcell_size > 0
@@ -332,6 +334,7 @@ RouteResult route_design(const Design& design, const RouterOptions& opt) {
     result.total_wirelength += nr.length;
   }
   result.overflowed_edges = grid.count_overflow(&result.max_utilization);
+  MTH_COUNT("route/overflows", result.overflowed_edges);
   return result;
 }
 

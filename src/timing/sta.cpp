@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
 
@@ -330,6 +331,7 @@ class StaEngine {
 
 TimingReport analyze(const Design& design, const route::RouteResult* routes,
                      const StaOptions& opt) {
+  MTH_SPAN("sta/analyze");
   return StaEngine(design, routes, opt).report();
 }
 

@@ -1,0 +1,193 @@
+#include "mth/trace/collector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace mth::trace {
+namespace {
+
+/// Minimal JSON string escaping (span names are identifier-like literals,
+/// but exporters must never emit malformed JSON regardless).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Nanoseconds as a fixed-point seconds literal ("0.001234567") — printf
+/// with an integer split, so formatting is locale- and platform-stable.
+std::string ns_to_seconds(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%09lld",
+                static_cast<long long>(ns / 1000000000),
+                static_cast<long long>(ns % 1000000000 < 0
+                                           ? -(ns % 1000000000)
+                                           : ns % 1000000000));
+  return buf;
+}
+
+/// Nanoseconds as microseconds with ns resolution (Chrome's ts/dur unit).
+std::string ns_to_us(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void Collector::span(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(rec);
+}
+
+void Collector::counter(const char* name, std::int64_t delta) {
+  if (delta < 0) delta = 0;  // counters are monotonic by contract
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::vector<SpanRecord> Collector::sorted_spans() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.track < b.track;
+                   });
+  return out;
+}
+
+std::map<std::string, SpanStat> Collector::aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, SpanStat> agg;
+  for (const SpanRecord& rec : spans_) {
+    SpanStat& s = agg[rec.name];
+    if (s.count == 0) {
+      s.min_ns = rec.dur_ns;
+      s.max_ns = rec.dur_ns;
+    } else {
+      s.min_ns = std::min(s.min_ns, rec.dur_ns);
+      s.max_ns = std::max(s.max_ns, rec.dur_ns);
+    }
+    ++s.count;
+    s.total_ns += rec.dur_ns;
+  }
+  return agg;
+}
+
+std::map<std::string, std::int64_t> Collector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Collector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  counters_.clear();
+}
+
+void Collector::write_chrome_trace(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = sorted_spans();
+
+  // Track ids seen, for thread_name metadata rows.
+  std::vector<std::uint32_t> tracks;
+  for (const SpanRecord& rec : spans) tracks.push_back(rec.track);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (std::uint32_t t : tracks) {
+    std::string name = track_name(t);
+    if (name.empty()) name = t == 0 ? "main" : "thread-" + std::to_string(t);
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << t
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << json_escape(name) << "\"}}";
+  }
+  for (const SpanRecord& rec : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << rec.track
+       << ", \"name\": \"" << json_escape(rec.name)
+       << "\", \"ts\": " << ns_to_us(rec.start_ns)
+       << ", \"dur\": " << ns_to_us(rec.dur_ns)
+       << ", \"args\": {\"depth\": " << rec.depth << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void Collector::write_summary(std::ostream& os, bool include_timings) const {
+  const auto agg = aggregate();
+  const auto ctr = counters();
+  os << "{\n  \"version\": 1,\n  \"spans\": {\n";
+  bool first = true;
+  for (const auto& [name, s] : agg) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    \"" << json_escape(name) << "\": {\"count\": " << s.count;
+    if (include_timings) {
+      os << ", \"total_s\": " << ns_to_seconds(s.total_ns)
+         << ", \"min_s\": " << ns_to_seconds(s.min_ns)
+         << ", \"max_s\": " << ns_to_seconds(s.max_ns);
+    }
+    os << "}";
+  }
+  os << "\n  },\n  \"counters\": {\n";
+  first = true;
+  for (const auto& [name, v] : ctr) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    \"" << json_escape(name) << "\": " << v;
+  }
+  os << "\n  }\n}\n";
+}
+
+bool Collector::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "trace: cannot write " << path << "\n";
+    return false;
+  }
+  write_chrome_trace(f);
+  return static_cast<bool>(f);
+}
+
+bool Collector::write_summary_file(const std::string& path,
+                                   bool include_timings) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "trace: cannot write " << path << "\n";
+    return false;
+  }
+  write_summary(f, include_timings);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mth::trace

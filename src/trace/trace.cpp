@@ -1,0 +1,92 @@
+#include "mth/trace/trace.hpp"
+
+#include <cassert>
+#include <map>
+#include <mutex>
+
+namespace mth::trace {
+
+namespace detail {
+
+std::atomic<Sink*> g_sink{nullptr};
+
+namespace {
+
+/// Epoch of the current tracing session (set when a sink is installed over a
+/// dark process). Timestamps are steady-clock ns relative to this, so traces
+/// start near t=0 regardless of process uptime.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+thread_local std::int32_t t_depth = 0;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::mutex& track_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::uint32_t, std::string>& track_names() {
+  static std::map<std::uint32_t, std::string> names;
+  return names;
+}
+
+}  // namespace
+
+std::int32_t enter_span() { return t_depth++; }
+
+void exit_span() {
+  assert(t_depth > 0 && "trace: span exit without matching entry");
+  --t_depth;
+}
+
+std::int32_t current_depth() { return t_depth; }
+
+std::int64_t since_epoch_ns(std::chrono::steady_clock::time_point tp) {
+  const std::int64_t abs_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count();
+  return abs_ns - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+SinkScope::SinkScope(Sink* sink) {
+  if (sink == nullptr) return;  // inherit the ambient sink untouched
+  prev_ = detail::g_sink.load(std::memory_order_relaxed);
+  if (prev_ == nullptr) {
+    // Fresh session: restart the timeline before events can be recorded.
+    detail::g_epoch_ns.store(detail::now_ns(), std::memory_order_relaxed);
+  }
+  detail::g_sink.store(sink, std::memory_order_release);
+  installed_ = true;
+}
+
+SinkScope::~SinkScope() {
+  if (installed_) detail::g_sink.store(prev_, std::memory_order_release);
+}
+
+std::uint32_t track_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void set_track_name(std::uint32_t track, const std::string& name) {
+  std::lock_guard<std::mutex> lock(detail::track_mutex());
+  detail::track_names()[track] = name;
+}
+
+std::string track_name(std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(detail::track_mutex());
+  const auto& names = detail::track_names();
+  const auto it = names.find(track);
+  return it == names.end() ? std::string() : it->second;
+}
+
+}  // namespace mth::trace

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <limits>
+#include <string>
+
+#include "mth/trace/trace.hpp"
 
 namespace mth::util {
 namespace {
@@ -54,7 +57,14 @@ void ThreadPool::ensure_workers(int n) {
   std::lock_guard<std::mutex> lock(mu_);
   n = std::min(n, kMaxWorkers);
   while (static_cast<int>(workers_.size()) < n) {
-    workers_.emplace_back([this] { worker_loop(); });
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] {
+      // Per-worker track ids: chunked parallel_for work renders on its own
+      // labeled row in the Chrome trace (mth/trace/trace.hpp).
+      trace::set_track_name(trace::track_id(),
+                            "pool-worker-" + std::to_string(index));
+      worker_loop();
+    });
   }
 }
 
@@ -110,7 +120,12 @@ void parallel_chunks(
   const int chunks = plan_chunks(n, options.grain);
   auto run_chunk = [&](int c) {
     const std::int64_t begin = static_cast<std::int64_t>(c) * grain;
-    body(c, begin, std::min(n, begin + grain));
+    if (options.trace_name != nullptr) {
+      MTH_SPAN(options.trace_name);
+      body(c, begin, std::min(n, begin + grain));
+    } else {
+      body(c, begin, std::min(n, begin + grain));
+    }
   };
 
   // Serial path: same chunk walk, same results, no pool. Nested parallel

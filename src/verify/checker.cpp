@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 
 namespace mth::verify {
@@ -57,6 +58,7 @@ struct Sink {
 }  // namespace
 
 CheckReport check_placement(const Design& design, const CheckOptions& opt) {
+  MTH_SPAN("verify/check");
   MTH_ASSERT(design.library != nullptr, "verify: design has no library");
   const Floorplan& fp = design.floorplan;
   MTH_ASSERT(fp.num_rows() > 0, "verify: design has no rows");
@@ -71,6 +73,7 @@ CheckReport check_placement(const Design& design, const CheckOptions& opt) {
     sink.add({ViolationKind::AssignmentShape, kInvalidId, kInvalidId, -1,
               "assignment has " + std::to_string(opt.assignment->num_pairs()) +
                   " pairs, floorplan has " + std::to_string(fp.num_pairs())});
+    MTH_COUNT("verify/violations", report.total_violations);
     return report;  // fence/pair indexing below would be meaningless
   }
 
@@ -217,6 +220,7 @@ CheckReport check_placement(const Design& design, const CheckOptions& opt) {
     }
   }
 
+  MTH_COUNT("verify/violations", report.total_violations);
   return report;
 }
 

@@ -141,11 +141,11 @@ TEST(Kmeans, BitIdenticalAcrossThreadCounts) {
     pts.push_back({rng.uniform_int(0, 200000), rng.uniform_int(0, 200000)});
   }
   KMeansOptions serial;
-  serial.num_threads = 1;
+  serial.exec.num_threads = 1;
   const auto ref = kmeans_2d(pts, 160, serial);
   for (int threads : {2, 8}) {
     KMeansOptions opt;
-    opt.num_threads = threads;
+    opt.exec.num_threads = threads;
     const auto r = kmeans_2d(pts, 160, opt);
     EXPECT_EQ(r.assignment, ref.assignment) << "threads=" << threads;
     EXPECT_EQ(r.centroids, ref.centroids) << "threads=" << threads;
@@ -158,11 +158,11 @@ TEST(Kmeans1d, BitIdenticalAcrossThreadCounts) {
   std::vector<Dbu> vals;
   for (int i = 0; i < 3000; ++i) vals.push_back(rng.uniform_int(0, 500000));
   KMeansOptions serial;
-  serial.num_threads = 1;
+  serial.exec.num_threads = 1;
   const auto ref = kmeans_1d(vals, 40, serial);
   for (int threads : {2, 8}) {
     KMeansOptions opt;
-    opt.num_threads = threads;
+    opt.exec.num_threads = threads;
     const auto r = kmeans_1d(vals, 40, opt);
     EXPECT_EQ(r.assignment, ref.assignment) << "threads=" << threads;
     EXPECT_EQ(r.centroids, ref.centroids) << "threads=" << threads;

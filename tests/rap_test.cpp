@@ -98,7 +98,7 @@ TEST(Rap, ClusterCountLawHoldsAcrossSeeds) {
   for (const std::uint64_t seed : {2ull, 3ull}) {
     flows::FlowOptions opt;
     opt.scale = 0.04;
-    opt.seed = seed;
+    opt.ctx.exec.seed = seed;
     const flows::PreparedCase pc =
         flows::prepare_case(synth::spec_by_name("aes_300"), opt);
     const int n_min_c = pc.initial.num_minority();
@@ -156,10 +156,10 @@ TEST(Rap, BitIdenticalAcrossThreadCounts) {
   const auto& pc = small_case();
   RapOptions ro = base_options(pc);
   ro.s = 0.15;
-  ro.num_threads = 1;
+  ro.ctx.exec.num_threads = 1;
   const RapResult ref = solve_rap(pc.initial, ro);
   for (int threads : {2, 8}) {
-    ro.num_threads = threads;
+    ro.ctx.exec.num_threads = threads;
     const RapResult r = solve_rap(pc.initial, ro);
     EXPECT_EQ(r.assignment.pair_is_minority, ref.assignment.pair_is_minority)
         << "threads=" << threads;

@@ -1,0 +1,244 @@
+// Tests for the mth::trace observability layer: RAII span balance (including
+// exception unwinds), summary determinism across thread counts, counter
+// monotonicity, and the zero-allocation dark fast path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "mth/cluster/kmeans.hpp"
+#include "mth/trace/collector.hpp"
+#include "mth/trace/trace.hpp"
+#include "mth/util/rng.hpp"
+#include "mth/util/threadpool.hpp"
+
+namespace mth::trace {
+namespace {
+
+// Global allocation counter fed by the replaced operator new below; the dark
+// fast-path test asserts MTH_SPAN / MTH_COUNT never touch the heap.
+std::atomic<std::int64_t> g_allocs{0};
+
+}  // namespace
+}  // namespace mth::trace
+
+void* operator new(std::size_t size) {
+  mth::trace::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mth::trace {
+namespace {
+
+TEST(Trace, DarkByDefault) {
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(current_sink(), nullptr);
+  // Dark sites are inert no-ops.
+  MTH_SPAN("test/dark");
+  MTH_COUNT("test/dark_counter", 3);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Trace, SinkScopeInstallsAndRestores) {
+  Collector c;
+  EXPECT_EQ(current_sink(), nullptr);
+  {
+    SinkScope scope(&c);
+    EXPECT_EQ(current_sink(), &c);
+    {
+      // Null scope inherits the ambient sink instead of masking it.
+      SinkScope inner(nullptr);
+      EXPECT_EQ(current_sink(), &c);
+    }
+    EXPECT_EQ(current_sink(), &c);
+  }
+  EXPECT_EQ(current_sink(), nullptr);
+}
+
+TEST(Trace, SpansNestAndBalance) {
+  Collector c;
+  {
+    SinkScope scope(&c);
+    MTH_SPAN("test/outer");
+    {
+      MTH_SPAN("test/inner");
+      MTH_COUNT("test/work", 2);
+    }
+  }
+  const auto agg = c.aggregate();
+  ASSERT_EQ(agg.count("test/outer"), 1u);
+  ASSERT_EQ(agg.count("test/inner"), 1u);
+  EXPECT_EQ(agg.at("test/outer").count, 1);
+  EXPECT_EQ(agg.at("test/inner").count, 1);
+  EXPECT_EQ(c.counters().at("test/work"), 2);
+
+  // Inner closed before outer and was one level deeper; both on this thread's
+  // track, contained within the outer's [start, start+dur) window.
+  const auto spans = c.sorted_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& outer = std::string(spans[0].name) == "test/outer"
+                                ? spans[0]
+                                : spans[1];
+  const SpanRecord& inner = std::string(spans[0].name) == "test/inner"
+                                ? spans[0]
+                                : spans[1];
+  EXPECT_EQ(inner.depth, outer.depth + 1);
+  EXPECT_EQ(inner.track, outer.track);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+}
+
+TEST(Trace, SpanBalanceSurvivesExceptions) {
+  Collector c;
+  {
+    SinkScope scope(&c);
+    EXPECT_THROW(
+        [] {
+          MTH_SPAN("test/throwing_outer");
+          MTH_SPAN("test/throwing_inner");
+          throw std::runtime_error("boom");
+        }(),
+        std::runtime_error);
+    // Unwinding closed both spans: a new span starts at depth 0 again.
+    MTH_SPAN("test/after");
+  }
+  const auto agg = c.aggregate();
+  EXPECT_EQ(agg.at("test/throwing_outer").count, 1);
+  EXPECT_EQ(agg.at("test/throwing_inner").count, 1);
+  for (const SpanRecord& rec : c.sorted_spans()) {
+    if (std::string(rec.name) == "test/after") {
+      EXPECT_EQ(rec.depth, 0);
+    }
+  }
+}
+
+TEST(Trace, CountersAreMonotonic) {
+  Collector c;
+  {
+    SinkScope scope(&c);
+    MTH_COUNT("test/mono", 5);
+    MTH_COUNT("test/mono", 0);
+    MTH_COUNT("test/mono", 7);
+    // Negative deltas violate the Sink contract; the Collector clamps them
+    // so an instrumentation bug can never make a counter shrink.
+    MTH_COUNT("test/mono", -100);
+  }
+  EXPECT_EQ(c.counters().at("test/mono"), 12);
+}
+
+TEST(Trace, SummaryStructureIdenticalAcrossThreadCounts) {
+  // The whole point of deterministic chunk geometry: the canonical summary
+  // (timings stripped) of a parallel workload is byte-identical between a
+  // serial and an 8-thread run — same span names, same span counts, same
+  // counter values.
+  Rng rng(42);
+  std::vector<Point> pts;
+  for (int i = 0; i < 4000; ++i) {
+    pts.push_back({rng.uniform_int(0, 200000), rng.uniform_int(0, 200000)});
+  }
+  auto run = [&](int threads) {
+    Collector c;
+    {
+      SinkScope scope(&c);
+      cluster::KMeansOptions ko;
+      ko.exec.num_threads = threads;
+      (void)cluster::kmeans_2d(pts, 160, ko);
+    }
+    std::ostringstream os;
+    c.write_summary(os, /*include_timings=*/false);
+    return os.str();
+  };
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("cluster/kmeans"), std::string::npos);
+  EXPECT_NE(serial.find("cluster/kmeans_chunk"), std::string::npos);
+  EXPECT_NE(serial.find("cluster/kmeans_iterations"), std::string::npos);
+}
+
+TEST(Trace, ChunkSpanCountMatchesPlan) {
+  Collector c;
+  const std::int64_t n = 1000;
+  util::ParallelOptions par;
+  par.num_threads = 4;
+  par.grain = 100;
+  par.trace_name = "test/chunk";
+  {
+    SinkScope scope(&c);
+    std::atomic<std::int64_t> sum{0};
+    util::parallel_chunks(n, par,
+                          [&](int, std::int64_t b, std::int64_t e) {
+                            sum.fetch_add(e - b, std::memory_order_relaxed);
+                          });
+    EXPECT_EQ(sum.load(), n);
+  }
+  EXPECT_EQ(c.aggregate().at("test/chunk").count,
+            util::plan_chunks(n, par.grain));
+}
+
+TEST(Trace, DarkFastPathDoesNotAllocate) {
+  ASSERT_EQ(current_sink(), nullptr);
+  // Warm up the thread-local track id off the measured path.
+  (void)track_id();
+  const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    MTH_SPAN("test/dark_loop");
+    MTH_COUNT("test/dark_loop_counter", 1);
+  }
+  const std::int64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+TEST(Trace, ChromeTraceExportIsWellFormedJson) {
+  Collector c;
+  {
+    SinkScope scope(&c);
+    MTH_SPAN("test/export");
+    MTH_COUNT("test/export_counter", 1);
+  }
+  std::ostringstream os;
+  c.write_chrome_trace(os);
+  const std::string json = os.str();
+  // Structural smoke checks (the full schema check lives in
+  // tools/trace_schema_check.py, exercised by tools/perf_smoke.sh).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("test/export"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Trace, SummaryKeysAreSorted) {
+  Collector c;
+  {
+    SinkScope scope(&c);
+    MTH_SPAN("test/z_last");
+    MTH_SPAN("test/a_first");
+    MTH_COUNT("test/z_counter", 1);
+    MTH_COUNT("test/a_counter", 1);
+  }
+  std::ostringstream os;
+  c.write_summary(os);
+  const std::string json = os.str();
+  EXPECT_LT(json.find("test/a_first"), json.find("test/z_last"));
+  EXPECT_LT(json.find("test/a_counter"), json.find("test/z_counter"));
+}
+
+TEST(Trace, TrackNamesRegister) {
+  const std::uint32_t t = track_id();
+  set_track_name(t, "main");
+  EXPECT_EQ(track_name(t), "main");
+  EXPECT_EQ(track_name(t + 1000), "");
+}
+
+}  // namespace
+}  // namespace mth::trace

@@ -44,6 +44,32 @@ for t in rap_test cluster_test util_test lp_test ilp_test verify_test; do
   fi
 done
 
+# Trace-summary determinism: a traced Flow (5) run must produce the same
+# canonical summary (span names, span counts, counter values — timings
+# stripped) at MTH_THREADS=1 and 8. The fixed chunk geometry of the parallel
+# layer is exactly what makes this hold.
+if [[ -x "$BUILD_DIR/tools/mth_flow" ]] && command -v python3 > /dev/null; then
+  SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  echo "[determinism] mth_flow trace summary: MTH_THREADS=1 vs 8 ..."
+  for n in 1 8; do
+    MTH_THREADS=$n "$BUILD_DIR/tools/mth_flow" --testcase aes_360 --flow 5 \
+      --scale 0.05 --ilp-seconds 5 --trace-summary "$TMP/summary.$n.json" \
+      > /dev/null
+    python3 "$SCRIPT_DIR/trace_schema_check.py" \
+      --canonical "$TMP/summary.$n.json" > "$TMP/summary.$n.canon"
+  done
+  if diff -u "$TMP/summary.1.canon" "$TMP/summary.8.canon" \
+       > "$TMP/summary.diff"; then
+    echo "[determinism] trace summary: canonical form identical at 1 and 8 threads"
+  else
+    echo "[determinism] trace summary: DIVERGED between thread counts:" >&2
+    cat "$TMP/summary.diff" >&2
+    status=1
+  fi
+else
+  echo "[determinism] note: mth_flow or python3 unavailable, skipping trace summary check"
+fi
+
 if [[ $status -eq 0 ]]; then
   echo "[determinism] OK"
 else

@@ -26,6 +26,7 @@
 #include "mth/rap/rclegal.hpp"
 #include "mth/report/svg.hpp"
 #include "mth/report/table.hpp"
+#include "mth/trace/collector.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/str.hpp"
 
@@ -50,6 +51,8 @@ void usage(std::ostream& os) {
         "  --out-def <path>    write the final placement (defio format)\n"
         "  --out-svg <path>    write a Fig. 3-style placement plot\n"
         "  --out-csv <path>    append a metrics row (creates header)\n"
+        "  --trace <path>      write a Chrome trace_events JSON of the run\n"
+        "  --trace-summary <p> write the aggregated per-span JSON summary\n"
         "  -v / -q             verbose / quiet logging\n";
 }
 
@@ -75,7 +78,7 @@ int main(int argc, char** argv) {
   opt.rap.ilp.time_limit_s = 20.0;
   bool route = false, height_swap = false;
   std::optional<rap::RowPattern> pattern;
-  std::string out_def, out_svg, out_csv;
+  std::string out_def, out_svg, out_csv, out_trace, out_trace_summary;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -101,7 +104,7 @@ int main(int argc, char** argv) {
     } else if (a == "--scale") {
       opt.scale = std::atof(next());
     } else if (a == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opt.ctx.exec.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (a == "--util") {
       opt.utilization = std::atof(next());
     } else if (a == "--s") {
@@ -127,6 +130,10 @@ int main(int argc, char** argv) {
       out_svg = next();
     } else if (a == "--out-csv") {
       out_csv = next();
+    } else if (a == "--trace") {
+      out_trace = next();
+    } else if (a == "--trace-summary") {
+      out_trace_summary = next();
     } else if (a == "-v") {
       set_log_level(LogLevel::Debug);
     } else if (a == "-q") {
@@ -148,6 +155,12 @@ int main(int argc, char** argv) {
   try {
     const synth::TestcaseSpec& spec = synth::spec_by_name(testcase);
 
+    // Tracing: one collector across prepare + flow; run_flow/prepare_case
+    // install it via FlowOptions::ctx.
+    trace::Collector collector;
+    const bool tracing = !out_trace.empty() || !out_trace_summary.empty();
+    if (tracing) opt.ctx.sink = &collector;
+
     // Optional netlist-stage height swapping: regenerate, optimize, and note
     // that prepare_case re-synthesizes — so we report the optimizer's effect
     // separately (it demonstrates the pass; wiring it into prepare_case is a
@@ -155,7 +168,7 @@ int main(int argc, char** argv) {
     if (height_swap) {
       synth::GeneratorOptions gen = opt.gen;
       gen.scale = opt.scale;
-      gen.seed = opt.seed;
+      gen.seed = opt.ctx.exec.seed;
       Design netlist =
           synth::generate_testcase(spec, liberty::library_ref(), gen).design;
       const opt::HeightSwapResult hs = opt::optimize_track_heights(netlist);
@@ -172,6 +185,7 @@ int main(int argc, char** argv) {
     flows::FlowResult res;
     Design final_design = pc.initial;
     if (pattern) {
+      trace::SinkScope sink_scope(opt.ctx.sink);
       // Pattern mode: pre-determined rows + the proposed legalization.
       const RowAssignment ra = rap::pattern_assignment(
           final_design.floorplan.num_pairs(), pc.n_min_pairs, *pattern);
@@ -190,8 +204,11 @@ int main(int argc, char** argv) {
       }
       std::cout << "pattern: " << to_string(*pattern) << "\n";
     } else {
-      res = flows::run_flow(pc, static_cast<flows::FlowId>(flow), opt, route,
-                            &final_design);
+      flows::FlowOutput out = flows::run_flow(
+          pc, static_cast<flows::FlowId>(flow), opt, route,
+          /*capture_design=*/true);
+      res = std::move(out.result);
+      final_design = std::move(*out.design);
     }
 
     report::Table t({"metric", "value"});
@@ -203,6 +220,10 @@ int main(int argc, char** argv) {
     t.add_row({"displacement (um)",
                format_count(static_cast<long long>(res.displacement / 1000))});
     t.add_row({"HPWL (um)", format_count(static_cast<long long>(res.hpwl / 1000))});
+    // Stage timings let the trace summary's rap/* and legal/* totals be
+    // reconciled against the flow's own clocks (see README "Observability").
+    t.add_row({"assign (s)", format_fixed(res.assign_seconds, 4)});
+    t.add_row({"legalize (s)", format_fixed(res.legal_seconds, 4)});
     if (res.routed) {
       t.add_row({"routed WL (um)",
                  format_count(static_cast<long long>(res.post.routed_wl / 1000))});
@@ -234,6 +255,14 @@ int main(int argc, char** argv) {
         << res.post.timing.total_power_mw() << ',' << res.post.timing.wns_ns
         << ',' << res.post.timing.tns_ns << '\n';
       std::cout << "appended " << out_csv << "\n";
+    }
+    if (!out_trace.empty()) {
+      collector.write_chrome_trace_file(out_trace);
+      std::cout << "wrote " << out_trace << "\n";
+    }
+    if (!out_trace_summary.empty()) {
+      collector.write_summary_file(out_trace_summary);
+      std::cout << "wrote " << out_trace_summary << "\n";
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -87,7 +87,7 @@ Scenario derive_scenario(std::uint64_t seed_base, int iter, int target_cells) {
 flows::FlowOptions scenario_options(const Scenario& sc) {
   flows::FlowOptions opt;
   opt.scale = sc.scale();
-  opt.seed = sc.seed;
+  opt.ctx.exec.seed = sc.seed;
   opt.rap.ilp.time_limit_s = 5.0;
   // Micro instances put a handful of wide minority cells into one or two
   // pairs; at the default 0.80 fill target the row-level bin packing can
@@ -144,9 +144,9 @@ void run_iteration(const Scenario& sc, double sparse_gap_window,
   }
 
   rap::RapOptions ro_a = base_rap_options(pc, opt);
-  ro_a.num_threads = 1;
+  ro_a.ctx.exec.num_threads = 1;
   rap::RapOptions ro_b = ro_a;
-  ro_b.num_threads = 8;
+  ro_b.ctx.exec.num_threads = 8;
   rap::RapOptions ro_c = ro_a;
   ro_c.max_cand_rows = 0;
   ro_c.ilp.warm_basis = false;

@@ -8,16 +8,26 @@
 # gap-proven case. The bench also re-checks the 1-vs-8-thread bit-identical
 # guarantee internally.
 #
+# Also smokes the mth::trace observability layer: a traced Flow (5) run via
+# mth_flow --trace/--trace-summary, with both JSON artifacts validated against
+# the schema in tools/trace_schema_check.py. Skipped when mth_flow or python3
+# is unavailable (bench-only builds stay usable).
+#
 # Usage: tools/perf_smoke.sh [build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 BIN="$BUILD_DIR/bench/bench_fig5_ilp_scaling"
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not built (run: cmake --build $BUILD_DIR)" >&2
   exit 2
 fi
 BIN="$(cd "$(dirname "$BIN")" && pwd)/$(basename "$BIN")"
+FLOW_BIN=""
+if [[ -x "$BUILD_DIR/tools/mth_flow" ]]; then
+  FLOW_BIN="$(cd "$BUILD_DIR/tools" && pwd)/mth_flow"
+fi
 
 : "${MTH_CASES:=2}"
 export MTH_CASES
@@ -32,4 +42,20 @@ if "$BIN"; then
 else
   echo "[perf-smoke] FAILED: sparse objective outside the allowed window" >&2
   exit 1
+fi
+
+# Traced-flow smoke: both exporters must produce schema-valid JSON.
+if [[ -n "$FLOW_BIN" ]] && command -v python3 > /dev/null; then
+  echo "[perf-smoke] traced flow: $FLOW_BIN --flow 5 --trace/--trace-summary"
+  "$FLOW_BIN" --testcase aes_360 --flow 5 --scale 0.05 --ilp-seconds 5 \
+    --trace "$TMP/trace.json" --trace-summary "$TMP/summary.json" > /dev/null
+  if python3 "$SCRIPT_DIR/trace_schema_check.py" \
+       --trace "$TMP/trace.json" --summary "$TMP/summary.json"; then
+    echo "[perf-smoke] trace artifacts OK"
+  else
+    echo "[perf-smoke] FAILED: trace artifacts violate the schema" >&2
+    exit 1
+  fi
+else
+  echo "[perf-smoke] note: mth_flow or python3 unavailable, skipping trace smoke"
 fi

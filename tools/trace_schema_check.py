@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate mth::trace JSON artifacts (stdlib only; no third-party deps).
+
+Two artifact kinds:
+
+  * Chrome trace_events JSON (mth_flow --trace / Collector::write_chrome_trace):
+    {"traceEvents": [...]} where every event is either a "M" thread_name
+    metadata record or an "X" complete event with non-negative ts/dur and an
+    integer args.depth.
+  * Aggregated summary JSON (mth_flow --trace-summary /
+    Collector::write_summary): {"version": 1, "spans": {...}, "counters":
+    {...}} with positive span counts, consistent min/max/total timings and
+    non-negative counters.
+
+Modes:
+  trace_schema_check.py --trace FILE [--trace FILE ...]
+  trace_schema_check.py --summary FILE [--summary FILE ...]
+  trace_schema_check.py --canonical FILE
+      Validate FILE as a summary, strip the wall-clock fields (total_s /
+      min_s / max_s) and print the canonical thread-count-independent form to
+      stdout — tools/check_determinism.sh diffs this between MTH_THREADS=1
+      and 8 runs.
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+_NUM = (int, float)
+
+
+def _fail(path, msg):
+    print(f"trace_schema_check: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return _fail(path, f"unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return _fail(path, "top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return _fail(path, "'traceEvents' must be a non-empty list")
+    n_complete = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return _fail(path, f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                return _fail(path, f"{where}: metadata must be thread_name")
+            if not isinstance(ev.get("args", {}).get("name"), str):
+                return _fail(path, f"{where}: missing args.name string")
+        elif ph == "X":
+            n_complete += 1
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                return _fail(path, f"{where}: missing span name")
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), _NUM) or ev[key] < 0:
+                    return _fail(path, f"{where}: bad '{key}'")
+            if not isinstance(ev.get("tid"), int) or ev["tid"] < 0:
+                return _fail(path, f"{where}: bad 'tid'")
+            depth = ev.get("args", {}).get("depth")
+            if not isinstance(depth, int) or depth < 0:
+                return _fail(path, f"{where}: bad args.depth")
+        else:
+            return _fail(path, f"{where}: unexpected ph {ph!r}")
+    if n_complete == 0:
+        return _fail(path, "no 'X' complete events")
+    print(f"trace_schema_check: {path}: OK ({n_complete} spans)")
+    return True
+
+
+def load_summary(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError("top level must be an object")
+    if doc.get("version") != 1:
+        raise ValueError("missing or unsupported 'version' (want 1)")
+    spans = doc.get("spans")
+    counters = doc.get("counters")
+    if not isinstance(spans, dict) or not spans:
+        raise ValueError("'spans' must be a non-empty object")
+    if not isinstance(counters, dict):
+        raise ValueError("'counters' must be an object")
+    for name, stat in spans.items():
+        if not isinstance(stat, dict):
+            raise ValueError(f"spans[{name!r}]: not an object")
+        count = stat.get("count")
+        if not isinstance(count, int) or count <= 0:
+            raise ValueError(f"spans[{name!r}]: bad 'count'")
+        timed = [k for k in ("total_s", "min_s", "max_s") if k in stat]
+        if timed and sorted(timed) != ["max_s", "min_s", "total_s"]:
+            raise ValueError(f"spans[{name!r}]: partial timing fields")
+        if timed:
+            for k in timed:
+                if not isinstance(stat[k], _NUM) or stat[k] < 0:
+                    raise ValueError(f"spans[{name!r}]: bad '{k}'")
+            if not (stat["min_s"] <= stat["max_s"] <= stat["total_s"] + 1e-12):
+                raise ValueError(f"spans[{name!r}]: min/max/total inconsistent")
+        extra = set(stat) - {"count", "total_s", "min_s", "max_s"}
+        if extra:
+            raise ValueError(f"spans[{name!r}]: unexpected keys {sorted(extra)}")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"counters[{name!r}]: bad value")
+    return doc
+
+
+def check_summary(path):
+    try:
+        doc = load_summary(path)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        return _fail(path, str(e))
+    print(
+        f"trace_schema_check: {path}: OK "
+        f"({len(doc['spans'])} spans, {len(doc['counters'])} counters)"
+    )
+    return True
+
+
+def print_canonical(path):
+    try:
+        doc = load_summary(path)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        return _fail(path, str(e))
+    canon = {
+        "version": doc["version"],
+        "spans": {
+            name: {"count": stat["count"]}
+            for name, stat in doc["spans"].items()
+        },
+        "counters": doc["counters"],
+    }
+    json.dump(canon, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", action="append", default=[],
+                    help="Chrome trace_events JSON to validate")
+    ap.add_argument("--summary", action="append", default=[],
+                    help="aggregated summary JSON to validate")
+    ap.add_argument("--canonical", metavar="FILE",
+                    help="validate a summary and print its canonical form")
+    args = ap.parse_args()
+    if not args.trace and not args.summary and not args.canonical:
+        ap.error("nothing to do (pass --trace / --summary / --canonical)")
+
+    ok = True
+    for path in args.trace:
+        ok = check_trace(path) and ok
+    for path in args.summary:
+        ok = check_summary(path) and ok
+    if args.canonical:
+        ok = print_canonical(args.canonical) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
