@@ -1,0 +1,24 @@
+# Self-containment gate for the public API: every header under
+# src/include/mth/ is compiled as its own translation unit, so a header that
+# forgets an include (and only works when its consumers happen to include the
+# missing dependency first) fails the build — the static counterpart of the
+# mth_lint convention rules. Generated TUs land in <build>/header_check/ and
+# are only rewritten when their content changes, so incremental builds stay
+# quiet.
+file(GLOB_RECURSE MTH_PUBLIC_HEADERS CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/include/mth/*.hpp)
+
+set(_mth_header_check_srcs)
+foreach(hdr IN LISTS MTH_PUBLIC_HEADERS)
+  file(RELATIVE_PATH rel ${CMAKE_SOURCE_DIR}/src/include ${hdr})
+  string(MAKE_C_IDENTIFIER ${rel} id)
+  set(src ${CMAKE_BINARY_DIR}/header_check/${id}.cpp)
+  file(CONFIGURE OUTPUT ${src} CONTENT "#include \"${rel}\"\n" @ONLY)
+  list(APPEND _mth_header_check_srcs ${src})
+endforeach()
+
+add_library(mth_header_selfcheck OBJECT ${_mth_header_check_srcs})
+target_include_directories(mth_header_selfcheck PRIVATE
+  ${CMAKE_SOURCE_DIR}/src/include)
+target_link_libraries(mth_header_selfcheck PRIVATE mth_warnings
+  Threads::Threads)

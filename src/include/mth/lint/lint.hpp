@@ -1,0 +1,131 @@
+#pragma once
+// mth_lint — in-house static analyzer for this repository's own invariants.
+//
+// The determinism guarantees the reproduction rests on (bit-identical runs
+// at any MTH_THREADS, seeded randomness only, registered trace span names,
+// documented A/B knobs) are enforced dynamically by tools/check_determinism.sh
+// and friends — but a single careless `std::rand()` or `unordered_map`
+// iteration in a hot path breaks them silently until the next full run. This
+// module gates those invariants *statically*, at commit time:
+//
+//  * determinism rules — no std::rand/srand/time(...)/clock(...) calls, no
+//    std::random_device (util::Rng is the only sanctioned randomness), no raw
+//    std::thread / std::async outside the util module (util::ThreadPool is
+//    the only sanctioned concurrency), and no unordered containers at all in
+//    the deterministic subsystems (rap, cluster, lp, ilp, legal, flows,
+//    verify, io, synth — everything whose output feeds golden tests).
+//  * trace rules — every MTH_SPAN("...") / MTH_COUNT("...") literal and
+//    ParallelOptions::trace_name literal must appear in the checked-in span
+//    registry (tools/trace_spans.json), which tools/trace_schema_check.py
+//    consumes to validate runtime artifacts; stale registry entries fail too,
+//    so the registry is always exactly the set of literals in the tree.
+//  * convention rules — any doc block mentioning an "A/B" knob in the public
+//    lp/ilp/rap headers must name the bench or tool where the A/B lives
+//    (the unified bench+flag doc convention from the observability PR).
+//
+// The analyzer is a token-level scanner, not a compiler: it strips comments
+// and string/char literals with a small state machine (raw strings included)
+// and pattern-matches the remaining token stream. That is deliberate — the
+// rules are lexical by design so the tool stays dependency-free, runs on the
+// whole tree in milliseconds, and can be unit-tested with inline fixtures.
+//
+// Findings can be suppressed two ways:
+//  * inline, with a justification comment the scanner recognizes on the same
+//    or preceding line:  // mth-lint: allow(det-unordered): lookup-only table
+//  * via the checked-in baseline (tools/lint_baseline.json) keyed by
+//    (rule, file, snippet) — line numbers drift, snippets rarely do — so
+//    legacy findings don't block while new ones still fail.
+//
+// Entry points: lint_source() over one buffer (unit tests, editors),
+// tools/mth_lint for the tree walk + baseline/registry plumbing, and the
+// tier-1 `lint_repo` ctest which runs the CLI over the repository.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mth::lint {
+
+enum class Rule {
+  DetRand,        ///< det-rand: unseeded randomness / wall-clock entropy
+  DetThread,      ///< det-thread: raw std::thread / std::async outside util
+  DetUnordered,   ///< det-unordered: unordered container in a det subsystem
+  UnorderedIter,  ///< unordered-iter: iteration over an unordered container
+  TraceRegistry,  ///< trace-registry: span/counter literal not registered
+  AbDoc,          ///< ab-doc: A/B knob doc without a bench/tool reference
+};
+
+/// Stable kebab-case rule id, used in diagnostics, suppression comments,
+/// the JSON output and the baseline ("det-rand", "trace-registry", ...).
+const char* to_string(Rule r);
+std::optional<Rule> rule_from_string(std::string_view id);
+
+/// One diagnostic. `file` is whatever path label the caller passed in
+/// (repo-relative by convention); `snippet` is the trimmed source line the
+/// finding anchors to and doubles as the drift-tolerant baseline key part.
+struct Finding {
+  Rule rule = Rule::DetRand;
+  std::string file;
+  int line = 0;  ///< 1-based; 0 for file-level findings (stale registry)
+  std::string message;
+  std::string snippet;
+};
+
+/// Baseline / dedup key: rule id, file and snippet (not the line number, so
+/// unrelated edits above a baselined finding don't invalidate it).
+std::string finding_key(const Finding& f);
+
+/// The checked-in span-name registry (tools/trace_spans.json). An empty
+/// registry disables the trace-registry rule in lint_source().
+struct Registry {
+  std::vector<std::string> spans;     ///< MTH_SPAN + ParallelOptions::trace_name
+  std::vector<std::string> counters;  ///< MTH_COUNT
+  bool empty() const { return spans.empty() && counters.empty(); }
+};
+
+struct Options {
+  Registry registry;
+};
+
+/// Lint one source buffer. `file` is the path label used both for
+/// diagnostics and for the path-based rule scoping (deterministic-subsystem
+/// detection, util-module thread allowlist, lp/ilp/rap header convention),
+/// so pass repo-relative paths with forward slashes.
+std::vector<Finding> lint_source(const std::string& file,
+                                 std::string_view text,
+                                 const Options& options = {});
+
+/// Span/counter literals used by a source buffer (for registry generation
+/// and the tree-level stale-entry check). Each literal is reported once per
+/// buffer in first-use order.
+struct TraceUses {
+  std::vector<std::string> spans;
+  std::vector<std::string> counters;
+};
+TraceUses collect_trace_uses(std::string_view text);
+
+// --- serialization -------------------------------------------------------
+// All readers accept exactly what the writers emit (plus whitespace); on
+// malformed input they return nullopt and set *error to a short description.
+
+std::string findings_to_json(const std::vector<Finding>& findings);
+std::optional<std::vector<Finding>> parse_findings_json(std::string_view json,
+                                                        std::string* error);
+
+std::string baseline_to_json(const std::vector<Finding>& findings);
+std::optional<std::vector<std::string>> parse_baseline(std::string_view json,
+                                                       std::string* error);
+
+/// Drop findings whose finding_key() appears in `baseline_keys`. Keys in the
+/// baseline that matched nothing are appended to *stale (when non-null) —
+/// the CLI fails on them so the baseline never rots.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<std::string>& baseline_keys,
+                                    std::vector<std::string>* stale);
+
+std::string registry_to_json(const Registry& registry);
+std::optional<Registry> parse_registry(std::string_view json,
+                                       std::string* error);
+
+}  // namespace mth::lint

@@ -3,7 +3,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
-#include <unordered_map>
+#include <unordered_map>  // mth-lint: allow(det-unordered): lookup-only tables
 
 #include "mth/util/error.hpp"
 
@@ -73,7 +73,12 @@ Design read_design(std::istream& is, std::shared_ptr<const Library> library) {
   Design d;
   d.library = library;
 
+  // Name -> id tables for pin resolution: insert-and-find only. Their hash
+  // iteration order is never observed (ids are handed out by the netlist in
+  // file order), so the unordered containers cannot leak nondeterminism.
+  // mth-lint: allow(det-unordered): lookup-only, never iterated
   std::unordered_map<std::string, InstId> inst_by_name;
+  // mth-lint: allow(det-unordered): lookup-only, never iterated
   std::unordered_map<std::string, PortId> port_by_name;
   struct RowRec {
     Dbu y, height, x0, x1;

@@ -1,0 +1,953 @@
+#include "mth/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mth::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanner: strips comments and string/char literals from a C++ buffer and
+// produces (a) a token stream of identifiers / punctuation / string literals
+// with line numbers, (b) per-line comment text for suppression and doc-block
+// analysis, (c) the raw lines for snippets. This is a lexer, not a parser —
+// the rules are lexical by design (see lint.hpp).
+// ---------------------------------------------------------------------------
+
+enum class Tok { Ident, Punct, Literal, Number };
+
+struct Token {
+  Tok kind;
+  std::string text;  // identifier / punctuation text, or literal *content*
+  int line;
+};
+
+struct Scan {
+  std::vector<std::string> lines;     // raw source, for snippets
+  std::vector<Token> tokens;
+  std::vector<std::string> comments;  // per line (index line-1), '\n'-joined
+  std::vector<bool> doc;              // line carries a /// doc comment
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Scan scan_source(std::string_view text) {
+  Scan s;
+  {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        s.lines.push_back(cur);
+        cur.clear();
+      } else if (c != '\r') {
+        cur += c;
+      }
+    }
+    s.lines.push_back(cur);
+  }
+  s.comments.resize(s.lines.size());
+  s.doc.resize(s.lines.size(), false);
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  // End offset of the last emitted token — used to detect the raw-string
+  // prefix (an identifier ending in 'R' immediately before the quote).
+  std::size_t last_tok_end = static_cast<std::size_t>(-1);
+
+  auto add_comment = [&](int at, std::string_view body, bool is_doc) {
+    std::string& dst = s.comments[static_cast<std::size_t>(at - 1)];
+    if (!dst.empty()) dst += '\n';
+    dst.append(body);
+    if (is_doc) s.doc[static_cast<std::size_t>(at - 1)] = true;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && text[j] != '\n') ++j;
+      const std::string_view body = text.substr(i, j - i);
+      add_comment(line, body, body.substr(0, 3) == "///");
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      std::string body;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          add_comment(line, body, false);
+          body.clear();
+          ++line;
+        } else {
+          body += text[i];
+        }
+        ++i;
+      }
+      add_comment(line, body, false);
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    if (c == '"') {
+      const bool raw = !s.tokens.empty() && last_tok_end == i &&
+                       s.tokens.back().kind == Tok::Ident &&
+                       s.tokens.back().text.back() == 'R';
+      std::string content;
+      if (raw) {
+        s.tokens.pop_back();  // the R / u8R prefix is part of the literal
+        std::size_t j = i + 1;
+        std::string delim;
+        while (j < n && text[j] != '(') delim += text[j++];
+        ++j;  // past '('
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = text.find(close, j);
+        const std::size_t stop = end == std::string_view::npos ? n : end;
+        const int at = line;
+        for (std::size_t k = j; k < stop; ++k) {
+          if (text[k] == '\n')
+            ++line;
+          else
+            content += text[k];
+        }
+        i = stop == n ? n : stop + close.size();
+        s.tokens.push_back({Tok::Literal, content, at});
+      } else {
+        std::size_t j = i + 1;
+        while (j < n && text[j] != '"' && text[j] != '\n') {
+          if (text[j] == '\\' && j + 1 < n) {
+            content += text[j + 1];
+            j += 2;
+          } else {
+            content += text[j++];
+          }
+        }
+        s.tokens.push_back({Tok::Literal, content, line});
+        i = (j < n && text[j] == '"') ? j + 1 : j;
+      }
+      last_tok_end = i;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != '\'' && text[j] != '\n') {
+        j += (text[j] == '\\' && j + 1 < n) ? 2 : 1;
+      }
+      s.tokens.push_back({Tok::Number, "", line});
+      i = (j < n && text[j] == '\'') ? j + 1 : j;
+      last_tok_end = i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      s.tokens.push_back(
+          {Tok::Ident, std::string(text.substr(i, j - i)), line});
+      i = j;
+      last_tok_end = i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numbers swallow digit separators (1'000'000) so a separator quote
+      // is never mistaken for a char literal.
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       text[j] == '\'')) {
+        ++j;
+      }
+      s.tokens.push_back({Tok::Number, "", line});
+      i = j;
+      last_tok_end = i;
+      continue;
+    }
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      s.tokens.push_back({Tok::Punct, "::", line});
+      i += 2;
+      last_tok_end = i;
+      continue;
+    }
+    s.tokens.push_back({Tok::Punct, std::string(1, c), line});
+    ++i;
+    last_tok_end = i;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Path-based rule scoping.
+// ---------------------------------------------------------------------------
+
+std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  while (p.substr(0, 2) == "./") p = p.substr(2);
+  return p;
+}
+
+// "src/include/mth/rap/rap.hpp" -> "rap"; "src/rap/rap.cpp" -> "rap";
+// "tools/mth_flow.cpp" -> "".
+std::string module_of(const std::string& file) {
+  static const std::string kHdr = "src/include/mth/";
+  static const std::string kSrc = "src/";
+  std::string rest;
+  if (file.compare(0, kHdr.size(), kHdr) == 0) {
+    rest = file.substr(kHdr.size());
+  } else if (file.compare(0, kSrc.size(), kSrc) == 0) {
+    rest = file.substr(kSrc.size());
+  } else {
+    return "";
+  }
+  const std::size_t slash = rest.find('/');
+  return slash == std::string::npos ? "" : rest.substr(0, slash);
+}
+
+bool is_det_module(const std::string& module) {
+  // Deterministic subsystems: everything whose byte-exact output feeds the
+  // golden tests and the 1-vs-8-thread diff — including serialization (io)
+  // and testcase synthesis (synth).
+  static const std::set<std::string> kDet = {"rap",  "cluster", "lp",
+                                            "ilp",  "legal",   "flows",
+                                            "verify", "io",    "synth"};
+  return kDet.count(module) != 0;
+}
+
+bool is_public_header(const std::string& file) {
+  return file.compare(0, 16, "src/include/mth/") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Inline suppressions:  // mth-lint: allow(rule-a, rule-b): justification
+// A suppression covers its own line and the next one, so it can sit either
+// trailing the offending line or alone on the line above it.
+// ---------------------------------------------------------------------------
+
+std::vector<std::set<Rule>> parse_suppressions(const Scan& s) {
+  std::vector<std::set<Rule>> allowed(s.lines.size());
+  for (std::size_t li = 0; li < s.comments.size(); ++li) {
+    const std::string& com = s.comments[li];
+    std::size_t at = com.find("mth-lint:");
+    if (at == std::string::npos) continue;
+    at = com.find("allow(", at);
+    if (at == std::string::npos) continue;
+    const std::size_t close = com.find(')', at);
+    if (close == std::string::npos) continue;
+    std::string ids = com.substr(at + 6, close - at - 6);
+    std::replace(ids.begin(), ids.end(), ',', ' ');
+    std::istringstream iss(ids);
+    std::string id;
+    while (iss >> id) {
+      if (const auto r = rule_from_string(id)) allowed[li].insert(*r);
+    }
+  }
+  return allowed;
+}
+
+// ---------------------------------------------------------------------------
+// JSON: a writer and a minimal recursive-descent reader. The reader accepts
+// the subset the writers emit (objects, arrays, strings, integers, bools)
+// plus arbitrary whitespace; good enough for baseline/registry round-trips
+// without a third-party dependency.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JParser {
+ public:
+  explicit JParser(std::string_view text) : t_(text) {}
+
+  bool parse(JValue& out, std::string* error) {
+    const bool ok = value(out) && (skip_ws(), i_ == t_.size());
+    if (!ok && error != nullptr) {
+      *error = "invalid JSON near offset " + std::to_string(i_);
+    }
+    return ok;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < t_.size() &&
+           std::isspace(static_cast<unsigned char>(t_[i_]))) {
+      ++i_;
+    }
+  }
+  bool lit(std::string_view s) {
+    if (t_.substr(i_, s.size()) != s) return false;
+    i_ += s.size();
+    return true;
+  }
+  bool string(std::string& out) {
+    if (i_ >= t_.size() || t_[i_] != '"') return false;
+    ++i_;
+    while (i_ < t_.size() && t_[i_] != '"') {
+      char c = t_[i_];
+      if (c == '\\' && i_ + 1 < t_.size()) {
+        ++i_;
+        switch (t_[i_]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            i_ += std::min<std::size_t>(4, t_.size() - i_ - 1);
+            c = '?';
+            break;
+          default: c = t_[i_];
+        }
+      }
+      out += c;
+      ++i_;
+    }
+    if (i_ >= t_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool value(JValue& out) {
+    skip_ws();
+    if (i_ >= t_.size()) return false;
+    const char c = t_[i_];
+    if (c == '{') {
+      ++i_;
+      out.kind = JValue::Obj;
+      skip_ws();
+      if (i_ < t_.size() && t_[i_] == '}') return ++i_, true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (i_ >= t_.size() || t_[i_] != ':') return false;
+        ++i_;
+        if (!value(out.obj[key])) return false;
+        skip_ws();
+        if (i_ < t_.size() && t_[i_] == ',') {
+          ++i_;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (i_ >= t_.size() || t_[i_] != '}') return false;
+      return ++i_, true;
+    }
+    if (c == '[') {
+      ++i_;
+      out.kind = JValue::Arr;
+      skip_ws();
+      if (i_ < t_.size() && t_[i_] == ']') return ++i_, true;
+      while (true) {
+        if (!value(out.arr.emplace_back())) return false;
+        skip_ws();
+        if (i_ < t_.size() && t_[i_] == ',') {
+          ++i_;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (i_ >= t_.size() || t_[i_] != ']') return false;
+      return ++i_, true;
+    }
+    if (c == '"') {
+      out.kind = JValue::Str;
+      return string(out.str);
+    }
+    if (c == 't') return out.kind = JValue::Bool, out.b = true, lit("true");
+    if (c == 'f') return out.kind = JValue::Bool, out.b = false, lit("false");
+    if (c == 'n') return out.kind = JValue::Null, lit("null");
+    // number
+    std::size_t j = i_;
+    while (j < t_.size() &&
+           (std::isdigit(static_cast<unsigned char>(t_[j])) || t_[j] == '-' ||
+            t_[j] == '+' || t_[j] == '.' || t_[j] == 'e' || t_[j] == 'E')) {
+      ++j;
+    }
+    if (j == i_) return false;
+    out.kind = JValue::Num;
+    out.num = std::stod(std::string(t_.substr(i_, j - i_)));
+    i_ = j;
+    return true;
+  }
+
+  std::string_view t_;
+  std::size_t i_ = 0;
+};
+
+std::string trimmed(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+  const std::string& file;
+  const Scan& scan;
+  const std::vector<std::set<Rule>>& allowed;
+  std::vector<Finding>& out;
+
+  void report(Rule rule, int line, std::string message) {
+    const std::size_t li = static_cast<std::size_t>(line - 1);
+    if (li < allowed.size()) {
+      if (allowed[li].count(rule) != 0) return;
+      if (li > 0 && allowed[li - 1].count(rule) != 0) return;
+    }
+    Finding f;
+    f.rule = rule;
+    f.file = file;
+    f.line = line;
+    f.message = std::move(message);
+    if (li < scan.lines.size()) f.snippet = trimmed(scan.lines[li]);
+    out.push_back(std::move(f));
+  }
+};
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::Punct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::Ident && t.text == text;
+}
+
+void rule_det_rand(Ctx& ctx) {
+  // Unseeded randomness and wall-clock entropy. util::Rng (explicit seed)
+  // and util::Timer / std::chrono::steady_clock are the sanctioned sources.
+  static const std::set<std::string> kBannedCalls = {"rand", "srand", "time",
+                                                     "clock"};
+  const auto& T = ctx.scan.tokens;
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != Tok::Ident) continue;
+    if (T[i].text == "random_device") {
+      ctx.report(Rule::DetRand, T[i].line,
+                 "std::random_device is nondeterministic; seed a util::Rng "
+                 "explicitly instead");
+    } else if (kBannedCalls.count(T[i].text) != 0 && i + 1 < T.size() &&
+               is_punct(T[i + 1], "(")) {
+      ctx.report(Rule::DetRand, T[i].line,
+                 "call to '" + T[i].text +
+                     "' injects wall-clock/global entropy; use util::Rng "
+                     "(seeded) or util::Timer (steady clock)");
+    }
+  }
+}
+
+void rule_det_thread(Ctx& ctx, const std::string& module) {
+  // util::ThreadPool (src/util) is the only sanctioned home for raw
+  // concurrency primitives; everything else goes through parallel_for.
+  if (module == "util") return;
+  const auto& T = ctx.scan.tokens;
+  for (std::size_t i = 0; i + 2 < T.size(); ++i) {
+    if (is_ident(T[i], "std") && is_punct(T[i + 1], "::") &&
+        (is_ident(T[i + 2], "thread") || is_ident(T[i + 2], "async"))) {
+      ctx.report(Rule::DetThread, T[i].line,
+                 "raw std::" + T[i + 2].text +
+                     " outside util::ThreadPool; use util::parallel_for / "
+                     "parallel_reduce (deterministic chunk geometry)");
+    }
+  }
+}
+
+bool is_unordered_ident(const Token& t) {
+  return t.kind == Tok::Ident && (t.text == "unordered_map" ||
+                                  t.text == "unordered_set" ||
+                                  t.text == "unordered_multimap" ||
+                                  t.text == "unordered_multiset");
+}
+
+void rule_det_unordered(Ctx& ctx, const std::string& module) {
+  if (!is_det_module(module)) return;
+  const auto& T = ctx.scan.tokens;
+  for (const Token& t : T) {
+    if (is_unordered_ident(t)) {
+      ctx.report(Rule::DetUnordered, t.line,
+                 "'" + t.text + "' in deterministic subsystem '" + module +
+                     "'; use a sorted/flat container, or justify with "
+                     "mth-lint: allow(det-unordered) if the hash order is "
+                     "provably unobservable");
+    }
+  }
+}
+
+void rule_unordered_iter(Ctx& ctx) {
+  const auto& T = ctx.scan.tokens;
+  // Pass 1: names declared with an unordered container type in this buffer.
+  std::set<std::string> tracked;
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    if (!is_unordered_ident(T[i]) || i + 1 >= T.size() ||
+        !is_punct(T[i + 1], "<")) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    int depth = 1;
+    while (j < T.size() && depth > 0) {
+      if (is_punct(T[j], "<")) ++depth;
+      if (is_punct(T[j], ">")) --depth;
+      ++j;
+    }
+    while (j < T.size() &&
+           (is_punct(T[j], "&") || is_punct(T[j], "*") ||
+            is_ident(T[j], "const"))) {
+      ++j;
+    }
+    if (j < T.size() && T[j].kind == Tok::Ident) tracked.insert(T[j].text);
+  }
+  if (tracked.empty()) return;
+  // Pass 2: range-for over a tracked name, or an explicit .begin() walk.
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    if (is_ident(T[i], "for") && i + 1 < T.size() && is_punct(T[i + 1], "(")) {
+      std::size_t j = i + 2;
+      int depth = 1;
+      std::size_t colon = 0;
+      while (j < T.size() && depth > 0) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")")) --depth;
+        if (depth == 1 && is_punct(T[j], ":") && colon == 0) colon = j;
+        ++j;
+      }
+      if (colon == 0) continue;
+      for (std::size_t k = colon + 1; k < j; ++k) {
+        if (T[k].kind != Tok::Ident) break;
+        if (tracked.count(T[k].text) != 0) {
+          ctx.report(Rule::UnorderedIter, T[k].line,
+                     "iteration over unordered container '" + T[k].text +
+                         "' is hash-order-dependent; sort first or use a "
+                         "flat container");
+        }
+        break;
+      }
+    }
+    if (T[i].kind == Tok::Ident && tracked.count(T[i].text) != 0 &&
+        i + 2 < T.size() && is_punct(T[i + 1], ".") &&
+        (is_ident(T[i + 2], "begin") || is_ident(T[i + 2], "cbegin") ||
+         is_ident(T[i + 2], "rbegin"))) {
+      ctx.report(Rule::UnorderedIter, T[i].line,
+                 "explicit traversal of unordered container '" + T[i].text +
+                     "' is hash-order-dependent; sort first or use a flat "
+                     "container");
+    }
+  }
+}
+
+// Shared by the trace-registry rule and collect_trace_uses(): invoke
+// `hit(kind, literal, line)` for every statically-known span/counter name.
+// kind 0 == span, 1 == counter. Spans come from three shapes: the MTH_SPAN
+// macro, ParallelOptions::trace_name assignments, and direct trace::Span
+// RAII declarations (`trace::Span s(cond ? "a" : "b")` — every literal in
+// the constructor argument list is a possible span name).
+template <typename Fn>
+void for_each_trace_literal(const std::vector<Token>& T, Fn&& hit) {
+  for (std::size_t i = 0; i + 2 < T.size(); ++i) {
+    if (T[i].kind != Tok::Ident) continue;
+    if ((T[i].text == "MTH_SPAN" || T[i].text == "MTH_COUNT") &&
+        is_punct(T[i + 1], "(") && T[i + 2].kind == Tok::Literal) {
+      hit(T[i].text == "MTH_SPAN" ? 0 : 1, T[i + 2].text, T[i + 2].line);
+    } else if (T[i].text == "trace_name" && is_punct(T[i + 1], "=") &&
+               T[i + 2].kind == Tok::Literal) {
+      hit(0, T[i + 2].text, T[i + 2].line);
+    } else if (T[i].text == "Span" && T[i + 1].kind == Tok::Ident &&
+               is_punct(T[i + 2], "(")) {
+      std::size_t j = i + 3;
+      int depth = 1;
+      while (j < T.size() && depth > 0) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")")) --depth;
+        if (depth > 0 && T[j].kind == Tok::Literal) {
+          hit(0, T[j].text, T[j].line);
+        }
+        ++j;
+      }
+    }
+  }
+}
+
+void rule_trace_registry(Ctx& ctx, const Registry& registry) {
+  if (registry.empty()) return;
+  const std::set<std::string> spans(registry.spans.begin(),
+                                    registry.spans.end());
+  const std::set<std::string> counters(registry.counters.begin(),
+                                       registry.counters.end());
+  for_each_trace_literal(
+      ctx.scan.tokens, [&](int kind, const std::string& name, int line) {
+        const bool known =
+            kind == 0 ? spans.count(name) != 0 : counters.count(name) != 0;
+        if (!known) {
+          ctx.report(Rule::TraceRegistry, line,
+                     std::string(kind == 0 ? "span" : "counter") + " name \"" +
+                         name +
+                         "\" is not in the span registry "
+                         "(tools/trace_spans.json); run "
+                         "mth_lint --update-registry");
+        }
+      });
+}
+
+void rule_ab_doc(Ctx& ctx, const std::string& module) {
+  // The unified A/B-knob doc convention (observability PR): any doc block in
+  // the public lp/ilp/rap headers that advertises an A/B knob must say where
+  // the A/B lives — a bench binary or a tools/ entry point.
+  if (!is_public_header(ctx.file)) return;
+  if (module != "lp" && module != "ilp" && module != "rap") return;
+  const Scan& s = ctx.scan;
+  std::size_t li = 0;
+  while (li < s.lines.size()) {
+    if (!s.doc[li]) {
+      ++li;
+      continue;
+    }
+    std::size_t end = li;
+    std::string block;
+    int first_ab_line = 0;
+    while (end < s.lines.size() && s.doc[end]) {
+      if (s.comments[end].find("A/B") != std::string::npos &&
+          first_ab_line == 0) {
+        first_ab_line = static_cast<int>(end) + 1;
+      }
+      block += s.comments[end];
+      block += '\n';
+      ++end;
+    }
+    if (first_ab_line != 0 && block.find("bench") == std::string::npos &&
+        block.find("mth_fuzz") == std::string::npos &&
+        block.find("mth_flow") == std::string::npos &&
+        block.find("tools/") == std::string::npos) {
+      ctx.report(Rule::AbDoc, first_ab_line,
+                 "A/B knob doc must name the bench or tools/ entry point "
+                 "where the A/B comparison lives (unified bench+flag "
+                 "convention)");
+    }
+    li = end;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+const char* to_string(Rule r) {
+  switch (r) {
+    case Rule::DetRand: return "det-rand";
+    case Rule::DetThread: return "det-thread";
+    case Rule::DetUnordered: return "det-unordered";
+    case Rule::UnorderedIter: return "unordered-iter";
+    case Rule::TraceRegistry: return "trace-registry";
+    case Rule::AbDoc: return "ab-doc";
+  }
+  return "?";
+}
+
+std::optional<Rule> rule_from_string(std::string_view id) {
+  static const std::map<std::string_view, Rule> kIds = {
+      {"det-rand", Rule::DetRand},
+      {"det-thread", Rule::DetThread},
+      {"det-unordered", Rule::DetUnordered},
+      {"unordered-iter", Rule::UnorderedIter},
+      {"trace-registry", Rule::TraceRegistry},
+      {"ab-doc", Rule::AbDoc},
+  };
+  const auto it = kIds.find(id);
+  return it == kIds.end() ? std::nullopt : std::optional<Rule>(it->second);
+}
+
+std::string finding_key(const Finding& f) {
+  return std::string(to_string(f.rule)) + '\x1f' + f.file + '\x1f' + f.snippet;
+}
+
+std::vector<Finding> lint_source(const std::string& file,
+                                 std::string_view text,
+                                 const Options& options) {
+  const std::string path = normalize_path(file);
+  const std::string module = module_of(path);
+  const Scan scan = scan_source(text);
+  const std::vector<std::set<Rule>> allowed = parse_suppressions(scan);
+
+  std::vector<Finding> out;
+  Ctx ctx{path, scan, allowed, out};
+  rule_det_rand(ctx);
+  rule_det_thread(ctx, module);
+  rule_det_unordered(ctx, module);
+  rule_unordered_iter(ctx);
+  rule_trace_registry(ctx, options.registry);
+  rule_ab_doc(ctx, module);
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+TraceUses collect_trace_uses(std::string_view text) {
+  const Scan scan = scan_source(text);
+  TraceUses uses;
+  std::set<std::string> seen_spans, seen_counters;
+  for_each_trace_literal(
+      scan.tokens, [&](int kind, const std::string& name, int /*line*/) {
+        auto& seen = kind == 0 ? seen_spans : seen_counters;
+        auto& list = kind == 0 ? uses.spans : uses.counters;
+        if (seen.insert(name).second) list.push_back(name);
+      });
+  return uses;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n \"version\": 1,\n \"total\": " << findings.size()
+     << ",\n \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"rule\": \"" << to_string(f.rule) << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"message\": \"" << json_escape(f.message)
+       << "\", \"snippet\": \"" << json_escape(f.snippet) << "\"}";
+  }
+  os << (findings.empty() ? "]\n}\n" : "\n ]\n}\n");
+  return os.str();
+}
+
+std::optional<std::vector<Finding>> parse_findings_json(std::string_view json,
+                                                        std::string* error) {
+  JValue doc;
+  if (!JParser(json).parse(doc, error)) return std::nullopt;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (doc.kind != JValue::Obj) return fail("top level must be an object");
+  const JValue* version = doc.find("version");
+  if (version == nullptr || version->kind != JValue::Num ||
+      version->num != 1.0) {
+    return fail("missing or unsupported 'version' (want 1)");
+  }
+  const JValue* arr = doc.find("findings");
+  if (arr == nullptr || arr->kind != JValue::Arr) {
+    return fail("'findings' must be an array");
+  }
+  const JValue* total = doc.find("total");
+  if (total == nullptr || total->kind != JValue::Num ||
+      static_cast<std::size_t>(total->num) != arr->arr.size()) {
+    return fail("'total' must match the findings count");
+  }
+  std::vector<Finding> out;
+  for (const JValue& v : arr->arr) {
+    if (v.kind != JValue::Obj) return fail("finding must be an object");
+    Finding f;
+    const JValue* rule = v.find("rule");
+    const JValue* file = v.find("file");
+    const JValue* line = v.find("line");
+    const JValue* message = v.find("message");
+    const JValue* snippet = v.find("snippet");
+    if (rule == nullptr || rule->kind != JValue::Str ||
+        file == nullptr || file->kind != JValue::Str ||
+        line == nullptr || line->kind != JValue::Num ||
+        message == nullptr || message->kind != JValue::Str ||
+        snippet == nullptr || snippet->kind != JValue::Str) {
+      return fail("finding missing rule/file/line/message/snippet");
+    }
+    const auto r = rule_from_string(rule->str);
+    if (!r) return fail("unknown rule id '" + rule->str + "'");
+    f.rule = *r;
+    f.file = file->str;
+    f.line = static_cast<int>(line->num);
+    f.message = message->str;
+    f.snippet = snippet->str;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::string baseline_to_json(const std::vector<Finding>& findings) {
+  // One entry per distinct key, sorted, so regeneration is diff-stable.
+  std::set<std::string> keys;
+  std::ostringstream os;
+  os << "{\n \"version\": 1,\n \"suppressions\": [";
+  bool first = true;
+  std::vector<const Finding*> sorted;
+  sorted.reserve(findings.size());
+  for (const Finding& f : findings) sorted.push_back(&f);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Finding* a, const Finding* b) {
+              return finding_key(*a) < finding_key(*b);
+            });
+  for (const Finding* f : sorted) {
+    if (!keys.insert(finding_key(*f)).second) continue;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"rule\": \"" << to_string(f->rule) << "\", \"file\": \""
+       << json_escape(f->file) << "\", \"snippet\": \""
+       << json_escape(f->snippet) << "\"}";
+  }
+  os << (first ? "]\n}\n" : "\n ]\n}\n");
+  return os.str();
+}
+
+std::optional<std::vector<std::string>> parse_baseline(std::string_view json,
+                                                       std::string* error) {
+  JValue doc;
+  if (!JParser(json).parse(doc, error)) return std::nullopt;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (doc.kind != JValue::Obj) return fail("top level must be an object");
+  const JValue* version = doc.find("version");
+  if (version == nullptr || version->kind != JValue::Num ||
+      version->num != 1.0) {
+    return fail("missing or unsupported 'version' (want 1)");
+  }
+  const JValue* arr = doc.find("suppressions");
+  if (arr == nullptr || arr->kind != JValue::Arr) {
+    return fail("'suppressions' must be an array");
+  }
+  std::vector<std::string> keys;
+  for (const JValue& v : arr->arr) {
+    const JValue* rule = v.kind == JValue::Obj ? v.find("rule") : nullptr;
+    const JValue* file = v.kind == JValue::Obj ? v.find("file") : nullptr;
+    const JValue* snippet =
+        v.kind == JValue::Obj ? v.find("snippet") : nullptr;
+    if (rule == nullptr || rule->kind != JValue::Str ||
+        file == nullptr || file->kind != JValue::Str ||
+        snippet == nullptr || snippet->kind != JValue::Str) {
+      return fail("suppression missing rule/file/snippet");
+    }
+    if (!rule_from_string(rule->str)) {
+      return fail("unknown rule id '" + rule->str + "'");
+    }
+    keys.push_back(rule->str + '\x1f' + file->str + '\x1f' + snippet->str);
+  }
+  return keys;
+}
+
+std::vector<Finding> apply_baseline(
+    std::vector<Finding> findings,
+    const std::vector<std::string>& baseline_keys,
+    std::vector<std::string>* stale) {
+  const std::set<std::string> keys(baseline_keys.begin(),
+                                   baseline_keys.end());
+  std::set<std::string> hit;
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const std::string key = finding_key(f);
+    if (keys.count(key) != 0) {
+      hit.insert(key);
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  if (stale != nullptr) {
+    for (const std::string& key : keys) {
+      if (hit.count(key) == 0) stale->push_back(key);
+    }
+  }
+  return kept;
+}
+
+std::string registry_to_json(const Registry& registry) {
+  const auto write_list = [](std::ostringstream& os,
+                             std::vector<std::string> names) {
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "  \"" << json_escape(names[i]) << '"';
+    }
+    os << (names.empty() ? "]" : "\n ]");
+  };
+  std::ostringstream os;
+  os << "{\n \"version\": 1,\n \"spans\": [";
+  write_list(os, registry.spans);
+  os << ",\n \"counters\": [";
+  write_list(os, registry.counters);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::optional<Registry> parse_registry(std::string_view json,
+                                       std::string* error) {
+  JValue doc;
+  if (!JParser(json).parse(doc, error)) return std::nullopt;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (doc.kind != JValue::Obj) return fail("top level must be an object");
+  const JValue* version = doc.find("version");
+  if (version == nullptr || version->kind != JValue::Num ||
+      version->num != 1.0) {
+    return fail("missing or unsupported 'version' (want 1)");
+  }
+  Registry reg;
+  const std::pair<const char*, std::vector<std::string>*> lists[] = {
+      {"spans", &reg.spans}, {"counters", &reg.counters}};
+  for (const auto& [key, dst] : lists) {
+    const JValue* arr = doc.find(key);
+    if (arr == nullptr || arr->kind != JValue::Arr) {
+      return fail(std::string("'") + key + "' must be an array");
+    }
+    for (const JValue& v : arr->arr) {
+      if (v.kind != JValue::Str) {
+        return fail(std::string("'") + key + "' entries must be strings");
+      }
+      dst->push_back(v.str);
+    }
+  }
+  return reg;
+}
+
+}  // namespace mth::lint

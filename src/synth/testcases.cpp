@@ -1,7 +1,6 @@
 #include "mth/synth/testcases.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "mth/util/error.hpp"
 
@@ -54,22 +53,38 @@ std::vector<TestcaseSpec> tuning_specs() {
   // Highest-7.5T% variant of each of the 9 circuits, plus the lowest-%
   // variant of the 5 circuits with the widest minority-percentage spread
   // (aes, ldpc, jpeg, des3, point) -> 14 testcases, all circuits covered.
-  std::map<std::string, TestcaseSpec> hi;
-  std::map<std::string, TestcaseSpec> lo;
+  // Flat per-circuit extrema table in Table II first-appearance order — no
+  // associative containers, so the selection is ordered by construction
+  // (pointers into the static table2_specs() vector stay valid).
+  struct Extrema {
+    std::string circuit;
+    const TestcaseSpec* hi;
+    const TestcaseSpec* lo;
+  };
+  std::vector<Extrema> extrema;
+  const auto find_circuit = [&extrema](const std::string& circuit) {
+    return std::find_if(
+        extrema.begin(), extrema.end(),
+        [&circuit](const Extrema& e) { return e.circuit == circuit; });
+  };
   for (const TestcaseSpec& s : table2_specs()) {
-    auto it = hi.find(s.circuit);
-    if (it == hi.end() || s.pct_75t > it->second.pct_75t) hi[s.circuit] = s;
-    it = lo.find(s.circuit);
-    if (it == lo.end() || s.pct_75t < it->second.pct_75t) lo[s.circuit] = s;
+    const auto it = find_circuit(s.circuit);
+    if (it == extrema.end()) {
+      extrema.push_back({s.circuit, &s, &s});
+    } else {
+      if (s.pct_75t > it->hi->pct_75t) it->hi = &s;
+      if (s.pct_75t < it->lo->pct_75t) it->lo = &s;
+    }
   }
   std::vector<TestcaseSpec> out;
   for (const TestcaseSpec& s : table2_specs()) {  // keep Table II order
-    const bool is_hi = hi[s.circuit].short_name == s.short_name;
+    const auto it = find_circuit(s.circuit);
+    const bool is_hi = it->hi->short_name == s.short_name;
     const bool wide_spread = s.circuit == "aes_cipher_top" ||
                              s.circuit == "ldpc_decoder_802_3an" ||
                              s.circuit == "jpeg_encoder" || s.circuit == "des3" ||
                              s.circuit == "point_scalar_mult";
-    const bool is_lo = lo[s.circuit].short_name == s.short_name;
+    const bool is_lo = it->lo->short_name == s.short_name;
     if (is_hi || (wide_spread && is_lo)) out.push_back(s);
   }
   MTH_ASSERT(out.size() == 14, "tuning subset must have 14 testcases");

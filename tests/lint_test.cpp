@@ -1,0 +1,515 @@
+// Unit tests for mth::lint — per-rule inline fixtures (positive hit,
+// suppressed hit, clean), baseline round-trip, JSON output schema, and the
+// acceptance-criteria mutation check: inserting std::rand() into the real
+// src/rap/rap.cpp must produce a det-rand finding.
+
+#include "mth/lint/lint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lint = mth::lint;
+using lint::Finding;
+using lint::Rule;
+
+namespace {
+
+std::vector<Finding> run(const std::string& file, const std::string& text,
+                         const lint::Options& options = {}) {
+  return lint::lint_source(file, text, options);
+}
+
+bool has_rule(const std::vector<Finding>& findings, Rule rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- det-rand -------------------------------------------------------------
+
+TEST(DetRand, PositiveHit) {
+  const auto f = run("src/rap/rap.cpp", R"cpp(
+    int noise() { return std::rand(); }
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::DetRand);
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[0].file, "src/rap/rap.cpp");
+  EXPECT_NE(f[0].message.find("rand"), std::string::npos);
+  EXPECT_NE(f[0].snippet.find("std::rand()"), std::string::npos);
+}
+
+TEST(DetRand, CatchesTimeClockSrandAndRandomDevice) {
+  EXPECT_TRUE(has_rule(run("a.cpp", "long t = time(nullptr);"),
+                       Rule::DetRand));
+  EXPECT_TRUE(has_rule(run("a.cpp", "long t = clock();"), Rule::DetRand));
+  EXPECT_TRUE(has_rule(run("a.cpp", "srand(42);"), Rule::DetRand));
+  EXPECT_TRUE(has_rule(run("a.cpp", "std::random_device rd;"),
+                       Rule::DetRand));
+}
+
+TEST(DetRand, SuppressedHit) {
+  const auto same_line = run("src/rap/rap.cpp",
+      "int x = std::rand();  // mth-lint: allow(det-rand): fixture\n");
+  EXPECT_TRUE(same_line.empty());
+  const auto prev_line = run("src/rap/rap.cpp",
+      "// mth-lint: allow(det-rand): fixture\nint x = std::rand();\n");
+  EXPECT_TRUE(prev_line.empty());
+}
+
+TEST(DetRand, Clean) {
+  // Identifiers that merely *contain* banned names, banned names without a
+  // call, and banned names inside comments or string literals are all fine.
+  const auto f = run("src/rap/rap.cpp", R"cpp(
+    // std::rand() in a comment is fine
+    const char* msg = "call std::rand() and time()";
+    int strand_count = 0;                 // 'srand' inside an identifier
+    double solve_time = 0.0;              // 'time' without a call
+    int randomize_order(int x) { return x; }
+  )cpp");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- det-thread -----------------------------------------------------------
+
+TEST(DetThread, PositiveHit) {
+  const auto f = run("src/flows/flow.cpp", R"cpp(
+    void spawn() { std::thread t([] {}); t.join(); }
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::DetThread);
+  EXPECT_NE(f[0].message.find("ThreadPool"), std::string::npos);
+}
+
+TEST(DetThread, AsyncAlsoFlagged) {
+  EXPECT_TRUE(has_rule(run("tests/x_test.cpp",
+                           "auto fut = std::async([] { return 1; });"),
+                       Rule::DetThread));
+}
+
+TEST(DetThread, UtilModuleIsAllowlisted) {
+  const auto f = run("src/util/threadpool.cpp",
+                     "std::thread worker([] {});");
+  EXPECT_TRUE(f.empty());
+  const auto hdr = run("src/include/mth/util/threadpool.hpp",
+                       "std::vector<std::thread> workers_;");
+  EXPECT_TRUE(hdr.empty());
+}
+
+TEST(DetThread, SuppressedAndClean) {
+  EXPECT_TRUE(run("src/rap/rap.cpp",
+                  "// mth-lint: allow(det-thread): fixture\n"
+                  "std::thread t;\n")
+                  .empty());
+  // std::this_thread is a different identifier and must not match.
+  EXPECT_TRUE(run("src/rap/rap.cpp",
+                  "std::this_thread::yield();").empty());
+}
+
+// --- det-unordered --------------------------------------------------------
+
+TEST(DetUnordered, PositiveHitInDetSubsystem) {
+  for (const char* file :
+       {"src/rap/rap.cpp", "src/lp/simplex.cpp", "src/io/defio.cpp",
+        "src/include/mth/verify/checker.hpp"}) {
+    const auto f = run(file, "std::unordered_map<int, int> m;");
+    ASSERT_EQ(f.size(), 1u) << file;
+    EXPECT_EQ(f[0].rule, Rule::DetUnordered) << file;
+  }
+}
+
+TEST(DetUnordered, NonDetModulesAreOutOfScope) {
+  // db and report are not on the deterministic-subsystem list; only the
+  // iteration rule applies there.
+  EXPECT_TRUE(run("src/db/netlist.cpp",
+                  "std::unordered_set<int> seen;").empty());
+  EXPECT_TRUE(run("tools/mth_flow.cpp",
+                  "std::unordered_map<int, int> m;").empty());
+}
+
+TEST(DetUnordered, SuppressedHit) {
+  const auto f = run("src/io/defio.cpp",
+      "// mth-lint: allow(det-unordered): lookup-only, never iterated\n"
+      "std::unordered_map<std::string, int> by_name;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- unordered-iter -------------------------------------------------------
+
+TEST(UnorderedIter, RangeForPositiveHit) {
+  const auto f = run("src/db/netlist.cpp", R"cpp(
+    std::unordered_map<std::string, int> index;
+    void walk() {
+      for (const auto& [name, id] : index) use(name, id);
+    }
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::UnorderedIter);
+  EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(UnorderedIter, ExplicitBeginPositiveHit) {
+  const auto f = run("src/db/netlist.cpp", R"cpp(
+    std::unordered_set<int> seen;
+    auto it = seen.begin();
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::UnorderedIter);
+}
+
+TEST(UnorderedIter, LookupOnlyIsClean) {
+  const auto f = run("src/db/netlist.cpp", R"cpp(
+    std::unordered_map<std::string, int> index;
+    int find(const std::string& k) {
+      auto it = index.find(k);
+      return it == index.end() ? -1 : it->second;
+    }
+  )cpp");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(UnorderedIter, SuppressedHit) {
+  const auto f = run("src/db/netlist.cpp",
+      "std::unordered_set<int> seen;\n"
+      "// mth-lint: allow(unordered-iter): order folded through a sort below\n"
+      "for (int v : seen) keys.push_back(v);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(UnorderedIter, OrderedContainersAreClean) {
+  const auto f = run("src/db/netlist.cpp", R"cpp(
+    std::map<std::string, int> index;
+    void walk() {
+      for (const auto& [name, id] : index) use(name, id);
+    }
+  )cpp");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- trace-registry -------------------------------------------------------
+
+namespace {
+lint::Options registry_options() {
+  lint::Options o;
+  o.registry.spans = {"rap/solve", "rap/cost_chunk"};
+  o.registry.counters = {"ilp/nodes"};
+  return o;
+}
+}  // namespace
+
+TEST(TraceRegistry, RegisteredNamesAreClean) {
+  const auto f = run("src/rap/rap.cpp", R"cpp(
+    void solve() {
+      MTH_SPAN("rap/solve");
+      par.trace_name = "rap/cost_chunk";
+      MTH_COUNT("ilp/nodes", 1);
+    }
+  )cpp",
+                     registry_options());
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(TraceRegistry, UnregisteredSpanPositiveHit) {
+  const auto f = run("src/rap/rap.cpp",
+                     "MTH_SPAN(\"rap/not_registered\");\n",
+                     registry_options());
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::TraceRegistry);
+  EXPECT_NE(f[0].message.find("rap/not_registered"), std::string::npos);
+  EXPECT_NE(f[0].message.find("--update-registry"), std::string::npos);
+}
+
+TEST(TraceRegistry, SpanAndCounterNamespacesAreSeparate) {
+  // "ilp/nodes" is registered as a counter, not a span.
+  EXPECT_TRUE(has_rule(
+      run("src/rap/rap.cpp", "MTH_SPAN(\"ilp/nodes\");\n", registry_options()),
+      Rule::TraceRegistry));
+  EXPECT_TRUE(has_rule(run("src/rap/rap.cpp",
+                           "MTH_COUNT(\"rap/solve\", 1);\n",
+                           registry_options()),
+                       Rule::TraceRegistry));
+}
+
+TEST(TraceRegistry, NonLiteralArgsAndEmptyRegistrySkip) {
+  // A runtime span name can't be checked statically.
+  EXPECT_TRUE(run("src/util/threadpool.cpp",
+                  "MTH_SPAN(options.trace_name);\n", registry_options())
+                  .empty());
+  // An empty registry disables the rule entirely.
+  EXPECT_TRUE(run("src/rap/rap.cpp", "MTH_SPAN(\"anything/goes\");\n")
+                  .empty());
+}
+
+TEST(TraceRegistry, SuppressedHit) {
+  const auto f = run("src/rap/rap.cpp",
+      "// mth-lint: allow(trace-registry): fixture-only name\n"
+      "MTH_SPAN(\"fixture/span\");\n",
+      registry_options());
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(TraceRegistry, CollectTraceUses) {
+  const auto uses = lint::collect_trace_uses(R"cpp(
+    MTH_SPAN("flow/run");
+    MTH_SPAN("flow/run");             // deduplicated
+    par.trace_name = "rap/cost_chunk";
+    MTH_COUNT("ilp/nodes", n);
+  )cpp");
+  ASSERT_EQ(uses.spans.size(), 2u);
+  EXPECT_EQ(uses.spans[0], "flow/run");
+  EXPECT_EQ(uses.spans[1], "rap/cost_chunk");
+  ASSERT_EQ(uses.counters.size(), 1u);
+  EXPECT_EQ(uses.counters[0], "ilp/nodes");
+}
+
+TEST(TraceRegistry, CollectsDirectSpanConstructorLiterals) {
+  // Direct trace::Span RAII declarations bypass the MTH_SPAN macro; every
+  // literal inside the constructor argument list is a possible span name
+  // (conditional expressions select one at runtime).
+  const auto uses = lint::collect_trace_uses(R"cpp(
+    trace::Span ilp_span("rap/ilp");
+    trace::Span span(opt.enforce ? "legal/rc" : "legal/refine");
+  )cpp");
+  ASSERT_EQ(uses.spans.size(), 3u);
+  EXPECT_EQ(uses.spans[0], "rap/ilp");
+  EXPECT_EQ(uses.spans[1], "legal/rc");
+  EXPECT_EQ(uses.spans[2], "legal/refine");
+  EXPECT_TRUE(uses.counters.empty());
+}
+
+TEST(TraceRegistry, DirectSpanConstructorHitAgainstRegistry) {
+  const auto f = run("src/rap/rap.cpp",
+                     "trace::Span s(\"rap/unregistered\");\n",
+                     registry_options());
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::TraceRegistry);
+}
+
+// --- ab-doc ---------------------------------------------------------------
+
+TEST(AbDoc, MissingBenchReferencePositiveHit) {
+  const auto f = run("src/include/mth/rap/rap.hpp", R"cpp(
+    struct Options {
+      /// A/B toggle — switches the frobnicator on.
+      bool frobnicate = true;
+    };
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::AbDoc);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(AbDoc, BenchOrToolReferenceIsClean) {
+  const auto bench = run("src/include/mth/ilp/solver.hpp", R"cpp(
+    /// A/B toggle — warm basis. The A/B lives in `bench_fig5_ilp_scaling`.
+    bool warm_basis = true;
+  )cpp");
+  EXPECT_TRUE(bench.empty());
+  const auto tool = run("src/include/mth/rap/rap.hpp", R"cpp(
+    /// A/B toggle — certificate export (`mth_fuzz --certify`).
+    bool export_certificate = true;
+  )cpp");
+  EXPECT_TRUE(tool.empty());
+}
+
+TEST(AbDoc, OnlyPublicLpIlpRapHeadersAreInScope) {
+  const std::string text =
+      "/// A/B toggle — comparison location undocumented.\nbool x = true;\n";
+  // Hits in all three public solver headers...
+  EXPECT_FALSE(run("src/include/mth/lp/simplex.hpp", text).empty());
+  // ...but not in implementation files or other modules' headers.
+  EXPECT_TRUE(run("src/lp/simplex.cpp", text).empty());
+  EXPECT_TRUE(run("src/include/mth/db/design.hpp", text).empty());
+}
+
+TEST(AbDoc, SuppressedHit) {
+  // A suppression covers its own line and the next, so it must sit on (or
+  // right above) the doc line the finding anchors to.
+  const auto f = run("src/include/mth/rap/rap.hpp",
+      "/// A/B toggle — fixture. mth-lint: allow(ab-doc): no bench yet\n"
+      "bool x = true;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- scanner robustness ---------------------------------------------------
+
+TEST(Scanner, RawStringsAndCommentsAreInvisible) {
+  const auto f = run("src/rap/rap.cpp", R"outer(
+    const char* fixture = R"cpp(std::rand(); std::thread t;)cpp";
+    /* block comment: std::rand() */
+    // line comment: srand(1);
+  )outer");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Scanner, DigitSeparatorsDoNotOpenCharLiterals) {
+  const auto f = run("src/rap/rap.cpp",
+                     "long big = 1'000'000;\nint x = std::rand();\n");
+  ASSERT_EQ(f.size(), 1u);  // the rand survives the separator handling
+  EXPECT_EQ(f[0].line, 2);
+}
+
+// --- baseline round-trip --------------------------------------------------
+
+TEST(Baseline, RoundTripSuppressesAndDetectsStale) {
+  const std::string text = "int x = std::rand();\nstd::thread t;\n";
+  auto findings = run("src/rap/rap.cpp", text);
+  ASSERT_EQ(findings.size(), 2u);
+
+  const std::string json = lint::baseline_to_json(findings);
+  std::string error;
+  const auto keys = lint::parse_baseline(json, &error);
+  ASSERT_TRUE(keys.has_value()) << error;
+  ASSERT_EQ(keys->size(), 2u);
+
+  // Full suppression: nothing kept, nothing stale.
+  std::vector<std::string> stale;
+  auto kept = lint::apply_baseline(run("src/rap/rap.cpp", text), *keys,
+                                   &stale);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_TRUE(stale.empty());
+
+  // After "fixing" the thread finding, its baseline entry goes stale.
+  stale.clear();
+  kept = lint::apply_baseline(run("src/rap/rap.cpp", "int x = std::rand();\n"),
+                              *keys, &stale);
+  EXPECT_TRUE(kept.empty());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].find("det-thread"), std::string::npos);
+}
+
+TEST(Baseline, KeyIsLineDriftTolerant) {
+  const auto a = run("src/rap/rap.cpp", "int x = std::rand();\n");
+  const auto b = run("src/rap/rap.cpp", "\n\n\nint x = std::rand();\n");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(lint::finding_key(a[0]), lint::finding_key(b[0]));
+}
+
+TEST(Baseline, MalformedInputIsRejected) {
+  std::string error;
+  EXPECT_FALSE(lint::parse_baseline("not json", &error).has_value());
+  EXPECT_FALSE(lint::parse_baseline("{\"version\": 2, \"suppressions\": []}",
+                                    &error)
+                   .has_value());
+  EXPECT_FALSE(
+      lint::parse_baseline(
+          "{\"version\": 1, \"suppressions\": [{\"rule\": \"no-such-rule\","
+          " \"file\": \"f\", \"snippet\": \"s\"}]}",
+          &error)
+          .has_value());
+}
+
+// --- JSON output schema ---------------------------------------------------
+
+TEST(JsonOutput, RoundTripPreservesEveryField) {
+  const auto findings =
+      run("src/rap/rap.cpp", "int x = std::rand();  // \"quoted\"\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = lint::findings_to_json(findings);
+  std::string error;
+  const auto parsed = lint::parse_findings_json(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].rule, findings[0].rule);
+  EXPECT_EQ((*parsed)[0].file, findings[0].file);
+  EXPECT_EQ((*parsed)[0].line, findings[0].line);
+  EXPECT_EQ((*parsed)[0].message, findings[0].message);
+  EXPECT_EQ((*parsed)[0].snippet, findings[0].snippet);
+}
+
+TEST(JsonOutput, SchemaViolationsAreRejected) {
+  std::string error;
+  // Missing version.
+  EXPECT_FALSE(lint::parse_findings_json("{\"total\": 0, \"findings\": []}",
+                                         &error)
+                   .has_value());
+  // total inconsistent with the findings array.
+  EXPECT_FALSE(lint::parse_findings_json(
+                   "{\"version\": 1, \"total\": 3, \"findings\": []}", &error)
+                   .has_value());
+  // Finding missing required fields.
+  EXPECT_FALSE(lint::parse_findings_json(
+                   "{\"version\": 1, \"total\": 1, \"findings\":"
+                   " [{\"rule\": \"det-rand\"}]}",
+                   &error)
+                   .has_value());
+}
+
+TEST(JsonOutput, EmptyFindingsIsValid) {
+  std::string error;
+  const auto parsed =
+      lint::parse_findings_json(lint::findings_to_json({}), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->empty());
+}
+
+// --- registry round-trip --------------------------------------------------
+
+TEST(Registry, RoundTripSortsAndDeduplicates) {
+  lint::Registry reg;
+  reg.spans = {"b/span", "a/span", "b/span"};
+  reg.counters = {"z/counter"};
+  const std::string json = lint::registry_to_json(reg);
+  std::string error;
+  const auto parsed = lint::parse_registry(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->spans.size(), 2u);
+  EXPECT_EQ(parsed->spans[0], "a/span");
+  EXPECT_EQ(parsed->spans[1], "b/span");
+  ASSERT_EQ(parsed->counters.size(), 1u);
+}
+
+// --- acceptance: seeded mutation against the real tree --------------------
+
+#ifdef MTH_LINT_SRC_DIR
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+}  // namespace
+
+TEST(Acceptance, RealRapSourceIsCleanAndMutationIsCaught) {
+  const std::string dir = MTH_LINT_SRC_DIR;
+  const std::string path = dir + "/src/rap/rap.cpp";
+  const std::string original = slurp(path);
+  ASSERT_FALSE(original.empty());
+
+  EXPECT_TRUE(run("src/rap/rap.cpp", original).empty())
+      << "the checked-in RAP solver must lint clean";
+
+  // The acceptance-criteria mutation: a std::rand() call seeded into the
+  // solver body must be caught.
+  std::string mutated = original;
+  const std::size_t at = mutated.find("{");
+  ASSERT_NE(at, std::string::npos);
+  mutated.insert(at + 1, "\nint mutation = std::rand();\n(void)mutation;\n");
+  EXPECT_TRUE(has_rule(run("src/rap/rap.cpp", mutated), Rule::DetRand));
+}
+
+TEST(Acceptance, CheckedInRegistryMatchesTheRapSources) {
+  const std::string dir = MTH_LINT_SRC_DIR;
+  std::string error;
+  const auto reg =
+      lint::parse_registry(slurp(dir + "/tools/trace_spans.json"), &error);
+  ASSERT_TRUE(reg.has_value()) << error;
+  lint::Options options;
+  options.registry = *reg;
+  for (const char* rel : {"/src/rap/rap.cpp", "/src/cluster/kmeans.cpp",
+                          "/src/flows/flow.cpp"}) {
+    const std::string file = dir + rel;
+    EXPECT_TRUE(run(std::string(rel).substr(1), slurp(file), options).empty())
+        << file << " has unregistered trace names";
+  }
+}
+#endif  // MTH_LINT_SRC_DIR

@@ -27,6 +27,14 @@ std::atomic<std::int64_t> g_allocs{0};
 }  // namespace
 }  // namespace mth::trace
 
+// The new/free pairing below is matched by construction (the replacement
+// operator new allocates with std::malloc), but sanitizer instrumentation
+// lets GCC see through the inlined calls and flag -Wmismatched-new-delete.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t size) {
   mth::trace::g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
@@ -35,6 +43,10 @@ void* operator new(std::size_t size) {
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace mth::trace {
 namespace {

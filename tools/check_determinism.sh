@@ -25,6 +25,19 @@ normalize() {
 }
 
 status=0
+
+# Static gate first: the same invariants this script probes dynamically are
+# checked lexically by mth_lint (tools/lint_smoke.sh) — a std::rand() or an
+# unordered_map iteration in a deterministic subsystem fails here in
+# milliseconds instead of as a 1-vs-8-thread diff minutes later. Skipped when
+# the analyzer is not built (tests-only builds stay usable).
+if [[ -x "$BUILD_DIR/tools/mth_lint" ]]; then
+  SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  "$SCRIPT_DIR/lint_smoke.sh" "$BUILD_DIR" || status=1
+else
+  echo "[determinism] note: mth_lint not built, skipping lint smoke"
+fi
+
 for t in rap_test cluster_test util_test lp_test ilp_test verify_test; do
   bin="$BUILD_DIR/tests/$t"
   if [[ ! -x "$bin" ]]; then
@@ -56,6 +69,7 @@ if [[ -x "$BUILD_DIR/tools/mth_flow" ]] && command -v python3 > /dev/null; then
       --scale 0.05 --ilp-seconds 5 --trace-summary "$TMP/summary.$n.json" \
       > /dev/null
     python3 "$SCRIPT_DIR/trace_schema_check.py" \
+      --registry "$SCRIPT_DIR/trace_spans.json" \
       --canonical "$TMP/summary.$n.json" > "$TMP/summary.$n.canon"
   done
   if diff -u "$TMP/summary.1.canon" "$TMP/summary.8.canon" \

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Static-analysis gate: runs mth_lint over the repository with the checked-in
+# suppression baseline and span registry, and writes the JSON diagnostics
+# artifact (uploaded by CI). Fails on any unbaselined finding, stale baseline
+# entry, or stale registry entry.
+#
+# Usage: tools/lint_smoke.sh [build-dir] [json-out]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+ROOT="$(cd "$SCRIPT_DIR/.." && pwd)"
+OUT="${2:-$BUILD_DIR/lint_findings.json}"
+
+BIN="$BUILD_DIR/tools/mth_lint"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (run: cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+echo "[lint-smoke] $BIN --root $ROOT"
+if "$BIN" --root "$ROOT" \
+    --baseline "$ROOT/tools/lint_baseline.json" \
+    --registry "$ROOT/tools/trace_spans.json" \
+    --json "$OUT"; then
+  echo "[lint-smoke] OK (artifact: $OUT)"
+else
+  echo "[lint-smoke] FAILED: unbaselined findings (see $OUT); either fix" >&2
+  echo "[lint-smoke] them or justify with an inline 'mth-lint: allow(...)'" >&2
+  echo "[lint-smoke] comment / tools/mth_lint --update-baseline" >&2
+  exit 1
+fi

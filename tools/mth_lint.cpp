@@ -1,0 +1,273 @@
+// mth_lint — tree walker + baseline/registry plumbing around mth::lint.
+//
+//   mth_lint --root . --baseline tools/lint_baseline.json
+//            --registry tools/trace_spans.json [--json out.json] [paths...]
+//
+// With no explicit paths, lints every .cpp/.hpp/.h under src/, tools/,
+// tests/, bench/ and examples/ (sorted, so output order is deterministic).
+// Exit status: 0 clean, 1 findings (or stale baseline/registry entries),
+// 2 usage or I/O error.
+//
+//   --update-baseline   rewrite the baseline to suppress current findings
+//   --update-registry   rewrite the span registry from the tree's literals
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mth/lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using mth::lint::Finding;
+
+namespace {
+
+struct Args {
+  std::string root = ".";
+  std::string json_out;
+  std::string baseline_path;
+  std::string registry_path;
+  bool update_baseline = false;
+  bool update_registry = false;
+  std::vector<std::string> paths;
+};
+
+int usage(const char* msg) {
+  if (msg != nullptr) std::cerr << "mth_lint: " << msg << "\n";
+  std::cerr << "usage: mth_lint [--root DIR] [--baseline FILE]"
+               " [--registry FILE]\n"
+               "                [--json FILE] [--update-baseline]"
+               " [--update-registry] [paths...]\n";
+  return 2;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const fs::path& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  f << content;
+  return f.good();
+}
+
+// Repo-relative path with forward slashes (the label format the path-scoped
+// rules in mth::lint expect).
+std::string rel_label(const fs::path& file, const fs::path& root) {
+  std::string s = fs::relative(file, root).generic_string();
+  return s;
+}
+
+std::vector<fs::path> default_tree(const fs::path& root) {
+  static const char* kDirs[] = {"src", "tools", "tests", "bench", "examples"};
+  static const std::set<std::string> kExts = {".cpp", ".hpp", ".h"};
+  std::vector<fs::path> files;
+  for (const char* dir : kDirs) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() &&
+          kExts.count(entry.path().extension().string()) != 0) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](std::string& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    if (a == "--root") {
+      if (!value(args.root)) return usage("--root needs a value");
+    } else if (a == "--json") {
+      if (!value(args.json_out)) return usage("--json needs a value");
+    } else if (a == "--baseline") {
+      if (!value(args.baseline_path)) return usage("--baseline needs a value");
+    } else if (a == "--registry") {
+      if (!value(args.registry_path)) return usage("--registry needs a value");
+    } else if (a == "--update-baseline") {
+      args.update_baseline = true;
+    } else if (a == "--update-registry") {
+      args.update_registry = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(nullptr);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(("unknown option " + a).c_str());
+    } else {
+      args.paths.push_back(a);
+    }
+  }
+
+  const fs::path root = fs::absolute(args.root);
+  if (!fs::is_directory(root)) {
+    std::cerr << "mth_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  mth::lint::Options options;
+  if (!args.registry_path.empty() && !args.update_registry) {
+    std::string text;
+    if (!read_file(args.registry_path, text)) {
+      std::cerr << "mth_lint: cannot read registry " << args.registry_path
+                << "\n";
+      return 2;
+    }
+    std::string error;
+    const auto reg = mth::lint::parse_registry(text, &error);
+    if (!reg) {
+      std::cerr << "mth_lint: bad registry " << args.registry_path << ": "
+                << error << "\n";
+      return 2;
+    }
+    options.registry = *reg;
+  }
+
+  std::vector<fs::path> files;
+  if (args.paths.empty()) {
+    files = default_tree(root);
+  } else {
+    for (const std::string& p : args.paths) {
+      fs::path path = fs::path(p);
+      if (path.is_relative()) path = root / path;
+      files.push_back(path);
+    }
+  }
+
+  std::vector<Finding> findings;
+  mth::lint::Registry used;
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!read_file(file, text)) {
+      std::cerr << "mth_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    const std::string label = rel_label(file, root);
+    for (Finding& f : mth::lint::lint_source(label, text, options)) {
+      findings.push_back(std::move(f));
+    }
+    const mth::lint::TraceUses uses = mth::lint::collect_trace_uses(text);
+    used.spans.insert(used.spans.end(), uses.spans.begin(), uses.spans.end());
+    used.counters.insert(used.counters.end(), uses.counters.begin(),
+                         uses.counters.end());
+  }
+
+  if (args.update_registry) {
+    if (args.registry_path.empty()) {
+      return usage("--update-registry needs --registry FILE");
+    }
+    if (!write_file(args.registry_path, mth::lint::registry_to_json(used))) {
+      std::cerr << "mth_lint: cannot write " << args.registry_path << "\n";
+      return 2;
+    }
+    std::cout << "mth_lint: wrote " << args.registry_path << "\n";
+  } else if (!options.registry.empty() && args.paths.empty()) {
+    // Stale-entry check (full-tree runs only: a partial file list would see
+    // every other file's spans as stale).
+    const std::set<std::string> used_spans(used.spans.begin(),
+                                           used.spans.end());
+    const std::set<std::string> used_counters(used.counters.begin(),
+                                              used.counters.end());
+    const auto report_stale = [&](const std::vector<std::string>& names,
+                                  const std::set<std::string>& live,
+                                  const char* what) {
+      for (const std::string& name : names) {
+        if (live.count(name) != 0) continue;
+        Finding f;
+        f.rule = mth::lint::Rule::TraceRegistry;
+        f.file = args.registry_path;
+        f.line = 0;
+        f.message = std::string("stale ") + what + " \"" + name +
+                    "\": registered but unused; run mth_lint "
+                    "--update-registry";
+        f.snippet = name;
+        findings.push_back(std::move(f));
+      }
+    };
+    report_stale(options.registry.spans, used_spans, "span");
+    report_stale(options.registry.counters, used_counters, "counter");
+  }
+
+  if (args.update_baseline) {
+    if (args.baseline_path.empty()) {
+      return usage("--update-baseline needs --baseline FILE");
+    }
+    if (!write_file(args.baseline_path,
+                    mth::lint::baseline_to_json(findings))) {
+      std::cerr << "mth_lint: cannot write " << args.baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "mth_lint: wrote " << args.baseline_path << " ("
+              << findings.size() << " suppressions)\n";
+    return 0;
+  }
+
+  std::vector<std::string> stale_baseline;
+  if (!args.baseline_path.empty()) {
+    std::string text;
+    if (!read_file(args.baseline_path, text)) {
+      std::cerr << "mth_lint: cannot read baseline " << args.baseline_path
+                << "\n";
+      return 2;
+    }
+    std::string error;
+    const auto keys = mth::lint::parse_baseline(text, &error);
+    if (!keys) {
+      std::cerr << "mth_lint: bad baseline " << args.baseline_path << ": "
+                << error << "\n";
+      return 2;
+    }
+    findings = mth::lint::apply_baseline(
+        std::move(findings), *keys,
+        args.paths.empty() ? &stale_baseline : nullptr);
+  }
+
+  if (!args.json_out.empty()) {
+    if (!write_file(args.json_out, mth::lint::findings_to_json(findings))) {
+      std::cerr << "mth_lint: cannot write " << args.json_out << "\n";
+      return 2;
+    }
+  }
+
+  for (const Finding& f : findings) {
+    std::cerr << f.file << ':' << f.line << ": ["
+              << mth::lint::to_string(f.rule) << "] " << f.message << "\n";
+    if (!f.snippet.empty()) std::cerr << "    " << f.snippet << "\n";
+  }
+  for (const std::string& key : stale_baseline) {
+    std::string pretty = key;
+    for (char& c : pretty) {
+      if (c == '\x1f') c = ' ';
+    }
+    std::cerr << args.baseline_path << ":0: stale baseline entry (" << pretty
+              << "); run mth_lint --update-baseline\n";
+  }
+
+  const std::size_t problems = findings.size() + stale_baseline.size();
+  std::cout << "mth_lint: " << files.size() << " files, " << findings.size()
+            << " findings";
+  if (!stale_baseline.empty()) {
+    std::cout << ", " << stale_baseline.size() << " stale baseline entries";
+  }
+  std::cout << (problems == 0 ? " — clean\n" : "\n");
+  return problems == 0 ? 0 : 1;
+}

@@ -50,6 +50,7 @@ if [[ -n "$FLOW_BIN" ]] && command -v python3 > /dev/null; then
   "$FLOW_BIN" --testcase aes_360 --flow 5 --scale 0.05 --ilp-seconds 5 \
     --trace "$TMP/trace.json" --trace-summary "$TMP/summary.json" > /dev/null
   if python3 "$SCRIPT_DIR/trace_schema_check.py" \
+       --registry "$SCRIPT_DIR/trace_spans.json" \
        --trace "$TMP/trace.json" --summary "$TMP/summary.json"; then
     echo "[perf-smoke] trace artifacts OK"
   else

@@ -21,6 +21,13 @@ Modes:
       stdout — tools/check_determinism.sh diffs this between MTH_THREADS=1
       and 8 runs.
 
+With --registry FILE (the span registry mth_lint generates,
+tools/trace_spans.json), every span and counter name appearing in a trace or
+summary artifact must be registered — closing the loop between the static
+side (mth_lint checks that source literals are registered) and the dynamic
+side (this check ensures runtime artifacts only ever contain registered
+names).
+
 Exit status: 0 when every file validates, 1 otherwise.
 """
 
@@ -36,7 +43,35 @@ def _fail(path, msg):
     return False
 
 
-def check_trace(path):
+def load_registry(path):
+    """Load the mth_lint span registry; returns (spans, counters) name sets."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or doc.get("version") != 1:
+        raise ValueError(f"{path}: missing or unsupported 'version' (want 1)")
+    for key in ("spans", "counters"):
+        if not isinstance(doc.get(key), list) or not all(
+            isinstance(n, str) for n in doc[key]
+        ):
+            raise ValueError(f"{path}: '{key}' must be a list of strings")
+    return set(doc["spans"]), set(doc["counters"])
+
+
+def check_registered(path, names, registered, what):
+    """Every runtime `what` name must appear in the registry."""
+    if registered is None:
+        return True
+    unknown = sorted(set(names) - registered)
+    if unknown:
+        return _fail(
+            path,
+            f"unregistered {what} name(s) {unknown}; run "
+            "mth_lint --update-registry and re-commit tools/trace_spans.json",
+        )
+    return True
+
+
+def check_trace(path, registry=None):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -74,6 +109,10 @@ def check_trace(path):
             return _fail(path, f"{where}: unexpected ph {ph!r}")
     if n_complete == 0:
         return _fail(path, "no 'X' complete events")
+    if registry is not None:
+        names = [ev["name"] for ev in events if ev.get("ph") == "X"]
+        if not check_registered(path, names, registry[0], "span"):
+            return False
     print(f"trace_schema_check: {path}: OK ({n_complete} spans)")
     return True
 
@@ -115,11 +154,16 @@ def load_summary(path):
     return doc
 
 
-def check_summary(path):
+def check_summary(path, registry=None):
     try:
         doc = load_summary(path)
     except (OSError, json.JSONDecodeError, ValueError) as e:
         return _fail(path, str(e))
+    if registry is not None:
+        if not check_registered(path, doc["spans"], registry[0], "span"):
+            return False
+        if not check_registered(path, doc["counters"], registry[1], "counter"):
+            return False
     print(
         f"trace_schema_check: {path}: OK "
         f"({len(doc['spans'])} spans, {len(doc['counters'])} counters)"
@@ -127,11 +171,16 @@ def check_summary(path):
     return True
 
 
-def print_canonical(path):
+def print_canonical(path, registry=None):
     try:
         doc = load_summary(path)
     except (OSError, json.JSONDecodeError, ValueError) as e:
         return _fail(path, str(e))
+    if registry is not None:
+        if not check_registered(path, doc["spans"], registry[0], "span"):
+            return False
+        if not check_registered(path, doc["counters"], registry[1], "counter"):
+            return False
     canon = {
         "version": doc["version"],
         "spans": {
@@ -153,17 +202,28 @@ def main():
                     help="aggregated summary JSON to validate")
     ap.add_argument("--canonical", metavar="FILE",
                     help="validate a summary and print its canonical form")
+    ap.add_argument("--registry", metavar="FILE",
+                    help="mth_lint span registry (tools/trace_spans.json); "
+                         "artifact names must all be registered")
     args = ap.parse_args()
     if not args.trace and not args.summary and not args.canonical:
         ap.error("nothing to do (pass --trace / --summary / --canonical)")
 
+    registry = None
+    if args.registry:
+        try:
+            registry = load_registry(args.registry)
+        except (OSError, json.JSONDecodeError, ValueError) as e:
+            _fail(args.registry, str(e))
+            return 1
+
     ok = True
     for path in args.trace:
-        ok = check_trace(path) and ok
+        ok = check_trace(path, registry) and ok
     for path in args.summary:
-        ok = check_summary(path) and ok
+        ok = check_summary(path, registry) and ok
     if args.canonical:
-        ok = print_canonical(args.canonical) and ok
+        ok = print_canonical(args.canonical, registry) and ok
     return 0 if ok else 1
 
 
