@@ -7,6 +7,7 @@
 
 #include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
+#include "mth/util/simd.hpp"
 #include "mth/util/threadpool.hpp"
 
 namespace mth::cluster {
@@ -20,13 +21,29 @@ double dist2(const std::pair<double, double>& c, const Point& p) {
 }
 
 /// Bucket grid over centroids for accelerated nearest-centroid queries.
+/// Centroids are held as SoA x/y arrays so ring scans run through the
+/// mth::simd gathered-dist2 kernel; candidates are collected ring by ring in
+/// the historical bucket iteration order and reduced with argmin_merge, so
+/// the strict-'<' first-minimum choice is identical to the old per-candidate
+/// scalar scan at every SIMD tier.
 class CentroidGrid {
  public:
+  /// Caller-owned scratch (candidate indices + their squared distances),
+  /// reused across nearest() calls to keep allocation off the hot path.
+  struct Scratch {
+    std::vector<int> idx;
+    std::vector<double> d2;
+  };
+
   explicit CentroidGrid(const std::vector<std::pair<double, double>>& cs)
-      : cs_(cs) {
+      : kern_(simd::kernels()) {
     xmin_ = ymin_ = std::numeric_limits<double>::max();
     xmax_ = ymax_ = std::numeric_limits<double>::lowest();
+    cx_.reserve(cs.size());
+    cy_.reserve(cs.size());
     for (const auto& c : cs) {
+      cx_.push_back(c.first);
+      cy_.push_back(c.second);
       xmin_ = std::min(xmin_, c.first);
       xmax_ = std::max(xmax_, c.first);
       ymin_ = std::min(ymin_, c.second);
@@ -43,13 +60,16 @@ class CentroidGrid {
 
   /// Index of the centroid nearest to p (exact; rings expand until the best
   /// squared distance is within the scanned ring radius).
-  int nearest(const Point& p) const {
-    const int bx = clamp_idx((static_cast<double>(p.x) - xmin_) / dx_);
-    const int by = clamp_idx((static_cast<double>(p.y) - ymin_) / dy_);
+  int nearest(const Point& p, Scratch& s) const {
+    const double px = static_cast<double>(p.x);
+    const double py = static_cast<double>(p.y);
+    const int bx = clamp_idx((px - xmin_) / dx_);
+    const int by = clamp_idx((py - ymin_) / dy_);
     int best = -1;
     double best_d2 = std::numeric_limits<double>::max();
     for (int ring = 0; ring < g_; ++ring) {
       bool scanned_any = false;
+      s.idx.clear();
       for (int ix = bx - ring; ix <= bx + ring; ++ix) {
         if (ix < 0 || ix >= g_) continue;
         for (int iy = by - ring; iy <= by + ring; ++iy) {
@@ -59,15 +79,18 @@ class CentroidGrid {
             continue;
           }
           scanned_any = true;
-          for (int ci : buckets_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(g_) +
-                                 static_cast<std::size_t>(ix)]) {
-            const double d2 = dist2(cs_[static_cast<std::size_t>(ci)], p);
-            if (d2 < best_d2) {
-              best_d2 = d2;
-              best = ci;
-            }
-          }
+          const auto& b =
+              buckets_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(g_) +
+                       static_cast<std::size_t>(ix)];
+          s.idx.insert(s.idx.end(), b.begin(), b.end());
         }
+      }
+      if (!s.idx.empty()) {
+        s.d2.resize(s.idx.size());
+        kern_.gather_dist2(cx_.data(), cy_.data(), s.idx.data(), s.idx.size(),
+                           px, py, s.d2.data());
+        simd::argmin_merge(s.d2.data(), s.idx.data(), s.idx.size(), best_d2,
+                           best);
       }
       if (best >= 0) {
         // Safe stop: any centroid beyond this ring is at least `ring` cells
@@ -79,13 +102,13 @@ class CentroidGrid {
     }
     // Fallback scan (tiny k or degenerate geometry).
     if (best < 0) {
-      for (std::size_t i = 0; i < cs_.size(); ++i) {
-        const double d2 = dist2(cs_[i], p);
-        if (d2 < best_d2) {
-          best_d2 = d2;
-          best = static_cast<int>(i);
-        }
-      }
+      const std::size_t k = cx_.size();
+      s.idx.resize(k);
+      std::iota(s.idx.begin(), s.idx.end(), 0);
+      s.d2.resize(k);
+      kern_.gather_dist2(cx_.data(), cy_.data(), s.idx.data(), k, px, py,
+                         s.d2.data());
+      simd::argmin_merge(s.d2.data(), s.idx.data(), k, best_d2, best);
     }
     return best;
   }
@@ -101,7 +124,8 @@ class CentroidGrid {
     return std::clamp(static_cast<int>(v), 0, g_ - 1);
   }
 
-  const std::vector<std::pair<double, double>>& cs_;
+  const simd::Kernels& kern_;
+  std::vector<double> cx_, cy_;  // SoA centroid coordinates
   double xmin_, xmax_, ymin_, ymax_, dx_, dy_;
   int g_;
   std::vector<std::vector<int>> buckets_;
@@ -181,9 +205,10 @@ KMeansResult kmeans_2d(const std::vector<Point>& points, int k,
           s.sy.assign(static_cast<std::size_t>(k), 0.0);
           s.cnt.assign(static_cast<std::size_t>(k), 0);
           s.changed = false;
+          CentroidGrid::Scratch scratch;
           for (std::int64_t i = begin; i < end; ++i) {
             const auto pi = static_cast<std::size_t>(i);
-            const int c = grid.nearest(points[pi]);
+            const int c = grid.nearest(points[pi], scratch);
             if (c != res.assignment[pi]) {
               res.assignment[pi] = c;
               s.changed = true;

@@ -22,6 +22,13 @@
 //  * convention rules — any doc block mentioning an "A/B" knob in the public
 //    lp/ilp/rap headers must name the bench or tool where the A/B lives
 //    (the unified bench+flag doc convention from the observability PR).
+//  * kernel rules — vector intrinsics (_mm* / __m<width>*) may only appear
+//    in the mth::simd module (util/simd), and horizontal-merge intrinsics
+//    (hadd/hsub/reduce families) are banned everywhere: lane reductions must
+//    merge in index order (simd::argmin_merge) to stay bit-identical to the
+//    scalar tier. And total_hpwl() — a full-netlist rescan — inside a loop
+//    in the rap or legal modules needs an inline justification; per-move
+//    costing goes through db::IncrementalHpwl instead.
 //
 // The analyzer is a token-level scanner, not a compiler: it strips comments
 // and string/char literals with a small state machine (raw strings included)
@@ -54,6 +61,9 @@ enum class Rule {
   UnorderedIter,  ///< unordered-iter: iteration over an unordered container
   TraceRegistry,  ///< trace-registry: span/counter literal not registered
   AbDoc,          ///< ab-doc: A/B knob doc without a bench/tool reference
+  SimdMerge,      ///< simd-merge: vector intrinsic outside mth::simd, or a
+                  ///< horizontal lane-merge intrinsic anywhere
+  IhpwlFullScan,  ///< ihpwl-full-scan: total_hpwl() in a rap/legal loop
 };
 
 /// Stable kebab-case rule id, used in diagnostics, suppression comments,

@@ -163,6 +163,58 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
                    std::vector<int>& pair_out, std::vector<char>& open_out,
                    int* fail_cluster = nullptr);
 
+/// Per-net vertical extremes with owner tracking, enabling O(1) evaluation
+/// of "net y-span if instance `i` moved to y'". Two distinct-owner extremes
+/// per side suffice because an instance contributes one y value (its center)
+/// no matter how many of its pins touch the net. Exposed for unit tests and
+/// the bench_micro_kernels before/after harness.
+struct YExtremes {
+  Dbu min1 = INT64_MAX, min2 = INT64_MAX;
+  Dbu max1 = INT64_MIN, max2 = INT64_MIN;
+  InstId min1_owner = -2, max1_owner = -2;  // -2 == port (never a cell)
+
+  void add(InstId owner, Dbu y);
+
+  /// y-span if `cell`'s contribution is replaced by `newy`.
+  Dbu span_with(InstId cell, Dbu newy) const {
+    const Dbu lo = (min1_owner == cell) ? min2 : min1;
+    const Dbu hi = (max1_owner == cell) ? max2 : max1;
+    if (lo == INT64_MAX || hi == INT64_MIN) return 0;  // no other pins
+    return std::max(hi, newy) - std::min(lo, newy);
+  }
+
+  Dbu span() const {
+    if (min1 == INT64_MAX) return 0;
+    return max1 - min1;
+  }
+};
+
+/// One YExtremes per net (clock nets left at their zero-span default).
+/// O(pins) preprocessing shared by every cost-matrix formulation; the
+/// kernel harness builds it once outside the timed region.
+std::vector<YExtremes> build_y_extremes(const Design& d);
+
+/// The f_cr cost matrix (Eqs. 1-2) as a flat row-major buffer of
+/// `n_clusters * floorplan.num_pairs()` doubles: entry [c * nr + r] prices
+/// cluster c on row pair r. Built cluster-parallel on the mth::simd kernel
+/// layer (SoA row-y / per-net Δspan sweeps); bit-identical to the historical
+/// nested-loop build for every thread count and SIMD tier, because all
+/// coordinate terms are integers-in-double and the per-row combine keeps the
+/// exact scalar expression shape. `extremes` must come from
+/// build_y_extremes(design); the Design overload builds it internally.
+/// Exposed for unit tests and the bench_micro_kernels before/after harness.
+std::vector<double> build_cost_matrix(const Design& design,
+                                      const std::vector<YExtremes>& extremes,
+                                      const std::vector<InstId>& minority_cells,
+                                      const std::vector<int>& cluster_of,
+                                      int n_clusters, double alpha,
+                                      int num_threads);
+std::vector<double> build_cost_matrix(const Design& design,
+                                      const std::vector<InstId>& minority_cells,
+                                      const std::vector<int>& cluster_of,
+                                      int n_clusters, double alpha,
+                                      int num_threads);
+
 }  // namespace detail
 
 }  // namespace mth::rap

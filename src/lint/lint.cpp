@@ -674,6 +674,101 @@ void rule_ab_doc(Ctx& ctx, const std::string& module) {
   }
 }
 
+void rule_simd_merge(Ctx& ctx) {
+  // Vector intrinsics are confined to the mth::simd kernel layer, where the
+  // bit-identity contract (elementwise lanes, in-index-order merges, FP
+  // contraction pinned off) is enforced by construction and by simd_test.
+  // Horizontal-merge intrinsics (hadd/hsub and the *_reduce_* families)
+  // reassociate in lane-shuffle order, so they are banned even there —
+  // reductions must go through scalar index-order merges (argmin_merge).
+  const bool in_simd = ctx.file.find("util/simd") != std::string::npos;
+  // An intrinsic-family identifier: _mm_* / _mm256_* / _mm512_* (the "_mm"
+  // prefix alone would also catch e.g. _mmap_count), or a vector register
+  // type __m128/__m256d/... ("__m" + digit).
+  const auto is_intrinsic = [](const std::string& id) {
+    if (id.compare(0, 3, "_mm") != 0) return false;
+    std::size_t i = 3;
+    while (i < id.size() && std::isdigit(static_cast<unsigned char>(id[i]))) {
+      ++i;
+    }
+    return i < id.size() && id[i] == '_';
+  };
+  for (const Token& t : ctx.scan.tokens) {
+    if (t.kind != Tok::Ident) continue;
+    const std::string& id = t.text;
+    const bool vec = is_intrinsic(id) ||
+                     (id.compare(0, 3, "__m") == 0 && id.size() > 3 &&
+                      std::isdigit(static_cast<unsigned char>(id[3])));
+    if (!vec) continue;
+    if (id.find("hadd") != std::string::npos ||
+        id.find("hsub") != std::string::npos ||
+        id.find("reduce") != std::string::npos) {
+      ctx.report(Rule::SimdMerge, t.line,
+                 "horizontal lane merge '" + id +
+                     "' reassociates in shuffle order; merge lanes in index "
+                     "order (simd::argmin_merge) instead");
+    } else if (!in_simd) {
+      ctx.report(Rule::SimdMerge, t.line,
+                 "vector intrinsic '" + id +
+                     "' outside the mth::simd kernel layer; add a kernel to "
+                     "util/simd (where the bit-identity contract is "
+                     "enforced) instead");
+    }
+  }
+}
+
+void rule_ihpwl_full_scan(Ctx& ctx, const std::string& module) {
+  // total_hpwl() is a full-netlist rescan; inside a rap/legal loop it is the
+  // exact regression the incremental engine removed. Lexical loop detection:
+  // for/while bodies (braced or single-statement) and do bodies.
+  if (module != "rap" && module != "legal") return;
+  const auto& T = ctx.scan.tokens;
+  std::vector<char> in_loop(T.size(), 0);
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    std::size_t body;
+    if ((is_ident(T[i], "for") || is_ident(T[i], "while")) &&
+        i + 1 < T.size() && is_punct(T[i + 1], "(")) {
+      std::size_t j = i + 2;
+      int depth = 1;
+      while (j < T.size() && depth > 0) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")")) --depth;
+        ++j;
+      }
+      body = j;
+    } else if (is_ident(T[i], "do")) {
+      body = i + 1;
+    } else {
+      continue;
+    }
+    if (body >= T.size()) continue;
+    std::size_t end = body;
+    if (is_punct(T[body], "{")) {
+      std::size_t j = body + 1;
+      int depth = 1;
+      while (j < T.size() && depth > 0) {
+        if (is_punct(T[j], "{")) ++depth;
+        if (is_punct(T[j], "}")) --depth;
+        ++j;
+      }
+      end = j;
+    } else {
+      while (end < T.size() && !is_punct(T[end], ";")) ++end;
+    }
+    for (std::size_t k = body; k < end; ++k) in_loop[k] = 1;
+  }
+  for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+    if (in_loop[i] != 0 && is_ident(T[i], "total_hpwl") &&
+        is_punct(T[i + 1], "(")) {
+      ctx.report(Rule::IhpwlFullScan, T[i].line,
+                 "total_hpwl() full-netlist rescan inside a '" + module +
+                     "' loop; cost moves through db::IncrementalHpwl "
+                     "(apply_move/sync_with), or justify with mth-lint: "
+                     "allow(ihpwl-full-scan)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -688,6 +783,8 @@ const char* to_string(Rule r) {
     case Rule::UnorderedIter: return "unordered-iter";
     case Rule::TraceRegistry: return "trace-registry";
     case Rule::AbDoc: return "ab-doc";
+    case Rule::SimdMerge: return "simd-merge";
+    case Rule::IhpwlFullScan: return "ihpwl-full-scan";
   }
   return "?";
 }
@@ -700,6 +797,8 @@ std::optional<Rule> rule_from_string(std::string_view id) {
       {"unordered-iter", Rule::UnorderedIter},
       {"trace-registry", Rule::TraceRegistry},
       {"ab-doc", Rule::AbDoc},
+      {"simd-merge", Rule::SimdMerge},
+      {"ihpwl-full-scan", Rule::IhpwlFullScan},
   };
   const auto it = kIds.find(id);
   return it == kIds.end() ? std::nullopt : std::optional<Rule>(it->second);
@@ -725,6 +824,8 @@ std::vector<Finding> lint_source(const std::string& file,
   rule_unordered_iter(ctx);
   rule_trace_registry(ctx, options.registry);
   rule_ab_doc(ctx, module);
+  rule_simd_merge(ctx);
+  rule_ihpwl_full_scan(ctx, module);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {

@@ -9,6 +9,7 @@
 #include "mth/trace/trace.hpp"
 #include "mth/util/error.hpp"
 #include "mth/util/log.hpp"
+#include "mth/util/simd.hpp"
 #include "mth/util/threadpool.hpp"
 #include "mth/util/timer.hpp"
 
@@ -17,49 +18,32 @@ namespace {
 
 constexpr double kInfCost = std::numeric_limits<double>::max();
 
-/// Per-net vertical extremes with owner tracking, enabling O(1) evaluation of
-/// "net y-span if instance `i` moved to y'". Two distinct-owner extremes per
-/// side suffice because an instance contributes one y value (its center) no
-/// matter how many of its pins touch the net.
-struct YExtremes {
-  Dbu min1 = INT64_MAX, min2 = INT64_MAX;
-  Dbu max1 = INT64_MIN, max2 = INT64_MIN;
-  InstId min1_owner = -2, max1_owner = -2;  // -2 == port (never a cell)
+}  // namespace
 
-  void add(InstId owner, Dbu y) {
-    if (y < min1 || (y == min1 && owner == min1_owner)) {
-      if (owner != min1_owner) {
-        min2 = min1;
-      }
-      min1 = y;
-      min1_owner = owner;
-    } else if (owner != min1_owner && y < min2) {
-      min2 = y;
+namespace detail {
+
+// Struct doc + span_with/span bodies live in rap.hpp (exposed there for
+// unit tests and the kernel bench).
+void YExtremes::add(InstId owner, Dbu y) {
+  if (y < min1 || (y == min1 && owner == min1_owner)) {
+    if (owner != min1_owner) {
+      min2 = min1;
     }
-    if (y > max1 || (y == max1 && owner == max1_owner)) {
-      if (owner != max1_owner) {
-        max2 = max1;
-      }
-      max1 = y;
-      max1_owner = owner;
-    } else if (owner != max1_owner && y > max2) {
-      max2 = y;
+    min1 = y;
+    min1_owner = owner;
+  } else if (owner != min1_owner && y < min2) {
+    min2 = y;
+  }
+  if (y > max1 || (y == max1 && owner == max1_owner)) {
+    if (owner != max1_owner) {
+      max2 = max1;
     }
+    max1 = y;
+    max1_owner = owner;
+  } else if (owner != max1_owner && y > max2) {
+    max2 = y;
   }
-
-  /// y-span if `cell`'s contribution is replaced by `newy`.
-  Dbu span_with(InstId cell, Dbu newy) const {
-    const Dbu lo = (min1_owner == cell) ? min2 : min1;
-    const Dbu hi = (max1_owner == cell) ? max2 : max1;
-    if (lo == INT64_MAX || hi == INT64_MIN) return 0;  // no other pins
-    return std::max(hi, newy) - std::min(lo, newy);
-  }
-
-  Dbu span() const {
-    if (min1 == INT64_MAX) return 0;
-    return max1 - min1;
-  }
-};
+}
 
 std::vector<YExtremes> build_y_extremes(const Design& d) {
   std::vector<YExtremes> out(static_cast<std::size_t>(d.netlist.num_nets()));
@@ -78,10 +62,6 @@ std::vector<YExtremes> build_y_extremes(const Design& d) {
   }
   return out;
 }
-
-}  // namespace
-
-namespace detail {
 
 // Doc comment on the declaration in rap.hpp (exposed there for unit tests).
 bool greedy_assign(const std::vector<std::vector<double>>& cost,
@@ -163,6 +143,100 @@ bool greedy_assign(const std::vector<std::vector<double>>& cost,
     ++open_count;
   }
   return open_count == n_min;
+}
+
+// Doc comment on the declaration in rap.hpp. The historical build walked
+// (cell, row, net) with a fresh span_with() per (cell, row) pair; this
+// version hoists each net's (lo, hi, span) constants out of the row loop —
+// a net where the probed cell is the only distinct owner contributes
+// identically 0 (span_with and span both collapse) and is skipped — and
+// sweeps the row axis with the SIMD kernels over an SoA row-center array.
+// Every term is an integer-in-double, so the net-order accumulation into
+// `dh` is exact, and the final combine keeps the historical per-row
+// expression alpha*disp + (1-alpha)*dhpwl verbatim: the buffer is
+// bit-identical to the nested-loop build.
+std::vector<double> build_cost_matrix(const Design& design,
+                                      const std::vector<YExtremes>& extremes,
+                                      const std::vector<InstId>& minority_cells,
+                                      const std::vector<int>& cluster_of,
+                                      int n_clusters, double alpha,
+                                      int num_threads) {
+  MTH_SPAN("rap/cost_matrix");
+  const Floorplan& fp = design.floorplan;
+  const int nr = fp.num_pairs();
+  const auto nrz = static_cast<std::size_t>(nr);
+  const int n_min_c = static_cast<int>(minority_cells.size());
+
+  std::vector<double> row_y(nrz);
+  for (int r = 0; r < nr; ++r) {
+    row_y[static_cast<std::size_t>(r)] =
+        static_cast<double>(fp.pair_y_center(r));
+  }
+
+  const auto& uses = design.netlist.inst_uses();
+
+  // Cluster-major parallel build: each cluster's row-cost slice is written
+  // by exactly one task, and cells within a cluster are visited in ascending
+  // minority index — the same per-slot accumulation order as a serial scan,
+  // so the matrix is bit-identical for every thread count.
+  std::vector<std::vector<int>> cluster_cells(
+      static_cast<std::size_t>(n_clusters));
+  for (int k = 0; k < n_min_c; ++k) {
+    cluster_cells[static_cast<std::size_t>(
+                      cluster_of[static_cast<std::size_t>(k)])]
+        .push_back(k);
+  }
+
+  std::vector<double> full_cost(static_cast<std::size_t>(n_clusters) * nrz,
+                                0.0);
+  const simd::Kernels& kern = simd::kernels();
+  const double beta = 1.0 - alpha;
+  util::ParallelOptions par;
+  par.num_threads = num_threads;
+  par.trace_name = "rap/cost_chunk";
+  util::parallel_chunks(
+      n_clusters, par,
+      [&](int /*chunk*/, std::int64_t begin, std::int64_t end) {
+        // One Δspan scratch per chunk, not per cluster: its content is fully
+        // rewritten per cell (span_delta_init on the first net), so chunk
+        // geometry cannot leak into the matrix.
+        std::vector<double> dh(nrz);
+        for (std::int64_t c = begin; c < end; ++c) {
+          double* row_cost =
+              full_cost.data() + static_cast<std::size_t>(c) * nrz;
+          for (const int k : cluster_cells[static_cast<std::size_t>(c)]) {
+            const InstId i = minority_cells[static_cast<std::size_t>(k)];
+            const Instance& inst = design.netlist.instance(i);
+            const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
+            bool have_dh = false;
+            for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+              if (design.netlist.net(u.net).is_clock) continue;
+              const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
+              const Dbu lo = (ye.min1_owner == i) ? ye.min2 : ye.min1;
+              const Dbu hi = (ye.max1_owner == i) ? ye.max2 : ye.max1;
+              if (lo == INT64_MAX || hi == INT64_MIN) continue;  // term == 0
+              (have_dh ? kern.span_delta : kern.span_delta_init)(
+                  row_y.data(), nrz, static_cast<double>(lo),
+                  static_cast<double>(hi), static_cast<double>(ye.span()),
+                  dh.data());
+              have_dh = true;
+            }
+            if (!have_dh) std::fill(dh.begin(), dh.end(), 0.0);
+            kern.cost_combine(row_y.data(), dh.data(), nrz,
+                              static_cast<double>(yc), alpha, beta, row_cost);
+          }
+        }
+      });
+  return full_cost;
+}
+
+std::vector<double> build_cost_matrix(const Design& design,
+                                      const std::vector<InstId>& minority_cells,
+                                      const std::vector<int>& cluster_of,
+                                      int n_clusters, double alpha,
+                                      int num_threads) {
+  return build_cost_matrix(design, build_y_extremes(design), minority_cells,
+                           cluster_of, n_clusters, alpha, num_threads);
 }
 
 }  // namespace detail
@@ -264,53 +338,11 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
         wlib.master(design.netlist.instance(i).master).width;
   }
 
-  const auto extremes = build_y_extremes(design);
-  const auto& uses = design.netlist.inst_uses();
-
-  // Cluster-major parallel build: each cluster's row-cost vector is written
-  // by exactly one task, and cells within a cluster are visited in ascending
-  // minority index — the same per-slot accumulation order as a serial scan,
-  // so the matrix is bit-identical for every thread count.
-  std::vector<std::vector<int>> cluster_cells(
-      static_cast<std::size_t>(n_clusters));
-  for (int k = 0; k < n_min_c; ++k) {
-    cluster_cells[static_cast<std::size_t>(
-                      res.cluster_of[static_cast<std::size_t>(k)])]
-        .push_back(k);
-  }
-  std::vector<std::vector<double>> full_cost(
-      static_cast<std::size_t>(n_clusters),
-      std::vector<double>(static_cast<std::size_t>(nr), 0.0));
-  {
-    MTH_SPAN("rap/cost_matrix");
-    util::ParallelOptions par;
-    par.num_threads = opt.ctx.exec.num_threads;
-    par.trace_name = "rap/cost_chunk";
-    util::parallel_for(
-        n_clusters,
-        [&](std::int64_t c) {
-          std::vector<double>& row_cost =
-              full_cost[static_cast<std::size_t>(c)];
-          for (const int k : cluster_cells[static_cast<std::size_t>(c)]) {
-            const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
-            const Instance& inst = design.netlist.instance(i);
-            const Dbu yc = inst.pos.y + design.master_of(i).height / 2;
-            for (int r = 0; r < nr; ++r) {
-              const Dbu ry = fp.pair_y_center(r);
-              const double disp = static_cast<double>(std::llabs(ry - yc));
-              double dhpwl = 0.0;
-              for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
-                const YExtremes& ye = extremes[static_cast<std::size_t>(u.net)];
-                if (design.netlist.net(u.net).is_clock) continue;
-                dhpwl += static_cast<double>(ye.span_with(i, ry) - ye.span());
-              }
-              row_cost[static_cast<std::size_t>(r)] +=
-                  opt.alpha * disp + (1.0 - opt.alpha) * dhpwl;
-            }
-          }
-        },
-        par);
-  }
+  // Flat row-major f_cr buffer, built on the SIMD kernel layer (see the
+  // doc comment on detail::build_cost_matrix).
+  const std::vector<double> full_cost = detail::build_cost_matrix(
+      design, res.minority_cells, res.cluster_of, n_clusters, opt.alpha,
+      opt.ctx.exec.num_threads);
 
   // Candidate rows (§III-C + pruning): with `max_cand_rows` = K in (0, nr)
   // each cluster keeps only its K cheapest rows by f_cr (a cost window
@@ -326,7 +358,8 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   auto build_cluster_cand = [&](int c) {
     const int k = cand_k[static_cast<std::size_t>(c)];
     std::vector<int>& cc = cand[static_cast<std::size_t>(c)];
-    const std::vector<double>& fc = full_cost[static_cast<std::size_t>(c)];
+    const double* fc =
+        full_cost.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(nr);
     cc.resize(static_cast<std::size_t>(nr));
     std::iota(cc.begin(), cc.end(), 0);
     if (k < nr) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "mth/db/incremental_hpwl.hpp"
 #include "mth/db/metrics.hpp"
 #include "mth/legal/polish.hpp"
 #include "mth/trace/trace.hpp"
@@ -56,7 +57,14 @@ RcLegalResult rc_legalize(Design& design, const RowAssignment& ra,
   const Floorplan& fp = design.floorplan;
   const Netlist& nl = design.netlist;
   RcLegalResult res;
-  res.hpwl_before = total_hpwl(design);
+  // One incremental engine owns every HPWL evaluation in this routine: the
+  // build here replaces the historical entry scan, pull moves below are
+  // applied through it in O(pins-of-cell), and each post-legalization
+  // evaluation is a sync_with() re-sync instead of a fresh total_hpwl()
+  // rescan (the pre-engine code paid that full scan twice before the first
+  // pass and once more per pass).
+  db::IncrementalHpwl ihpwl(design);
+  res.hpwl_before = ihpwl.total();
 
   const bool enforce = opt.enforce_assignment;
   legal::AbacusOptions aopt;
@@ -92,7 +100,7 @@ RcLegalResult rc_legalize(Design& design, const RowAssignment& ra,
   if (!ar.success) return res;
 
   legal::swap_polish(design);
-  Dbu best_hpwl = total_hpwl(design);
+  Dbu best_hpwl = ihpwl.sync_with();  // abacus + polish moved cells externally
   std::vector<Point> best_pos = placement_snapshot(design);
 
   // Median-pull refinement: every cell moves (with damping) toward the
@@ -136,14 +144,17 @@ RcLegalResult rc_legalize(Design& design, const RowAssignment& ra,
                 ? lower.y
                 : upper.y;
       }
-      inst.pos = {std::clamp<Dbu>(tx - m.width / 2, fp.core().lo.x,
-                                  fp.core().hi.x - m.width),
-                  y};
+      // Through the engine: O(pins of i) bbox maintenance, and later cells'
+      // median pulls see this move via the design (sequential semantics).
+      ihpwl.apply_move(i, {std::clamp<Dbu>(tx - m.width / 2, fp.core().lo.x,
+                                           fp.core().hi.x - m.width),
+                           y});
     }
+    MTH_DEBUG << "rclegal pass " << pass << ": pulled hpwl " << ihpwl.total();
     ar = legal::abacus_legalize(design, aopt);
     if (!ar.success) break;
     legal::swap_polish(design);
-    const Dbu h = total_hpwl(design);
+    const Dbu h = ihpwl.sync_with();
     ++res.passes_used;
     MTH_DEBUG << "rclegal pass " << pass << ": hpwl " << h << " (best "
               << best_hpwl << ")";
@@ -155,6 +166,7 @@ RcLegalResult rc_legalize(Design& design, const RowAssignment& ra,
       for (InstId i = 0; i < nl.num_instances(); ++i) {
         design.netlist.instance(i).pos = best_pos[static_cast<std::size_t>(i)];
       }
+      ihpwl.sync_with();  // bulk external restore invalidated the caches
     }
   }
 

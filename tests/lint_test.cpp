@@ -336,6 +336,82 @@ TEST(AbDoc, SuppressedHit) {
   EXPECT_TRUE(f.empty());
 }
 
+// --- simd-merge -----------------------------------------------------------
+
+TEST(SimdMerge, IntrinsicOutsideSimdModulePositiveHit) {
+  const auto f = run("src/rap/rap.cpp", R"cpp(
+    __m256d v = _mm256_loadu_pd(y);
+  )cpp");
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].rule, Rule::SimdMerge);
+  EXPECT_NE(f[0].message.find("mth::simd"), std::string::npos);
+}
+
+TEST(SimdMerge, HorizontalMergeBannedEvenInsideSimdModule) {
+  const auto f = run("src/util/simd.cpp", R"cpp(
+    __m256d s = _mm256_hadd_pd(a, b);
+  )cpp");
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].rule, Rule::SimdMerge);
+  EXPECT_NE(f[0].message.find("index order"), std::string::npos);
+}
+
+TEST(SimdMerge, ElementwiseIntrinsicsInSimdModuleAreClean) {
+  EXPECT_TRUE(run("src/util/simd.cpp", R"cpp(
+    __m256d v = _mm256_max_pd(_mm256_loadu_pd(y), _mm256_set1_pd(lo));
+  )cpp").empty());
+  // Non-intrinsic identifiers that merely start with _mm-ish text don't trip.
+  EXPECT_TRUE(run("src/rap/rap.cpp", "int _mmap_count = 0;\n").empty());
+}
+
+TEST(SimdMerge, SuppressedHit) {
+  const auto f = run("src/rap/rap.cpp",
+      "__m256d v = _mm256_setzero_pd();"
+      "  // mth-lint: allow(simd-merge): fixture\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- ihpwl-full-scan ------------------------------------------------------
+
+TEST(IhpwlFullScan, RescanInsideRapLoopPositiveHit) {
+  const auto f = run("src/rap/rclegal.cpp", R"cpp(
+    void refine(Design& d) {
+      for (int pass = 0; pass < 3; ++pass) {
+        Dbu h = total_hpwl(d);
+      }
+    }
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::IhpwlFullScan);
+  EXPECT_NE(f[0].message.find("IncrementalHpwl"), std::string::npos);
+}
+
+TEST(IhpwlFullScan, WhileAndDoLoopsAreCovered) {
+  EXPECT_TRUE(has_rule(run("src/legal/abacus.cpp",
+      "void f(Design& d) { while (x) { Dbu h = total_hpwl(d); } }\n"),
+      Rule::IhpwlFullScan));
+  EXPECT_TRUE(has_rule(run("src/legal/abacus.cpp",
+      "void f(Design& d) { do { Dbu h = total_hpwl(d); } while (x); }\n"),
+      Rule::IhpwlFullScan));
+}
+
+TEST(IhpwlFullScan, OutsideLoopOrModuleIsClean) {
+  // Straight-line use (one scan per call) is the sanctioned pattern...
+  EXPECT_TRUE(run("src/rap/rclegal.cpp",
+      "Dbu before() { return total_hpwl(d); }\n").empty());
+  // ...and other modules (metrics itself, flows, tests) are out of scope.
+  EXPECT_TRUE(run("src/flows/flow.cpp",
+      "for (;;) { Dbu h = total_hpwl(d); }\n").empty());
+}
+
+TEST(IhpwlFullScan, SuppressedHit) {
+  const auto f = run("src/rap/rclegal.cpp",
+      "for (;;) {\n"
+      "  Dbu h = total_hpwl(d);  // mth-lint: allow(ihpwl-full-scan): fixture\n"
+      "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
 // --- scanner robustness ---------------------------------------------------
 
 TEST(Scanner, RawStringsAndCommentsAreInvisible) {

@@ -1,0 +1,128 @@
+// mth::simd kernel layer tests: the determinism contract (simd.hpp) says
+// every tier returns bit-identical buffers. These tests compare the scalar
+// tier against the best tier the host supports, in-process via kernels_for,
+// over sizes that cover empty / sub-lane / exact-lane / tail shapes. On a
+// scalar-only host the comparisons are trivially true and the suite still
+// pins the scalar semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mth/util/rng.hpp"
+#include "mth/util/simd.hpp"
+
+namespace mth::simd {
+namespace {
+
+const std::vector<std::size_t> kSizes = {0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 100};
+
+std::vector<double> random_ints_as_doubles(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = static_cast<double>(rng.uniform_int(-1000000, 1000000));
+  }
+  return v;
+}
+
+bool bit_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(Simd, TierNamesAndDetection) {
+  EXPECT_STREQ(tier_name(Tier::Scalar), "scalar");
+  EXPECT_STREQ(tier_name(Tier::Avx2), "avx2");
+  EXPECT_GE(detect_tier(), Tier::Scalar);
+  // The active tier can never exceed what the CPU supports, and the default
+  // table is exactly the active tier's table.
+  EXPECT_LE(active_tier(), detect_tier());
+  EXPECT_EQ(&kernels(), &kernels_for(active_tier()));
+}
+
+TEST(Simd, SpanDeltaTiersBitIdentical) {
+  const Kernels& scalar = kernels_for(Tier::Scalar);
+  const Kernels& best = kernels_for(detect_tier());
+  Rng rng(42);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> y = random_ints_as_doubles(n, rng);
+    std::vector<double> a = random_ints_as_doubles(n, rng);
+    std::vector<double> b = a;
+    const double lo = -500.0, hi = 700.0, span = 1200.0;
+    scalar.span_delta(y.data(), n, lo, hi, span, a.data());
+    best.span_delta(y.data(), n, lo, hi, span, b.data());
+    EXPECT_TRUE(bit_equal(a, b)) << "n=" << n;
+
+    std::vector<double> ia(n, -1.0), ib(n, 7.0);  // init overwrites garbage
+    scalar.span_delta_init(y.data(), n, lo, hi, span, ia.data());
+    best.span_delta_init(y.data(), n, lo, hi, span, ib.data());
+    EXPECT_TRUE(bit_equal(ia, ib)) << "n=" << n;
+
+    // init == fill(0) + accumulate, the substitution build_cost_matrix makes.
+    std::vector<double> z(n, 0.0);
+    scalar.span_delta(y.data(), n, lo, hi, span, z.data());
+    EXPECT_TRUE(bit_equal(ia, z)) << "n=" << n;
+  }
+}
+
+TEST(Simd, CostCombineTiersBitIdentical) {
+  const Kernels& scalar = kernels_for(Tier::Scalar);
+  const Kernels& best = kernels_for(detect_tier());
+  Rng rng(43);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> y = random_ints_as_doubles(n, rng);
+    const std::vector<double> dh = random_ints_as_doubles(n, rng);
+    std::vector<double> a = random_ints_as_doubles(n, rng);
+    std::vector<double> b = a;
+    scalar.cost_combine(y.data(), dh.data(), n, 123.0, 0.75, 0.25, a.data());
+    best.cost_combine(y.data(), dh.data(), n, 123.0, 0.75, 0.25, b.data());
+    EXPECT_TRUE(bit_equal(a, b)) << "n=" << n;
+  }
+}
+
+TEST(Simd, GatherDist2TiersBitIdentical) {
+  const Kernels& scalar = kernels_for(Tier::Scalar);
+  const Kernels& best = kernels_for(detect_tier());
+  Rng rng(44);
+  const std::vector<double> cx = random_ints_as_doubles(256, rng);
+  const std::vector<double> cy = random_ints_as_doubles(256, rng);
+  for (const std::size_t n : kSizes) {
+    std::vector<int> idx(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      idx[j] = static_cast<int>(rng.uniform_int(0, 255));
+    }
+    std::vector<double> a(n), b(n);
+    scalar.gather_dist2(cx.data(), cy.data(), idx.data(), n, 10.0, -20.0,
+                        a.data());
+    best.gather_dist2(cx.data(), cy.data(), idx.data(), n, 10.0, -20.0,
+                      b.data());
+    EXPECT_TRUE(bit_equal(a, b)) << "n=" << n;
+  }
+}
+
+TEST(Simd, ArgminMergeKeepsFirstMinimum) {
+  // Strict `<` means an equal later candidate never displaces the winner —
+  // the same tie-break a serial scan over candidates has always had.
+  const std::vector<double> d2 = {5.0, 2.0, 2.0, 9.0};
+  const std::vector<int> idx = {10, 11, 12, 13};
+  double best_d2 = 1e300;
+  int best = -1;
+  argmin_merge(d2.data(), idx.data(), d2.size(), best_d2, best);
+  EXPECT_EQ(best, 11);
+  EXPECT_EQ(best_d2, 2.0);
+
+  // In/out semantics: a better prior winner survives an entire block.
+  best_d2 = 1.0;
+  best = 99;
+  argmin_merge(d2.data(), idx.data(), d2.size(), best_d2, best);
+  EXPECT_EQ(best, 99);
+  EXPECT_EQ(best_d2, 1.0);
+
+  argmin_merge(d2.data(), idx.data(), 0, best_d2, best);  // empty block
+  EXPECT_EQ(best, 99);
+}
+
+}  // namespace
+}  // namespace mth::simd

@@ -5,6 +5,11 @@
 # thread-count-dependent behavior shows up either as a test failure or as a
 # diff between the two runs (gtest timings are normalized away).
 #
+# The SIMD kernel layer gets the same treatment on a second axis: the suites
+# that exercise mth::simd call sites (rap, cluster, simd, db) are also run
+# with MTH_SIMD=scalar and MTH_SIMD=auto and diffed — the dispatch choice
+# must be as unobservable as the thread count (simd.hpp contract).
+#
 # Usage: tools/check_determinism.sh [build-dir] [gtest-filter]
 set -euo pipefail
 
@@ -38,7 +43,8 @@ else
   echo "[determinism] note: mth_lint not built, skipping lint smoke"
 fi
 
-for t in rap_test cluster_test util_test lp_test ilp_test verify_test; do
+for t in rap_test cluster_test util_test lp_test ilp_test verify_test \
+         simd_test db_test; do
   bin="$BUILD_DIR/tests/$t"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (run: cmake --build $BUILD_DIR)" >&2
@@ -53,6 +59,25 @@ for t in rap_test cluster_test util_test lp_test ilp_test verify_test; do
   else
     echo "[determinism] $t: OUTPUT DIVERGED between thread counts:" >&2
     cat "$TMP/$t.diff" >&2
+    status=1
+  fi
+done
+
+# SIMD dispatch equivalence: forced-scalar vs runtime-detected kernels must
+# be indistinguishable in every suite that reaches a mth::simd call site.
+# (simd_test additionally compares the tiers in-process; this leg checks the
+# process-level dispatch path end to end.)
+for t in simd_test rap_test cluster_test db_test; do
+  bin="$BUILD_DIR/tests/$t"
+  echo "[determinism] $t: MTH_SIMD=scalar ..."
+  MTH_SIMD=scalar "$bin" --gtest_filter="$FILTER" 2>&1 | normalize > "$TMP/$t.scalar"
+  echo "[determinism] $t: MTH_SIMD=auto ..."
+  MTH_SIMD=auto "$bin" --gtest_filter="$FILTER" 2>&1 | normalize > "$TMP/$t.auto"
+  if diff -u "$TMP/$t.scalar" "$TMP/$t.auto" > "$TMP/$t.simd.diff"; then
+    echo "[determinism] $t: identical output at scalar and auto dispatch"
+  else
+    echo "[determinism] $t: OUTPUT DIVERGED between SIMD tiers:" >&2
+    cat "$TMP/$t.simd.diff" >&2
     status=1
   fi
 done

@@ -8,6 +8,12 @@
 # gap-proven case. The bench also re-checks the 1-vs-8-thread bit-identical
 # guarantee internally.
 #
+# Also runs the P4 kernel before/after harness (bench_micro_kernels): the
+# f_cr cost-matrix and ΔHPWL kernels must beat their pre-SIMD reference
+# implementations (speedup gate scale-dependent, see the bench header) with
+# bit-identical outputs, and the emitted BENCH_kernels.json must pass the
+# schema check below.
+#
 # Also smokes the mth::trace observability layer: a traced Flow (5) run via
 # mth_flow --trace/--trace-summary, with both JSON artifacts validated against
 # the schema in tools/trace_schema_check.py. Skipped when mth_flow or python3
@@ -42,6 +48,49 @@ if "$BIN"; then
 else
   echo "[perf-smoke] FAILED: sparse objective outside the allowed window" >&2
   exit 1
+fi
+
+# Kernel before/after harness: speedup + identity gates are internal to the
+# bench; the artifact schema is checked here.
+KBIN="$(dirname "$BIN")/bench_micro_kernels"
+if [[ -x "$KBIN" ]]; then
+  echo "[perf-smoke] $KBIN (kernel before/after)"
+  if ! "$KBIN"; then
+    echo "[perf-smoke] FAILED: kernel speedup/identity gate" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null; then
+    python3 - "$TMP/BENCH_kernels.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key, ty in [("source", str), ("scale", (int, float)),
+                ("simd_tier", str), ("min_speedup", (int, float)),
+                ("records", list)]:
+    assert key in doc, f"missing key: {key}"
+    assert isinstance(doc[key], ty), f"bad type for {key}"
+assert doc["source"] == "bench_micro_kernels"
+assert doc["simd_tier"] in ("scalar", "avx2")
+kernels = set()
+for rec in doc["records"]:
+    for key, ty in [("kernel", str), ("testcase", str), ("n", int),
+                    ("before_s", (int, float)), ("after_s", (int, float)),
+                    ("speedup", (int, float)), ("identical", bool),
+                    ("gated", bool)]:
+        assert key in rec, f"missing record key: {key}"
+        assert isinstance(rec[key], ty), f"bad type for record {key}"
+    assert rec["identical"], f"{rec['kernel']}: outputs not identical"
+    kernels.add(rec["kernel"])
+assert {"cost_matrix", "dhpwl"} <= kernels, f"gated kernels missing: {kernels}"
+print(f"[perf-smoke] BENCH_kernels.json schema OK ({len(doc['records'])} records)")
+EOF
+    if [[ $? -ne 0 ]]; then
+      echo "[perf-smoke] FAILED: BENCH_kernels.json violates the schema" >&2
+      exit 1
+    fi
+  fi
+else
+  echo "[perf-smoke] note: bench_micro_kernels not built, skipping kernel gate"
 fi
 
 # Traced-flow smoke: both exporters must produce schema-valid JSON.
