@@ -211,8 +211,11 @@ FlowOutput run_flow(const PreparedCase& pc, FlowId flow,
           if (ro.ctx.exec.num_threads < 0) {
             ro.ctx.exec.num_threads = opt.ctx.exec.num_threads;
           }
+          // solve_rap_sharded delegates to the whole-design solve_rap when
+          // the effective band count is 1 (the default), so the historical
+          // path is unchanged unless --shards / rap.shards asks for bands.
           pc.rap_cache = std::make_shared<const rap::RapResult>(
-              rap::solve_rap(design, ro));
+              rap::solve_rap_sharded(design, ro));
         }
         const rap::RapResult& rr = *pc.rap_cache;
         if (opt.verify) {

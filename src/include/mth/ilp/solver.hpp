@@ -2,10 +2,13 @@
 // Mixed-integer linear programming by LP-based branch & bound.
 //
 // This is the reproduction's stand-in for CPLEX 22.1.1 (DESIGN.md §2):
-// depth-first branch & bound over an lp::Model, most-fractional branching
+// best-first branch & bound over an lp::Model, most-fractional branching
 // with value-directed child ordering, optional caller-supplied rounding
 // heuristic (the RAP module plugs in a capacity-aware repair), incumbent
-// warm starts, relative-gap and wall-clock termination.
+// warm starts, relative-gap and wall-clock termination. Node expansion can
+// run in deterministic fixed-width batches whose LPs solve in parallel
+// (Options::node_batch); pop order and node ids are fully pinned, so the
+// search tree never depends on the thread count.
 
 #include <functional>
 #include <vector>
@@ -47,6 +50,21 @@ struct Options {
   /// CLI flag. Acceptance rate shows up as Result::basis_reuse_hits and the
   /// `lp/warm_hits` trace counter (README "Observability").
   bool warm_basis = true;
+  /// A/B knob — deterministic parallel branch & bound batch width. Each
+  /// round pops up to `node_batch` open nodes in best-first order, solves
+  /// their LP relaxations concurrently on util::ThreadPool (one root-bounds
+  /// model copy per node), then merges results serially in pop order with
+  /// monotonic node ids. The search tree — node count, incumbents, bounds —
+  /// is a pure function of (model, options): the batch width shapes it, the
+  /// thread count only moves wall-clock, so results are bit-identical at any
+  /// MTH_THREADS. 1 = the historical serial best-first loop (in-place bound
+  /// mutation, no model copies). The serial-vs-batch A/B lives in
+  /// `bench_scaling` (BENCH_shard.json; gated by tools/perf_smoke.sh).
+  int node_batch = 1;
+  /// Worker threads for batch node LP solves (-1 = process default, see
+  /// util::ParallelOptions). Never affects results, only wall-clock; ignored
+  /// when node_batch == 1.
+  int num_threads = -1;
 };
 
 struct Result {

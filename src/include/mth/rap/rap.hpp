@@ -67,6 +67,22 @@ struct RapOptions {
   /// independently (`mth_fuzz --certify`; EXPERIMENTS V1). Costs one copy
   /// of the (sparse, pruned) model; off for memory-tight sweeps.
   bool export_certificate = true;
+  /// A/B knob — sharded decomposition (solve_rap_sharded): the floorplan's
+  /// row pairs are cut into this many contiguous horizontal bands, the
+  /// minority-row quota is split across bands proportionally to band cluster
+  /// mass, each band solves as an independent sparse RAP subproblem on the
+  /// deterministic thread pool, and every band boundary is then reconciled
+  /// by a small repair ILP. 1 = whole-design exact solve (solve_rap
+  /// semantics; the default), 0 = auto-size the band count from the cluster
+  /// count, N > 1 = exactly min(N, feasible) bands. Decomposition trades the
+  /// whole-design certificate for per-band certificates aggregated by
+  /// verify::certify_rap. The sharded-vs-whole A/B lives in `bench_scaling`
+  /// (BENCH_shard.json; gated by tools/perf_smoke.sh) and behind
+  /// `mth_flow --shards`.
+  int shards = 1;
+  /// Pairs on each side of a band boundary re-optimized by the boundary
+  /// repair ILP after the band merge (solve_rap_sharded only).
+  int shard_overlap = 2;
   ilp::Options ilp = default_ilp_options();
 
   /// \deprecated Pre-RunContext field layout, kept one release as a
@@ -105,6 +121,28 @@ struct RapCertificate {
   std::vector<double> evict_cost;      ///< y_r objective coefficients
 };
 
+/// One horizontal band of a sharded solve (solve_rap_sharded): the pair
+/// window it owns, the clusters routed to it, its share of the Eq. 5 quota,
+/// and the band subproblem's solver outcome *at band-solve time* — the
+/// boundary repair pass may afterwards move clusters or open pairs across
+/// band edges, which only ever lowers the global objective.
+/// verify::certify_rap checks each band's certificate against the band
+/// window and aggregates the per-band dual bounds into a whole-design
+/// decomposition bound.
+struct RapBand {
+  int pair_lo = 0;            ///< first row pair of the band (inclusive)
+  int pair_hi = 0;            ///< one past the band's last row pair
+  std::vector<int> clusters;  ///< global cluster ids solved in this band
+  int n_min_pairs = 0;        ///< band share of the Eq. 5 quota
+  ilp::Status status = ilp::Status::NoSolution;
+  double objective = 0.0;     ///< band ILP objective (pre-repair)
+  double best_bound = 0.0;    ///< band dual bound (pre-repair)
+  /// Band-local certificate: cand/yvar indices are band-relative (pair 0 ==
+  /// pair_lo), cluster indices follow `clusters` order. Null for bands with
+  /// no clusters (their trivial optimum needs no dual certificate).
+  std::shared_ptr<const RapCertificate> certificate;
+};
+
 struct RapResult {
   RowAssignment assignment;
   std::vector<InstId> minority_cells;
@@ -134,12 +172,35 @@ struct RapResult {
   /// optimality (deadline hit before the first node solved). Shared so
   /// RapResult copies stay cheap.
   std::shared_ptr<const RapCertificate> certificate;
+
+  /// Sharded-solve decomposition record: one entry per band, in ascending
+  /// pair order. Empty for whole-design solves (solve_rap, or a sharded
+  /// call that fell back / collapsed to one band). When non-empty, the
+  /// top-level `certificate` is null and verification goes through the
+  /// per-band certificates instead.
+  std::vector<RapBand> bands;
+  int repair_moves = 0;  ///< boundary repair ILPs that improved the merge
 };
 
 /// Solve the RAP for a design holding an unconstrained initial placement
 /// (mLEF space). Deterministic for fixed options, including across
 /// `num_threads` values.
 RapResult solve_rap(const Design& design, const RapOptions& options = {});
+
+/// Sharded RAP (README "Scaling"): cut the row pairs into
+/// RapOptions::shards contiguous horizontal bands, route each cluster to
+/// the band owning its y centroid, split the minority-row quota across
+/// bands (per-band feasibility floor + largest-remainder proportional to
+/// band cluster mass, in fixed band order), solve the bands as independent
+/// subproblems on util::ThreadPool, merge in fixed band order, then run a
+/// small repair ILP over every band-interface window to reconcile quota
+/// drift and boundary evictions (warm-started with the merged solution, so
+/// repair only ever improves). Delegates to solve_rap when the effective
+/// band count is 1 and falls back to it when the decomposition is
+/// infeasible (a band's cluster mass exceeding its capacity or quota
+/// share). Bit-identical for fixed options at any `num_threads`.
+RapResult solve_rap_sharded(const Design& design,
+                            const RapOptions& options = {});
 
 namespace detail {
 
@@ -214,6 +275,85 @@ std::vector<double> build_cost_matrix(const Design& design,
                                       const std::vector<int>& cluster_of,
                                       int n_clusters, double alpha,
                                       int num_threads);
+
+/// Everything solve_rap derives from the Design before the ILP stage:
+/// minority set, clustering, cluster widths, the full f_cr matrix, eviction
+/// surcharges and the warm-start geometry. Built once by prepare_rap and
+/// consumed whole by solve_prepared (whole-design) or sliced per band by
+/// solve_rap_sharded.
+struct PreparedRap {
+  std::vector<InstId> minority_cells;
+  std::vector<int> cluster_of;  ///< minority index -> cluster
+  int n_clusters = 0;
+  int n_min_pairs = 0;          ///< resolved Eq. 5 quota (auto-sizing applied)
+  int nr = 0;                   ///< floorplan row-pair count
+  Dbu pair_cap = 0;             ///< per-pair width capacity
+  std::vector<Dbu> cluster_w;   ///< Eq. 4 cluster widths (width library)
+  std::vector<double> full_cost;   ///< n_clusters x nr f_cr (row-major)
+  std::vector<double> evict_cost;  ///< per-pair y_r surcharge
+  std::vector<Dbu> member_ys;      ///< minority index -> cell y center
+  std::vector<Dbu> pair_y;         ///< pair -> y center (ascending)
+  double cluster_seconds = 0.0;
+  double cost_seconds = 0.0;
+};
+PreparedRap prepare_rap(const Design& design, const RapOptions& options);
+
+/// One RAP assignment subproblem over a contiguous window of row pairs —
+/// the whole design for solve_rap, one horizontal band or one boundary
+/// repair window for solve_rap_sharded. All indices are window-local:
+/// cluster c in [0, n_clusters), pair r in [0, nr).
+struct SubInstance {
+  int n_clusters = 0;
+  int nr = 0;
+  int n_min_pairs = 0;             ///< Eq. 5 quota for this window
+  std::vector<Dbu> cluster_w;
+  std::vector<double> cost;        ///< n_clusters x nr f_cr slice (row-major)
+  std::vector<Dbu> caps;           ///< per-pair capacity
+  std::vector<double> evict_cost;  ///< per-pair y_r surcharge
+  std::vector<Dbu> member_ys;      ///< member-cell y centers (k-means warm)
+  std::vector<Dbu> pair_y;         ///< pair y centers (k-means warm)
+  /// Optional externally supplied incumbent (e.g. the merged band solution a
+  /// repair window starts from), offered to the ILP alongside the internal
+  /// greedy/k-means warm starts — the solve then never returns a worse
+  /// objective than this point. Use with dense candidates
+  /// (RapOptions::max_cand_rows == 0) so the point is always representable.
+  std::vector<int> warm_pair;      ///< empty == none
+  std::vector<char> warm_open;
+};
+
+/// Solver outcome of one subproblem, window-local indices throughout.
+struct SubSolution {
+  ilp::Status status = ilp::Status::NoSolution;
+  double objective = 0.0;
+  double best_bound = 0.0;
+  double gap = 0.0;
+  std::vector<int> cluster_pair;  ///< local cluster -> local pair
+  std::vector<char> open;         ///< local pair -> opened as minority
+  int num_x_vars = 0;
+  int num_cand_rows = 0;
+  int nodes = 0;
+  int lp_iterations = 0;
+  int basis_reuse_hits = 0;
+  int cand_widenings = 0;
+  double seconds = 0.0;
+  std::shared_ptr<const RapCertificate> certificate;  ///< local indices
+};
+
+/// Candidate pruning + root cut loop + warm starts + branch & bound for one
+/// SubInstance (the extracted ILP stage of the historical solve_rap; the
+/// whole-design path through it is bit-identical to that code). Emits one
+/// `rap/ilp` span. Returns status Infeasible/NoSolution instead of
+/// asserting when no feasible assignment exists — callers decide between
+/// the historical hard-failure contract (solve_rap) and falling back to a
+/// whole-design solve (solve_rap_sharded).
+SubSolution solve_subproblem(const SubInstance& inst,
+                             const RapOptions& options);
+
+/// Whole-design solve over an already-built PreparedRap (the tail of
+/// solve_rap; also the sharded solver's fallback so preparation never runs
+/// twice). Asserts on infeasibility like solve_rap.
+RapResult solve_prepared(const Design& design, const RapOptions& options,
+                         PreparedRap prep);
 
 }  // namespace detail
 

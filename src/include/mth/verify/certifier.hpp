@@ -22,6 +22,18 @@
 //      the bound, never invalidate it. The certified gap is
 //      (objective - bound) / max(|objective|, 1).
 //
+// Sharded results (RapResult::bands non-empty, from rap::solve_rap_sharded)
+// run step 3 once per band: the decomposition record must partition the
+// pairs, clusters and Eq. 5 quota exactly; each band's certificate is
+// checked against its own pair window (band-local indices, band quota as the
+// Eq. 5 rhs) and the per-band dual bounds are summed into a bound on the
+// decomposition optimum. A band with no clusters needs no certificate — its
+// optimum (the quota cheapest eviction surcharges in the window) is
+// recomputed directly. Boundary repair may legitimately push the merged
+// objective *below* the aggregated bound, so the certified gap of a sharded
+// result can be negative and an objective under the bound is not treated as
+// an inconsistency (unlike the whole-design path).
+//
 // The certifier never calls lp::solve or ilp::solve; lp::Model is used as a
 // read-only data container only.
 

@@ -239,40 +239,37 @@ std::vector<double> build_cost_matrix(const Design& design,
                            cluster_of, n_clusters, alpha, num_threads);
 }
 
-}  // namespace detail
-
-RapResult solve_rap(const Design& design, const RapOptions& opt) {
-  trace::SinkScope sink_scope(opt.ctx.sink);
-  MTH_SPAN("rap/solve");
+PreparedRap prepare_rap(const Design& design, const RapOptions& opt) {
   MTH_ASSERT(opt.s > 0.0 && opt.s <= 1.0, "rap: clustering resolution out of (0,1]");
   MTH_ASSERT(opt.alpha >= 0.0 && opt.alpha <= 1.0, "rap: alpha out of [0,1]");
   const Floorplan& fp = design.floorplan;
   const Library& wlib = opt.width_library ? *opt.width_library : *design.library;
-  RapResult res;
+  PreparedRap prep;
 
   // --- minority cells ---------------------------------------------------------
   for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
-    if (design.is_minority(i)) res.minority_cells.push_back(i);
+    if (design.is_minority(i)) prep.minority_cells.push_back(i);
   }
-  const int n_min_c = static_cast<int>(res.minority_cells.size());
+  const int n_min_c = static_cast<int>(prep.minority_cells.size());
   MTH_ASSERT(n_min_c > 0, "rap: no minority cells");
   const int nr = fp.num_pairs();
+  prep.nr = nr;
+  prep.pair_cap = 2 * fp.core().width();
 
   // --- N_minR -------------------------------------------------------------------
   int n_min_pairs = opt.n_min_pairs;
   if (n_min_pairs <= 0) {
     Dbu demand = 0;
-    for (InstId i : res.minority_cells) {
+    for (InstId i : prep.minority_cells) {
       demand += wlib.master(design.netlist.instance(i).master).width;
     }
-    const Dbu pair_cap = 2 * fp.core().width();
     n_min_pairs = std::clamp(
         static_cast<int>(std::ceil(static_cast<double>(demand) /
-                                   (static_cast<double>(pair_cap) *
+                                   (static_cast<double>(prep.pair_cap) *
                                     opt.minority_row_fill))),
         1, nr - 1);
   }
-  res.n_min_pairs = n_min_pairs;
+  prep.n_min_pairs = n_min_pairs;
 
   // --- clustering (§III-B) ------------------------------------------------------
   WallTimer t_cluster;
@@ -286,11 +283,11 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
   // Coarse clustering can be *infeasible*: a cluster whose total (original)
   // width exceeds one pair's capacity cannot satisfy Eqs. 3+4. Refine N_C
   // (double it) until every cluster fits — at worst one cell per cluster.
-  const Dbu pair_capacity_limit = 2 * fp.core().width();
+  const Dbu pair_capacity_limit = prep.pair_cap;
   auto widths_fit = [&](const std::vector<int>& assign, int k) {
     std::vector<Dbu> w(static_cast<std::size_t>(k), 0);
     for (int i = 0; i < n_min_c; ++i) {
-      const InstId inst = res.minority_cells[static_cast<std::size_t>(i)];
+      const InstId inst = prep.minority_cells[static_cast<std::size_t>(i)];
       w[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)])] +=
           wlib.master(design.netlist.instance(inst).master).width;
     }
@@ -302,7 +299,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
 
   std::vector<Point> centers;
   centers.reserve(static_cast<std::size_t>(n_min_c));
-  for (InstId i : res.minority_cells) {
+  for (InstId i : prep.minority_cells) {
     const Instance& inst = design.netlist.instance(i);
     const CellMaster& m = design.master_of(i);
     centers.push_back({inst.pos.x + m.width / 2, inst.pos.y + m.height / 2});
@@ -314,35 +311,81 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
         cluster::KMeansOptions ko;
         ko.max_iterations = opt.kmeans_max_iterations;
         ko.exec = opt.ctx.exec;
-        res.cluster_of = cluster::kmeans_2d(centers, n_clusters, ko).assignment;
+        prep.cluster_of = cluster::kmeans_2d(centers, n_clusters, ko).assignment;
       } else {
         n_clusters = n_min_c;
-        res.cluster_of.resize(static_cast<std::size_t>(n_min_c));
-        std::iota(res.cluster_of.begin(), res.cluster_of.end(), 0);
+        prep.cluster_of.resize(static_cast<std::size_t>(n_min_c));
+        std::iota(prep.cluster_of.begin(), prep.cluster_of.end(), 0);
       }
-      if (n_clusters >= n_min_c || widths_fit(res.cluster_of, n_clusters)) break;
+      if (n_clusters >= n_min_c || widths_fit(prep.cluster_of, n_clusters)) break;
       n_clusters = std::min(n_min_c, 2 * n_clusters);
       MTH_DEBUG << "rap: cluster wider than a pair — refining to N_C="
                 << n_clusters;
     }
   }
-  res.num_clusters = n_clusters;
-  res.cluster_seconds = t_cluster.seconds();
+  prep.n_clusters = n_clusters;
+  prep.cluster_seconds = t_cluster.seconds();
 
   // --- cost matrix f_cr (§III-C, Eq. 2) ------------------------------------------
   WallTimer t_cost;
-  std::vector<Dbu> cluster_w(static_cast<std::size_t>(n_clusters), 0);
+  prep.cluster_w.assign(static_cast<std::size_t>(n_clusters), 0);
   for (int k = 0; k < n_min_c; ++k) {
-    const InstId i = res.minority_cells[static_cast<std::size_t>(k)];
-    cluster_w[static_cast<std::size_t>(res.cluster_of[static_cast<std::size_t>(k)])] +=
+    const InstId i = prep.minority_cells[static_cast<std::size_t>(k)];
+    prep.cluster_w[static_cast<std::size_t>(
+        prep.cluster_of[static_cast<std::size_t>(k)])] +=
         wlib.master(design.netlist.instance(i).master).width;
   }
 
   // Flat row-major f_cr buffer, built on the SIMD kernel layer (see the
   // doc comment on detail::build_cost_matrix).
-  const std::vector<double> full_cost = detail::build_cost_matrix(
-      design, res.minority_cells, res.cluster_of, n_clusters, opt.alpha,
-      opt.ctx.exec.num_threads);
+  prep.full_cost = build_cost_matrix(design, prep.minority_cells,
+                                     prep.cluster_of, n_clusters, opt.alpha,
+                                     opt.ctx.exec.num_threads);
+  prep.cost_seconds = t_cost.seconds();
+
+  // --- warm-start geometry (k-means row seeding in the ILP stage) ---------------
+  prep.member_ys.reserve(static_cast<std::size_t>(n_min_c));
+  for (InstId i : prep.minority_cells) {
+    prep.member_ys.push_back(design.netlist.instance(i).pos.y +
+                             design.master_of(i).height / 2);
+  }
+  prep.pair_y.resize(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    prep.pair_y[static_cast<std::size_t>(r)] = fp.pair_y_center(r);
+  }
+
+  // Optional eviction model: opening pair r as minority displaces its
+  // current majority occupants by at least one pair pitch; charge
+  // alpha * (majority cells in r) * pitch on y_r.
+  prep.evict_cost.assign(static_cast<std::size_t>(nr), 0.0);
+  if (opt.model_eviction) {
+    const Dbu pitch = fp.num_pairs() > 1
+                          ? fp.pair_y_center(1) - fp.pair_y_center(0)
+                          : fp.core().height();
+    for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
+      if (design.is_minority(i)) continue;
+      const Instance& inst = design.netlist.instance(i);
+      const int p = fp.row_at_y(inst.pos.y + design.master_of(i).height / 2) / 2;
+      prep.evict_cost[static_cast<std::size_t>(p)] +=
+          opt.alpha * static_cast<double>(pitch);
+    }
+  }
+  return prep;
+}
+
+SubSolution solve_subproblem(const SubInstance& inst, const RapOptions& opt) {
+  SubSolution sol;
+  const int n_clusters = inst.n_clusters;
+  const int nr = inst.nr;
+  const int n_min_pairs = inst.n_min_pairs;
+  const int n_min_c = static_cast<int>(inst.member_ys.size());
+  const std::vector<Dbu>& cluster_w = inst.cluster_w;
+  const std::vector<Dbu>& caps = inst.caps;
+  const std::vector<double>& evict_cost = inst.evict_cost;
+  MTH_ASSERT(n_clusters > 0 && nr > 0, "rap: empty subproblem");
+  MTH_ASSERT(inst.cost.size() ==
+                 static_cast<std::size_t>(n_clusters) * static_cast<std::size_t>(nr),
+             "rap: subproblem cost slice shape mismatch");
 
   // Candidate rows (§III-C + pruning): with `max_cand_rows` = K in (0, nr)
   // each cluster keeps only its K cheapest rows by f_cr (a cost window
@@ -359,7 +402,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     const int k = cand_k[static_cast<std::size_t>(c)];
     std::vector<int>& cc = cand[static_cast<std::size_t>(c)];
     const double* fc =
-        full_cost.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(nr);
+        inst.cost.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(nr);
     cc.resize(static_cast<std::size_t>(nr));
     std::iota(cc.begin(), cc.end(), 0);
     if (k < nr) {
@@ -378,16 +421,13 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     }
   };
   for (int c = 0; c < n_clusters; ++c) build_cluster_cand(c);
-  res.cost_seconds = t_cost.seconds();
 
   // --- ILP (Eqs. 1–5) --------------------------------------------------------------
   WallTimer t_ilp;
   // Named span (not MTH_SPAN): the ILP section's locals (model, xvar, ...)
   // feed the certificate export below, so there is no natural brace scope to
-  // close at res.ilp_seconds; the extraction tail it also covers is noise.
+  // close at sol.seconds; the extraction tail it also covers is noise.
   trace::Span ilp_span("rap/ilp");
-  const Dbu pair_cap = 2 * fp.core().width();
-  std::vector<Dbu> caps(static_cast<std::size_t>(nr), pair_cap);
 
   auto widen_cluster = [&](int c) {
     const int k = cand_k[static_cast<std::size_t>(c)];
@@ -412,38 +452,23 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       int fail_c = -1;
       std::vector<int> pair_of;
       std::vector<char> open;
-      if (detail::greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs,
-                                nullptr, nullptr, pair_of, open, &fail_c)) {
+      if (greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs,
+                        nullptr, nullptr, pair_of, open, &fail_c)) {
         break;
       }
       if (fail_c < 0 || !widen_cluster(fail_c)) break;
-      ++res.cand_widenings;
+      ++sol.cand_widenings;
       MTH_COUNT("rap/cand_widenings", 1);
       MTH_DEBUG << "rap: widened candidate window of cluster " << fail_c
                 << " to " << cand_k[static_cast<std::size_t>(fail_c)];
     }
   }
 
-  // Optional eviction model: opening pair r as minority displaces its
-  // current majority occupants by at least one pair pitch; charge
-  // alpha * (majority cells in r) * pitch on y_r.
-  std::vector<double> evict_cost(static_cast<std::size_t>(nr), 0.0);
-  if (opt.model_eviction) {
-    const Dbu pitch = fp.num_pairs() > 1
-                          ? fp.pair_y_center(1) - fp.pair_y_center(0)
-                          : fp.core().height();
-    for (InstId i = 0; i < design.netlist.num_instances(); ++i) {
-      if (design.is_minority(i)) continue;
-      const Instance& inst = design.netlist.instance(i);
-      const int p = fp.row_at_y(inst.pos.y + design.master_of(i).height / 2) / 2;
-      evict_cost[static_cast<std::size_t>(p)] +=
-          opt.alpha * static_cast<double>(pitch);
-    }
-  }
-
   // Build + solve, re-entered with widened candidate windows if the pruned
-  // ILP comes back infeasible (the dense formulation never does — the
-  // MTH_ASSERT below preserves the historical contract).
+  // ILP comes back infeasible (the dense formulation never does — callers
+  // enforce their own contract on an infeasible return: solve_prepared
+  // preserves the historical hard failure, the sharded solver falls back to
+  // the whole design).
   std::vector<std::vector<int>> xvar;
   std::vector<int> yvar;
   lp::Model model;
@@ -463,12 +488,12 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     yvar[static_cast<std::size_t>(r)] =
         model.add_var(0.0, 1.0, evict_cost[static_cast<std::size_t>(r)]);
   }
-  res.num_x_vars = 0;
-  res.num_cand_rows = 0;
+  sol.num_x_vars = 0;
+  sol.num_cand_rows = 0;
   for (int c = 0; c < n_clusters; ++c) {
     const int len = static_cast<int>(cand[static_cast<std::size_t>(c)].size());
-    res.num_x_vars += len;
-    res.num_cand_rows = std::max(res.num_cand_rows, len);
+    sol.num_x_vars += len;
+    sol.num_cand_rows = std::max(sol.num_cand_rows, len);
   }
 
   // Eq. 3: unique assignment.
@@ -550,8 +575,8 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       lp::Result rel = lp::solve(
           model, opt.ilp.lp,
           opt.ilp.warm_basis && have_basis ? &round_basis : nullptr);
-      res.lp_iterations += rel.iterations;
-      if (rel.warm_used) ++res.basis_reuse_hits;
+      sol.lp_iterations += rel.iterations;
+      if (rel.warm_used) ++sol.basis_reuse_hits;
       if (rel.status != lp::Status::Optimal) break;
       if (!rel.basis.empty()) {
         round_basis = std::move(rel.basis);
@@ -609,22 +634,20 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       have_warm = true;
     }
   };
+  // An externally supplied incumbent (the sharded repair ILP warm-starts
+  // its boundary windows with the merged band solution) competes on equal
+  // footing: offer_warm keeps whichever point the model scores best.
+  if (!inst.warm_pair.empty()) offer_warm(inst.warm_pair, inst.warm_open);
   {
     std::vector<int> pair_of;
     std::vector<char> open;
-    if (detail::greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+    if (greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
                       nullptr, pair_of, open)) {
       offer_warm(pair_of, open);
     }
     // k-means-style rows: 1-D clusters of minority y mass claim nearest pairs.
-    std::vector<Dbu> ys;
-    ys.reserve(static_cast<std::size_t>(n_min_c));
-    for (InstId i : res.minority_cells) {
-      ys.push_back(design.netlist.instance(i).pos.y +
-                   design.master_of(i).height / 2);
-    }
     const int k = std::min(n_min_pairs, n_min_c);
-    const auto km = cluster::kmeans_1d(ys, k);
+    const auto km = cluster::kmeans_1d(inst.member_ys, k);
     std::vector<char> forced(static_cast<std::size_t>(nr), 0);
     std::vector<char> taken(static_cast<std::size_t>(nr), 0);
     int opened = 0;
@@ -634,7 +657,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
       for (int r = 0; r < nr; ++r) {
         if (taken[static_cast<std::size_t>(r)]) continue;
         const Dbu d = std::llabs(
-            fp.pair_y_center(r) -
+            inst.pair_y[static_cast<std::size_t>(r)] -
             static_cast<Dbu>(km.centroids[static_cast<std::size_t>(c)].second));
         if (d < best_d) {
           best_d = d;
@@ -650,7 +673,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     if (opened == n_min_pairs) {
       std::vector<int> pair_of_km;
       std::vector<char> open_km;
-      if (detail::greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+      if (greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
                         &forced, pair_of_km, open_km)) {
         offer_warm(pair_of_km, open_km);
       }
@@ -664,7 +687,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
           std::vector<double>(static_cast<std::size_t>(nr), 0.0));
       std::vector<int> pair_of_ffd;
       std::vector<char> open_ffd;
-      if (detail::greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs, nullptr,
+      if (greedy_assign(zero_cost, cand, cluster_w, caps, n_min_pairs, nullptr,
                         nullptr, pair_of_ffd, open_ffd)) {
         offer_warm(pair_of_ffd, open_ffd);
       }
@@ -691,7 +714,7 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     }
     std::vector<int> pair_of;
     std::vector<char> open;
-    if (!detail::greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
+    if (!greedy_assign(cost, cand, cluster_w, caps, n_min_pairs, &evict_cost,
                        &forced, pair_of, open)) {
       return false;
     }
@@ -706,31 +729,31 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
         return ints;
       }(), iopt, have_warm ? &warm : nullptr,
       have_basis ? &round_basis : nullptr);
-  res.lp_iterations += ir.lp_iterations;
-  res.basis_reuse_hits += ir.basis_reuse_hits;
+  sol.lp_iterations += ir.lp_iterations;
+  sol.basis_reuse_hits += ir.basis_reuse_hits;
   if (ir.status == ilp::Status::Optimal || ir.status == ilp::Status::Feasible) {
     break;
   }
   // The pruned formulation came back with no feasible point even though the
   // greedy pre-pass placed every cluster — interacting capacity constraints
   // the repair pass cannot see. Widen every widenable window and rebuild;
-  // once everything is dense this is the historical dense-formulation
-  // contract violation.
+  // once everything is dense the infeasibility is genuine and the caller
+  // decides what to do with it.
   bool widened = false;
   for (int c = 0; c < n_clusters; ++c) widened = widen_cluster(c) || widened;
-  MTH_ASSERT(widened,
-             "rap: ILP found no feasible assignment (capacity too tight?)");
-  ++res.cand_widenings;
+  if (!widened) break;
+  ++sol.cand_widenings;
   MTH_COUNT("rap/cand_widenings", 1);
   MTH_DEBUG << "rap: pruned ILP " << ilp::to_string(ir.status)
             << "; widened all candidate windows, rebuilding";
   }  // candidate-window retry loop
 
-  res.ilp_seconds = t_ilp.seconds();
-  res.status = ir.status;
-  res.objective = ir.objective;
-  res.gap = ir.gap();
-  res.ilp_nodes = ir.nodes;
+  sol.seconds = t_ilp.seconds();
+  sol.status = ir.status;
+  sol.objective = ir.objective;
+  sol.best_bound = ir.best_bound;
+  sol.gap = ir.gap();
+  sol.nodes = ir.nodes;
 
   // Dual-certificate export: the model kept here is the exact root model
   // branch & bound searched (ilp::solve took its own copy and only its copy
@@ -745,32 +768,97 @@ RapResult solve_rap(const Design& design, const RapOptions& opt) {
     cert->yvar = yvar;
     cert->cluster_w = cluster_w;
     cert->evict_cost = evict_cost;
-    res.certificate = std::move(cert);
+    sol.certificate = std::move(cert);
   }
 
-  // --- extract ----------------------------------------------------------------
-  res.assignment = RowAssignment::all_majority(nr);
-  for (int r = 0; r < nr; ++r) {
-    res.assignment.pair_is_minority[static_cast<std::size_t>(r)] =
-        ir.x[static_cast<std::size_t>(yvar[static_cast<std::size_t>(r)])] > 0.5;
-  }
-  res.cluster_pair.assign(static_cast<std::size_t>(n_clusters), -1);
-  for (int c = 0; c < n_clusters; ++c) {
-    for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
-      if (ir.x[static_cast<std::size_t>(xvar[static_cast<std::size_t>(c)][j])] > 0.5) {
-        res.cluster_pair[static_cast<std::size_t>(c)] =
-            cand[static_cast<std::size_t>(c)][j];
-        break;
-      }
+  // --- extract (subproblem-local indices) -------------------------------------
+  if (ir.status == ilp::Status::Optimal || ir.status == ilp::Status::Feasible) {
+    sol.open.assign(static_cast<std::size_t>(nr), 0);
+    for (int r = 0; r < nr; ++r) {
+      sol.open[static_cast<std::size_t>(r)] =
+          ir.x[static_cast<std::size_t>(yvar[static_cast<std::size_t>(r)])] > 0.5
+              ? 1
+              : 0;
     }
-    MTH_ASSERT(res.cluster_pair[static_cast<std::size_t>(c)] >= 0,
-               "rap: cluster left unassigned");
+    sol.cluster_pair.assign(static_cast<std::size_t>(n_clusters), -1);
+    for (int c = 0; c < n_clusters; ++c) {
+      for (std::size_t j = 0; j < cand[static_cast<std::size_t>(c)].size(); ++j) {
+        if (ir.x[static_cast<std::size_t>(
+                xvar[static_cast<std::size_t>(c)][j])] > 0.5) {
+          sol.cluster_pair[static_cast<std::size_t>(c)] =
+              cand[static_cast<std::size_t>(c)][j];
+          break;
+        }
+      }
+      MTH_ASSERT(sol.cluster_pair[static_cast<std::size_t>(c)] >= 0,
+                 "rap: cluster left unassigned");
+    }
   }
   MTH_DEBUG << "rap: " << n_clusters << " clusters x " << nr << " pairs, N_minR="
             << n_min_pairs << ", ilp " << ilp::to_string(ir.status) << " obj "
-            << ir.objective << " nodes " << ir.nodes << " in " << res.ilp_seconds
+            << ir.objective << " nodes " << ir.nodes << " in " << sol.seconds
             << "s";
+  return sol;
+}
+
+RapResult solve_prepared(const Design& design, const RapOptions& opt,
+                         PreparedRap prep) {
+  (void)design;
+  const int nr = prep.nr;
+  const int n_clusters = prep.n_clusters;
+  RapResult res;
+  res.minority_cells = std::move(prep.minority_cells);
+  res.cluster_of = std::move(prep.cluster_of);
+  res.num_clusters = n_clusters;
+  res.n_min_pairs = prep.n_min_pairs;
+  res.cluster_seconds = prep.cluster_seconds;
+  res.cost_seconds = prep.cost_seconds;
+
+  SubInstance si;
+  si.n_clusters = n_clusters;
+  si.nr = nr;
+  si.n_min_pairs = prep.n_min_pairs;
+  si.cluster_w = std::move(prep.cluster_w);
+  si.cost = std::move(prep.full_cost);
+  si.caps.assign(static_cast<std::size_t>(nr), prep.pair_cap);
+  si.evict_cost = std::move(prep.evict_cost);
+  si.member_ys = std::move(prep.member_ys);
+  si.pair_y = std::move(prep.pair_y);
+
+  SubSolution ss = solve_subproblem(si, opt);
+  // Historical dense-formulation contract: the whole-design instance is
+  // feasible by construction of N_minR, so an infeasible return means the
+  // capacity model itself is broken.
+  MTH_ASSERT(ss.status == ilp::Status::Optimal ||
+                 ss.status == ilp::Status::Feasible,
+             "rap: ILP found no feasible assignment (capacity too tight?)");
+  res.status = ss.status;
+  res.objective = ss.objective;
+  res.gap = ss.gap;
+  res.ilp_nodes = ss.nodes;
+  res.lp_iterations = ss.lp_iterations;
+  res.basis_reuse_hits = ss.basis_reuse_hits;
+  res.cand_widenings += ss.cand_widenings;
+  res.num_x_vars = ss.num_x_vars;
+  res.num_cand_rows = ss.num_cand_rows;
+  res.ilp_seconds = ss.seconds;
+  res.certificate = std::move(ss.certificate);
+  res.assignment = RowAssignment::all_majority(nr);
+  for (int r = 0; r < nr; ++r) {
+    res.assignment.pair_is_minority[static_cast<std::size_t>(r)] =
+        ss.open[static_cast<std::size_t>(r)] != 0;
+  }
+  res.cluster_pair = std::move(ss.cluster_pair);
   return res;
+}
+
+}  // namespace detail
+
+RapResult solve_rap(const Design& design, const RapOptions& opt) {
+  trace::SinkScope sink_scope(opt.ctx.sink);
+  MTH_SPAN("rap/solve");
+  detail::PreparedRap prep = detail::prepare_rap(design, opt);
+  return detail::solve_prepared(design, opt, std::move(prep));
 }
 
 }  // namespace mth::rap

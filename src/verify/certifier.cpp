@@ -251,291 +251,410 @@ CertifyReport certify_rap(const Design& design, const rap::RapResult& result,
             " != recomputed " + std::to_string(objective));
   }
 
-  // --- dual certificate ------------------------------------------------------
-  const rap::RapCertificate* cert = result.certificate.get();
-  if (cert == nullptr) {
-    if (options.require_certificate) problem("no dual certificate attached");
-    return rep;
-  }
-  const lp::Model& model = cert->model;
-  const int num_vars = model.num_vars();
-  const int num_rows = model.num_rows();
+  // --- dual certificate(s) ---------------------------------------------------
+  // One certificate check over a window view: the certificate claims to be
+  // the root ILP for `view_clusters` (global ids, certificate-local order;
+  // null == identity over all clusters) on pairs [pair_lo, pair_lo + n_pairs)
+  // with Eq. 5 quota `quota`. Whole-design solves use the identity view;
+  // sharded solves run one view per band and sum the dual bounds. Returns
+  // false (with problems appended) when the certificate is malformed;
+  // `bound_out` receives the clamped-dual Lagrangian bound on success.
+  auto check_certificate = [&](const rap::RapCertificate& cert,
+                               const std::vector<int>* view_clusters,
+                               int pair_lo, int n_pairs, int quota,
+                               double* bound_out) {
+    const int n_cl = view_clusters != nullptr
+                         ? static_cast<int>(view_clusters->size())
+                         : n_clusters;
+    auto global_cluster = [&](int lc) {
+      return view_clusters != nullptr
+                 ? (*view_clusters)[static_cast<std::size_t>(lc)]
+                 : lc;
+    };
+    const lp::Model& model = cert.model;
+    const int num_vars = model.num_vars();
+    const int num_rows = model.num_rows();
 
-  // Index maps: model var -> (cluster, candidate pair) / pair indicator.
-  bool shape_ok =
-      cert->xvar.size() == static_cast<std::size_t>(n_clusters) &&
-      cert->cand.size() == static_cast<std::size_t>(n_clusters) &&
-      cert->yvar.size() == static_cast<std::size_t>(nr) &&
-      cert->duals.size() == static_cast<std::size_t>(num_rows);
-  std::vector<int> var_cluster(static_cast<std::size_t>(num_vars), -1);
-  std::vector<int> var_pair(static_cast<std::size_t>(num_vars), -1);
-  std::vector<char> var_is_y(static_cast<std::size_t>(num_vars), 0);
-  int mapped = 0;
-  if (shape_ok) {
-    for (int c = 0; c < n_clusters && shape_ok; ++c) {
-      const auto& xs = cert->xvar[static_cast<std::size_t>(c)];
-      const auto& cs = cert->cand[static_cast<std::size_t>(c)];
-      if (xs.size() != cs.size()) shape_ok = false;
-      for (std::size_t j = 0; j < xs.size() && shape_ok; ++j) {
-        const int v = xs[j];
-        if (v < 0 || v >= num_vars || var_cluster[static_cast<std::size_t>(v)] >= 0 ||
-            cs[j] < 0 || cs[j] >= nr) {
+    // Index maps: model var -> (local cluster, local candidate pair) / local
+    // pair indicator.
+    bool shape_ok = cert.xvar.size() == static_cast<std::size_t>(n_cl) &&
+                    cert.cand.size() == static_cast<std::size_t>(n_cl) &&
+                    cert.yvar.size() == static_cast<std::size_t>(n_pairs) &&
+                    cert.duals.size() == static_cast<std::size_t>(num_rows);
+    std::vector<int> var_cluster(static_cast<std::size_t>(num_vars), -1);
+    std::vector<int> var_pair(static_cast<std::size_t>(num_vars), -1);
+    std::vector<char> var_is_y(static_cast<std::size_t>(num_vars), 0);
+    int mapped = 0;
+    if (shape_ok) {
+      for (int c = 0; c < n_cl && shape_ok; ++c) {
+        const auto& xs = cert.xvar[static_cast<std::size_t>(c)];
+        const auto& cs = cert.cand[static_cast<std::size_t>(c)];
+        if (xs.size() != cs.size()) shape_ok = false;
+        for (std::size_t j = 0; j < xs.size() && shape_ok; ++j) {
+          const int v = xs[j];
+          if (v < 0 || v >= num_vars ||
+              var_cluster[static_cast<std::size_t>(v)] >= 0 || cs[j] < 0 ||
+              cs[j] >= n_pairs) {
+            shape_ok = false;
+            break;
+          }
+          var_cluster[static_cast<std::size_t>(v)] = c;
+          var_pair[static_cast<std::size_t>(v)] = cs[j];
+          ++mapped;
+        }
+      }
+      for (int r = 0; r < n_pairs && shape_ok; ++r) {
+        const int v = cert.yvar[static_cast<std::size_t>(r)];
+        if (v < 0 || v >= num_vars ||
+            var_cluster[static_cast<std::size_t>(v)] >= 0 ||
+            var_is_y[static_cast<std::size_t>(v)]) {
           shape_ok = false;
           break;
         }
-        var_cluster[static_cast<std::size_t>(v)] = c;
-        var_pair[static_cast<std::size_t>(v)] = cs[j];
+        var_is_y[static_cast<std::size_t>(v)] = 1;
+        var_pair[static_cast<std::size_t>(v)] = r;
         ++mapped;
       }
+      if (mapped != num_vars) shape_ok = false;
     }
-    for (int r = 0; r < nr && shape_ok; ++r) {
-      const int v = cert->yvar[static_cast<std::size_t>(r)];
-      if (v < 0 || v >= num_vars || var_cluster[static_cast<std::size_t>(v)] >= 0 ||
-          var_is_y[static_cast<std::size_t>(v)]) {
-        shape_ok = false;
-        break;
-      }
-      var_is_y[static_cast<std::size_t>(v)] = 1;
-      var_pair[static_cast<std::size_t>(v)] = r;
-      ++mapped;
+    if (!shape_ok) {
+      problem("certificate index maps malformed");
+      return false;
     }
-    if (mapped != num_vars) shape_ok = false;
-  }
-  if (!shape_ok) {
-    problem("certificate index maps malformed");
-    return rep;
-  }
 
-  // Certificate cluster data must agree with our recomputation.
-  bool cert_ok = true;
-  auto cert_problem = [&](const std::string& msg) {
-    problem(msg);
-    cert_ok = false;
-  };
-  if (cert->cluster_w != cluster_w) {
-    cert_problem("certificate cluster widths differ from recomputed widths");
-  }
-  // Variable bounds and objective coefficients (the recomputed f_cr / evict).
-  for (int v = 0; v < num_vars && cert_ok; ++v) {
-    if (model.lb(v) != 0.0 || model.ub(v) != 1.0) {
-      cert_problem("model var " + std::to_string(v) + " not a 0/1 relaxation");
-    }
-  }
-  for (int c = 0; c < n_clusters && cert_ok; ++c) {
-    const auto& xs = cert->xvar[static_cast<std::size_t>(c)];
-    const auto& cs = cert->cand[static_cast<std::size_t>(c)];
-    for (std::size_t j = 0; j < xs.size(); ++j) {
-      const double f = cluster_cost_on_pair(c, cs[j]);
-      if (!close_rel(model.obj(xs[j]), f, options.obj_rel_tol)) {
-        cert_problem("model cost of cluster " + std::to_string(c) + " on pair " +
-                     std::to_string(cs[j]) + " is " +
-                     std::to_string(model.obj(xs[j])) + ", recomputed " +
-                     std::to_string(f));
-        break;
+    // Certificate cluster data must agree with our recomputation.
+    bool cert_ok = true;
+    auto cert_problem = [&](const std::string& msg) {
+      problem(msg);
+      cert_ok = false;
+    };
+    for (int c = 0; c < n_cl && cert_ok; ++c) {
+      if (cert.cluster_w.size() != static_cast<std::size_t>(n_cl) ||
+          cert.cluster_w[static_cast<std::size_t>(c)] !=
+              cluster_w[static_cast<std::size_t>(global_cluster(c))]) {
+        cert_problem("certificate cluster widths differ from recomputed widths");
       }
     }
-  }
-  for (int r = 0; r < nr && cert_ok; ++r) {
-    if (!close_rel(model.obj(cert->yvar[static_cast<std::size_t>(r)]),
-                   evict[static_cast<std::size_t>(r)], options.obj_rel_tol)) {
-      cert_problem("model eviction cost of pair " + std::to_string(r) +
-                   " differs from recomputed");
+    // Variable bounds and objective coefficients (the recomputed f_cr /
+    // evict).
+    for (int v = 0; v < num_vars && cert_ok; ++v) {
+      if (model.lb(v) != 0.0 || model.ub(v) != 1.0) {
+        cert_problem("model var " + std::to_string(v) + " not a 0/1 relaxation");
+      }
     }
-  }
-
-  // Structural row classification: each row must be a well-formed Eq. 3, 4,
-  // 5 row or a valid x_cr <= y_r linking cut (valid for every integral
-  // point: y_r = 0 closes the pair via Eq. 4, forcing x_cr = 0).
-  std::vector<char> eq3_seen(static_cast<std::size_t>(n_clusters), 0);
-  std::vector<char> eq4_seen(static_cast<std::size_t>(nr), 0);
-  int eq5_seen = 0;
-  for (int ri = 0; ri < num_rows && cert_ok; ++ri) {
-    const lp::Row& row = model.row(ri);
-    const std::size_t sz = row.entries.size();
-    const bool leads_with_y =
-        sz > 0 && var_is_y[static_cast<std::size_t>(row.entries[0].var)];
-    if (row.sense == lp::Sense::EQ && row.rhs == 1.0 && !leads_with_y) {
-      // Eq. 3: all x vars of one cluster, coefficient 1.
-      int c = -1;
-      bool good = sz > 0;
-      for (const lp::RowEntry& e : row.entries) {
-        const int ec = var_cluster[static_cast<std::size_t>(e.var)];
-        if (e.coef != 1.0 || ec < 0 || (c >= 0 && ec != c)) {
-          good = false;
-          break;
-        }
-        c = ec;
-      }
-      if (!good || c < 0 ||
-          sz != cert->xvar[static_cast<std::size_t>(c)].size() ||
-          eq3_seen[static_cast<std::size_t>(c)]) {
-        cert_problem("row " + std::to_string(ri) + " is a malformed Eq. 3 row");
-        break;
-      }
-      eq3_seen[static_cast<std::size_t>(c)] = 1;
-    } else if (row.sense == lp::Sense::EQ && leads_with_y &&
-               row.rhs == static_cast<double>(result.n_min_pairs)) {
-      // Eq. 5: all y vars, coefficient 1.
-      bool good = sz == static_cast<std::size_t>(nr);
-      for (const lp::RowEntry& e : row.entries) {
-        if (e.coef != 1.0 || !var_is_y[static_cast<std::size_t>(e.var)]) {
-          good = false;
+    for (int c = 0; c < n_cl && cert_ok; ++c) {
+      const auto& xs = cert.xvar[static_cast<std::size_t>(c)];
+      const auto& cs = cert.cand[static_cast<std::size_t>(c)];
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        const double f = cluster_cost_on_pair(global_cluster(c), pair_lo + cs[j]);
+        if (!close_rel(model.obj(xs[j]), f, options.obj_rel_tol)) {
+          cert_problem("model cost of cluster " +
+                       std::to_string(global_cluster(c)) + " on pair " +
+                       std::to_string(pair_lo + cs[j]) + " is " +
+                       std::to_string(model.obj(xs[j])) + ", recomputed " +
+                       std::to_string(f));
           break;
         }
       }
-      if (!good || eq5_seen++ > 0) {
-        cert_problem("row " + std::to_string(ri) + " is a malformed Eq. 5 row");
-        break;
+    }
+    for (int r = 0; r < n_pairs && cert_ok; ++r) {
+      if (!close_rel(model.obj(cert.yvar[static_cast<std::size_t>(r)]),
+                     evict[static_cast<std::size_t>(pair_lo + r)],
+                     options.obj_rel_tol)) {
+        cert_problem("model eviction cost of pair " +
+                     std::to_string(pair_lo + r) + " differs from recomputed");
       }
-    } else if (row.sense == lp::Sense::LE && row.rhs == 0.0 && sz == 2 &&
-               var_is_y[static_cast<std::size_t>(row.entries[1].var)] &&
-               !var_is_y[static_cast<std::size_t>(row.entries[0].var)] &&
-               row.entries[0].coef == 1.0 && row.entries[1].coef == -1.0) {
-      // Linking cut x_cr <= y_r (an Eq. 4 row with one x entry never has
-      // these coefficients: its y coefficient is the negated capacity).
-      if (var_pair[static_cast<std::size_t>(row.entries[0].var)] !=
-          var_pair[static_cast<std::size_t>(row.entries[1].var)]) {
-        cert_problem("row " + std::to_string(ri) + " is a malformed cut");
-        break;
-      }
-    } else if (row.sense == lp::Sense::LE && row.rhs == 0.0) {
-      // Eq. 4: w(c) on each x of pair r, -capacity on y_r.
-      int r = -1;
-      int y_entries = 0;
-      bool good = sz > 0;
-      for (const lp::RowEntry& e : row.entries) {
-        if (var_is_y[static_cast<std::size_t>(e.var)]) {
-          ++y_entries;
-          r = var_pair[static_cast<std::size_t>(e.var)];
-          if (e.coef != -static_cast<double>(pair_cap)) good = false;
-        } else {
-          const int c = var_cluster[static_cast<std::size_t>(e.var)];
-          if (e.coef !=
-              static_cast<double>(cluster_w[static_cast<std::size_t>(c)])) {
+    }
+
+    // Structural row classification: each row must be a well-formed Eq. 3, 4,
+    // 5 row or a valid x_cr <= y_r linking cut (valid for every integral
+    // point: y_r = 0 closes the pair via Eq. 4, forcing x_cr = 0).
+    std::vector<char> eq3_seen(static_cast<std::size_t>(n_cl), 0);
+    std::vector<char> eq4_seen(static_cast<std::size_t>(n_pairs), 0);
+    int eq5_seen = 0;
+    for (int ri = 0; ri < num_rows && cert_ok; ++ri) {
+      const lp::Row& row = model.row(ri);
+      const std::size_t sz = row.entries.size();
+      const bool leads_with_y =
+          sz > 0 && var_is_y[static_cast<std::size_t>(row.entries[0].var)];
+      if (row.sense == lp::Sense::EQ && row.rhs == 1.0 && !leads_with_y) {
+        // Eq. 3: all x vars of one cluster, coefficient 1.
+        int c = -1;
+        bool good = sz > 0;
+        for (const lp::RowEntry& e : row.entries) {
+          const int ec = var_cluster[static_cast<std::size_t>(e.var)];
+          if (e.coef != 1.0 || ec < 0 || (c >= 0 && ec != c)) {
             good = false;
+            break;
+          }
+          c = ec;
+        }
+        if (!good || c < 0 ||
+            sz != cert.xvar[static_cast<std::size_t>(c)].size() ||
+            eq3_seen[static_cast<std::size_t>(c)]) {
+          cert_problem("row " + std::to_string(ri) + " is a malformed Eq. 3 row");
+          break;
+        }
+        eq3_seen[static_cast<std::size_t>(c)] = 1;
+      } else if (row.sense == lp::Sense::EQ && leads_with_y &&
+                 row.rhs == static_cast<double>(quota)) {
+        // Eq. 5: all y vars, coefficient 1.
+        bool good = sz == static_cast<std::size_t>(n_pairs);
+        for (const lp::RowEntry& e : row.entries) {
+          if (e.coef != 1.0 || !var_is_y[static_cast<std::size_t>(e.var)]) {
+            good = false;
+            break;
           }
         }
-      }
-      if (!good || y_entries != 1 || eq4_seen[static_cast<std::size_t>(r)]) {
-        cert_problem("row " + std::to_string(ri) + " is a malformed Eq. 4 row");
+        if (!good || eq5_seen++ > 0) {
+          cert_problem("row " + std::to_string(ri) + " is a malformed Eq. 5 row");
+          break;
+        }
+      } else if (row.sense == lp::Sense::LE && row.rhs == 0.0 && sz == 2 &&
+                 var_is_y[static_cast<std::size_t>(row.entries[1].var)] &&
+                 !var_is_y[static_cast<std::size_t>(row.entries[0].var)] &&
+                 row.entries[0].coef == 1.0 && row.entries[1].coef == -1.0) {
+        // Linking cut x_cr <= y_r (an Eq. 4 row with one x entry never has
+        // these coefficients: its y coefficient is the negated capacity).
+        if (var_pair[static_cast<std::size_t>(row.entries[0].var)] !=
+            var_pair[static_cast<std::size_t>(row.entries[1].var)]) {
+          cert_problem("row " + std::to_string(ri) + " is a malformed cut");
+          break;
+        }
+      } else if (row.sense == lp::Sense::LE && row.rhs == 0.0) {
+        // Eq. 4: w(c) on each x of pair r, -capacity on y_r.
+        int r = -1;
+        int y_entries = 0;
+        bool good = sz > 0;
+        for (const lp::RowEntry& e : row.entries) {
+          if (var_is_y[static_cast<std::size_t>(e.var)]) {
+            ++y_entries;
+            r = var_pair[static_cast<std::size_t>(e.var)];
+            if (e.coef != -static_cast<double>(pair_cap)) good = false;
+          } else {
+            const int c = var_cluster[static_cast<std::size_t>(e.var)];
+            if (e.coef != static_cast<double>(cluster_w[static_cast<std::size_t>(
+                              global_cluster(c))])) {
+              good = false;
+            }
+          }
+        }
+        if (!good || y_entries != 1 || eq4_seen[static_cast<std::size_t>(r)]) {
+          cert_problem("row " + std::to_string(ri) + " is a malformed Eq. 4 row");
+          break;
+        }
+        // Every x entry must price this row's pair.
+        for (const lp::RowEntry& e : row.entries) {
+          if (!var_is_y[static_cast<std::size_t>(e.var)] &&
+              var_pair[static_cast<std::size_t>(e.var)] != r) {
+            cert_problem("row " + std::to_string(ri) +
+                         " mixes pairs in an Eq. 4 row");
+            break;
+          }
+        }
+        if (!cert_ok) break;
+        eq4_seen[static_cast<std::size_t>(r)] = 1;
+      } else {
+        cert_problem("row " + std::to_string(ri) + " unrecognized");
         break;
       }
-      // Every x entry must price this row's pair.
-      for (const lp::RowEntry& e : row.entries) {
-        if (!var_is_y[static_cast<std::size_t>(e.var)] &&
-            var_pair[static_cast<std::size_t>(e.var)] != r) {
-          cert_problem("row " + std::to_string(ri) +
-                       " mixes pairs in an Eq. 4 row");
+    }
+    if (cert_ok) {
+      for (int c = 0; c < n_cl; ++c) {
+        if (!eq3_seen[static_cast<std::size_t>(c)]) {
+          cert_problem("Eq. 3 row missing for cluster " +
+                       std::to_string(global_cluster(c)));
           break;
         }
       }
-      if (!cert_ok) break;
-      eq4_seen[static_cast<std::size_t>(r)] = 1;
-    } else {
-      cert_problem("row " + std::to_string(ri) + " unrecognized");
-      break;
-    }
-  }
-  if (cert_ok) {
-    for (int c = 0; c < n_clusters; ++c) {
-      if (!eq3_seen[static_cast<std::size_t>(c)]) {
-        cert_problem("Eq. 3 row missing for cluster " + std::to_string(c));
-        break;
+      for (int r = 0; cert_ok && r < n_pairs; ++r) {
+        if (!eq4_seen[static_cast<std::size_t>(r)]) {
+          cert_problem("Eq. 4 row missing for pair " +
+                       std::to_string(pair_lo + r));
+          break;
+        }
       }
+      if (cert_ok && eq5_seen != 1) cert_problem("Eq. 5 row missing");
     }
-    for (int r = 0; cert_ok && r < nr; ++r) {
-      if (!eq4_seen[static_cast<std::size_t>(r)]) {
-        cert_problem("Eq. 4 row missing for pair " + std::to_string(r));
-        break;
-      }
-    }
-    if (cert_ok && eq5_seen != 1) cert_problem("Eq. 5 row missing");
-  }
-  rep.certificate_ok = cert_ok;
-  if (!cert_ok) return rep;
+    if (!cert_ok) return false;
 
-  // --- Lagrangian dual bound -------------------------------------------------
-  // Two valid lower bounds from the same (clamped) duals; report the max.
-  //
-  // (a) Full dualization: y'b + min_{0<=x<=1} (c - A'y)'x over the box —
-  //     equals the root LP optimum at an exact optimal basis.
-  // (b) Partial dualization: dualize only the LE rows (Eq. 4 + linking
-  //     cuts; their duals clamp to <= 0) and keep the Eq. 3 / Eq. 5
-  //     structure in the subproblem, which then decomposes into "cheapest
-  //     candidate per cluster" + "N_minR cheapest pair indicators".
-  //     Dominates (a) for any fixed multipliers (it is the max over the
-  //     dropped equality duals); at exact LP-optimal duals the two
-  //     coincide (the subproblem polytope is integral — Geoffrion), so
-  //     (b)'s value is robustness against dual noise, not extra strength.
-  //
-  // Clamping first means numerical noise in the duals can only weaken the
-  // bounds, never invalidate them.
-  std::vector<double> y = cert->duals;
-  double box_bound = 0.0;
-  for (int ri = 0; ri < num_rows; ++ri) {
-    const lp::Row& row = model.row(ri);
-    double& yi = y[static_cast<std::size_t>(ri)];
-    if (row.sense == lp::Sense::LE) yi = std::min(yi, 0.0);
-    if (row.sense == lp::Sense::GE) yi = std::max(yi, 0.0);
-    box_bound += yi * row.rhs;
-  }
-  std::vector<double> reduced(static_cast<std::size_t>(num_vars), 0.0);
-  std::vector<double> le_reduced(static_cast<std::size_t>(num_vars), 0.0);
-  for (int v = 0; v < num_vars; ++v) {
-    reduced[static_cast<std::size_t>(v)] = model.obj(v);
-    le_reduced[static_cast<std::size_t>(v)] = model.obj(v);
-  }
-  double le_bound = 0.0;
-  for (int ri = 0; ri < num_rows; ++ri) {
-    const lp::Row& row = model.row(ri);
-    const double yi = y[static_cast<std::size_t>(ri)];
-    if (yi == 0.0) continue;
-    for (const lp::RowEntry& e : row.entries) {
-      reduced[static_cast<std::size_t>(e.var)] -= yi * e.coef;
-      if (row.sense == lp::Sense::LE) {
-        le_reduced[static_cast<std::size_t>(e.var)] -= yi * e.coef;
+    // --- Lagrangian dual bound -----------------------------------------------
+    // Two valid lower bounds from the same (clamped) duals; report the max.
+    //
+    // (a) Full dualization: y'b + min_{0<=x<=1} (c - A'y)'x over the box —
+    //     equals the root LP optimum at an exact optimal basis.
+    // (b) Partial dualization: dualize only the LE rows (Eq. 4 + linking
+    //     cuts; their duals clamp to <= 0) and keep the Eq. 3 / Eq. 5
+    //     structure in the subproblem, which then decomposes into "cheapest
+    //     candidate per cluster" + "quota cheapest pair indicators".
+    //     Dominates (a) for any fixed multipliers (it is the max over the
+    //     dropped equality duals); at exact LP-optimal duals the two
+    //     coincide (the subproblem polytope is integral — Geoffrion), so
+    //     (b)'s value is robustness against dual noise, not extra strength.
+    //
+    // Clamping first means numerical noise in the duals can only weaken the
+    // bounds, never invalidate them.
+    std::vector<double> y = cert.duals;
+    double box_bound = 0.0;
+    for (int ri = 0; ri < num_rows; ++ri) {
+      const lp::Row& row = model.row(ri);
+      double& yi = y[static_cast<std::size_t>(ri)];
+      if (row.sense == lp::Sense::LE) yi = std::min(yi, 0.0);
+      if (row.sense == lp::Sense::GE) yi = std::max(yi, 0.0);
+      box_bound += yi * row.rhs;
+    }
+    std::vector<double> reduced(static_cast<std::size_t>(num_vars), 0.0);
+    std::vector<double> le_reduced(static_cast<std::size_t>(num_vars), 0.0);
+    for (int v = 0; v < num_vars; ++v) {
+      reduced[static_cast<std::size_t>(v)] = model.obj(v);
+      le_reduced[static_cast<std::size_t>(v)] = model.obj(v);
+    }
+    double le_bound = 0.0;
+    for (int ri = 0; ri < num_rows; ++ri) {
+      const lp::Row& row = model.row(ri);
+      const double yi = y[static_cast<std::size_t>(ri)];
+      if (yi == 0.0) continue;
+      for (const lp::RowEntry& e : row.entries) {
+        reduced[static_cast<std::size_t>(e.var)] -= yi * e.coef;
+        if (row.sense == lp::Sense::LE) {
+          le_reduced[static_cast<std::size_t>(e.var)] -= yi * e.coef;
+        }
+      }
+      if (row.sense == lp::Sense::LE) le_bound += yi * row.rhs;
+    }
+    for (int v = 0; v < num_vars; ++v) {
+      const double d = reduced[static_cast<std::size_t>(v)];
+      // Bounds are verified 0/1 above; the general form stays for clarity.
+      box_bound += d > 0.0 ? d * model.lb(v) : d * model.ub(v);
+    }
+    for (int c = 0; c < n_cl; ++c) {
+      double best = std::numeric_limits<double>::max();
+      for (const int v : cert.xvar[static_cast<std::size_t>(c)]) {
+        best = std::min(best, le_reduced[static_cast<std::size_t>(v)]);
+      }
+      le_bound += best;
+    }
+    double bound = box_bound;
+    if (quota >= 1 && quota <= n_pairs) {
+      std::vector<double> ycosts;
+      ycosts.reserve(static_cast<std::size_t>(n_pairs));
+      for (int r = 0; r < n_pairs; ++r) {
+        ycosts.push_back(le_reduced[static_cast<std::size_t>(
+            cert.yvar[static_cast<std::size_t>(r)])]);
+      }
+      std::nth_element(ycosts.begin(), ycosts.begin() + (quota - 1),
+                       ycosts.end());
+      for (int k = 0; k < quota; ++k) {
+        le_bound += ycosts[static_cast<std::size_t>(k)];
+      }
+      bound = std::max(bound, le_bound);
+    }
+    *bound_out = bound;
+    return true;
+  };
+
+  if (result.bands.empty()) {
+    // --- whole-design certificate --------------------------------------------
+    const rap::RapCertificate* cert = result.certificate.get();
+    if (cert == nullptr) {
+      if (options.require_certificate) problem("no dual certificate attached");
+      return rep;
+    }
+    double bound = 0.0;
+    rep.certificate_ok =
+        check_certificate(*cert, nullptr, 0, nr, result.n_min_pairs, &bound);
+    if (!rep.certificate_ok) return rep;
+    rep.bound_available = true;
+    rep.dual_bound = bound;
+    if (bound > result.objective + 1e-6 * std::max(1.0, std::abs(bound))) {
+      problem("dual bound " + std::to_string(bound) +
+              " exceeds the reported objective " +
+              std::to_string(result.objective) + " — certificate inconsistent");
+      rep.bound_available = false;
+      return rep;
+    }
+  } else {
+    // --- sharded: per-band certificates, aggregated --------------------------
+    // The bands must partition the pairs, the clusters and the Eq. 5 quota;
+    // each band's certificate is checked against its own window and the
+    // per-band dual bounds sum to a bound on the *decomposition* optimum.
+    // Boundary repair may afterwards beat that optimum, so — unlike the
+    // whole-design path — an objective below the aggregated bound is not an
+    // inconsistency and the certified gap may be negative.
+    int covered = 0;
+    int quota_sum = 0;
+    std::vector<char> routed(static_cast<std::size_t>(n_clusters), 0);
+    bool partition_ok = true;
+    for (const rap::RapBand& band : result.bands) {
+      if (band.pair_lo != covered || band.pair_hi <= band.pair_lo ||
+          band.pair_hi > nr) {
+        partition_ok = false;
+        break;
+      }
+      covered = band.pair_hi;
+      quota_sum += band.n_min_pairs;
+      for (int c : band.clusters) {
+        if (c < 0 || c >= n_clusters || routed[static_cast<std::size_t>(c)]) {
+          partition_ok = false;
+          break;
+        }
+        routed[static_cast<std::size_t>(c)] = 1;
+      }
+      if (!partition_ok) break;
+    }
+    if (partition_ok) {
+      for (int c = 0; c < n_clusters; ++c) {
+        if (!routed[static_cast<std::size_t>(c)]) partition_ok = false;
       }
     }
-    if (row.sense == lp::Sense::LE) le_bound += yi * row.rhs;
-  }
-  for (int v = 0; v < num_vars; ++v) {
-    const double d = reduced[static_cast<std::size_t>(v)];
-    // Bounds are verified 0/1 above; the general form stays for clarity.
-    box_bound += d > 0.0 ? d * model.lb(v) : d * model.ub(v);
-  }
-  for (int c = 0; c < n_clusters; ++c) {
-    double best = std::numeric_limits<double>::max();
-    for (const int v : cert->xvar[static_cast<std::size_t>(c)]) {
-      best = std::min(best, le_reduced[static_cast<std::size_t>(v)]);
+    if (!partition_ok || covered != nr || quota_sum != result.n_min_pairs) {
+      problem("band decomposition does not partition pairs/clusters/quota");
+      rep.certificate_ok = false;
+      return rep;
     }
-    le_bound += best;
-  }
-  double bound = box_bound;
-  if (result.n_min_pairs >= 1 && result.n_min_pairs <= nr) {
-    std::vector<double> ycosts;
-    ycosts.reserve(static_cast<std::size_t>(nr));
-    for (int r = 0; r < nr; ++r) {
-      ycosts.push_back(le_reduced[static_cast<std::size_t>(
-          cert->yvar[static_cast<std::size_t>(r)])]);
+
+    double bound_total = 0.0;
+    bool all_ok = true;
+    for (std::size_t b = 0; b < result.bands.size(); ++b) {
+      const rap::RapBand& band = result.bands[b];
+      const int n_pairs = band.pair_hi - band.pair_lo;
+      if (band.clusters.empty()) {
+        // Trivial band: its optimum is the quota cheapest eviction
+        // surcharges in the window — recomputed here, no dual needed.
+        std::vector<double> ecosts(
+            evict.begin() + band.pair_lo, evict.begin() + band.pair_hi);
+        const int q = std::clamp(band.n_min_pairs, 0, n_pairs);
+        if (q > 0) {
+          std::nth_element(ecosts.begin(), ecosts.begin() + (q - 1),
+                           ecosts.end());
+          for (int k = 0; k < q; ++k) {
+            bound_total += ecosts[static_cast<std::size_t>(k)];
+          }
+        }
+        continue;
+      }
+      if (band.certificate == nullptr) {
+        if (options.require_certificate) {
+          problem("band " + std::to_string(b) + " has no dual certificate");
+        }
+        return rep;  // no aggregate bound without every band's certificate
+      }
+      double band_bound = 0.0;
+      if (!check_certificate(*band.certificate, &band.clusters, band.pair_lo,
+                             n_pairs, band.n_min_pairs, &band_bound)) {
+        all_ok = false;
+        break;
+      }
+      bound_total += band_bound;
     }
-    std::nth_element(ycosts.begin(),
-                     ycosts.begin() + (result.n_min_pairs - 1), ycosts.end());
-    for (int k = 0; k < result.n_min_pairs; ++k) {
-      le_bound += ycosts[static_cast<std::size_t>(k)];
-    }
-    bound = std::max(bound, le_bound);
+    rep.certificate_ok = all_ok;
+    if (!all_ok) return rep;
+    rep.bound_available = true;
+    rep.dual_bound = bound_total;
   }
-  rep.bound_available = true;
-  rep.dual_bound = bound;
-  if (bound > result.objective + 1e-6 * std::max(1.0, std::abs(bound))) {
-    problem("dual bound " + std::to_string(bound) +
-            " exceeds the reported objective " +
-            std::to_string(result.objective) + " — certificate inconsistent");
-    rep.bound_available = false;
-    return rep;
-  }
+
   const double denom = std::max(std::abs(result.objective), 1.0);
-  rep.certified_gap = (result.objective - bound) / denom;
+  rep.certified_gap = (result.objective - rep.dual_bound) / denom;
   rep.gap_ok = rep.certified_gap <= rep.gap_window_used;
   if (!rep.gap_ok && result.status == ilp::Status::Optimal) {
     problem("certified gap " + std::to_string(rep.certified_gap) +

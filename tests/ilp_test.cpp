@@ -333,5 +333,72 @@ TEST_P(GapProperty, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GapProperty, ::testing::Range(1, 7));
 
+// Property: the batch-parallel node loop (node_batch > 1) proves the same
+// optimum as the historical serial loop, and its result is bit-identical
+// across worker counts — the pop order, node ids and incumbent updates all
+// happen in the serial merge, so threads only change who computes each LP.
+class BatchedBnb : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchedBnb, BitIdenticalAcrossThreadsAndMatchesSerial) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977u);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int nc = 4 + static_cast<int>(rng.uniform_int(0, 1));
+    const int nr = 4;
+    std::vector<double> w(static_cast<std::size_t>(nc));
+    for (double& v : w) v = rng.uniform_real(1, 5);
+    lp::Model m;
+    std::vector<int> xs;
+    for (int c = 0; c < nc; ++c) {
+      for (int r = 0; r < nr; ++r) {
+        xs.push_back(m.add_var(0, 1, rng.uniform_real(0, 10)));
+      }
+    }
+    std::vector<int> y(static_cast<std::size_t>(nr));
+    for (int r = 0; r < nr; ++r) y[static_cast<std::size_t>(r)] = m.add_var(0, 1, 0);
+    for (int c = 0; c < nc; ++c) {
+      std::vector<lp::RowEntry> row;
+      for (int r = 0; r < nr; ++r) {
+        row.push_back({xs[static_cast<std::size_t>(c * nr + r)], 1.0});
+      }
+      m.add_row(lp::Sense::EQ, 1.0, row);
+    }
+    for (int r = 0; r < nr; ++r) {
+      std::vector<lp::RowEntry> row;
+      for (int c = 0; c < nc; ++c) {
+        row.push_back({xs[static_cast<std::size_t>(c * nr + r)],
+                       w[static_cast<std::size_t>(c)]});
+      }
+      row.push_back({y[static_cast<std::size_t>(r)], -7.0});
+      m.add_row(lp::Sense::LE, 0.0, row);
+    }
+    {
+      std::vector<lp::RowEntry> row;
+      for (int r = 0; r < nr; ++r) row.push_back({y[static_cast<std::size_t>(r)], 1.0});
+      m.add_row(lp::Sense::EQ, 2.0, row);
+    }
+
+    const Result serial = solve(m, all_vars(m));
+    Options batch;
+    batch.node_batch = 8;
+    batch.num_threads = 1;
+    const Result b1 = solve(m, all_vars(m), batch);
+    batch.num_threads = 8;
+    const Result b8 = solve(m, all_vars(m), batch);
+
+    ASSERT_EQ(b1.status, b8.status);
+    EXPECT_EQ(b1.objective, b8.objective);
+    EXPECT_EQ(b1.x, b8.x);
+    EXPECT_EQ(b1.nodes, b8.nodes);
+    EXPECT_EQ(b1.lp_iterations, b8.lp_iterations);
+
+    ASSERT_EQ(serial.status, b1.status);
+    if (serial.status == Status::Optimal) {
+      EXPECT_NEAR(serial.objective, b1.objective, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedBnb, ::testing::Range(1, 6));
+
 }  // namespace
 }  // namespace mth::ilp

@@ -455,5 +455,98 @@ INSTANTIATE_TEST_SUITE_P(Grid, RapSweep,
                          ::testing::Combine(::testing::Values(0.1, 0.2, 0.5),
                                             ::testing::Values(0.25, 0.75)));
 
+// --- sharded solve (solve_rap_sharded) ---------------------------------------
+
+// Eq. 3/4/5 feasibility of a RapResult against the prepared case, shared by
+// the sharded-path tests below.
+void expect_rap_feasible(const flows::PreparedCase& pc, const RapResult& r) {
+  EXPECT_EQ(r.assignment.num_minority(), pc.n_min_pairs);
+  ASSERT_EQ(static_cast<int>(r.cluster_pair.size()), r.num_clusters);
+  std::vector<Dbu> load(
+      static_cast<std::size_t>(pc.initial.floorplan.num_pairs()), 0);
+  for (std::size_t k = 0; k < r.minority_cells.size(); ++k) {
+    const int c = r.cluster_of[k];
+    const int p = r.cluster_pair[static_cast<std::size_t>(c)];
+    ASSERT_GE(p, 0);
+    EXPECT_TRUE(r.assignment.is_minority_pair(p));
+    load[static_cast<std::size_t>(p)] +=
+        pc.original_library
+            ->master(pc.initial.netlist.instance(r.minority_cells[k]).master)
+            .width;
+  }
+  const Dbu cap = 2 * pc.initial.floorplan.core().width();
+  for (Dbu v : load) EXPECT_LE(v, cap);
+}
+
+TEST(RapShard, OneBandMatchesWholeDesignExactly) {
+  const auto& pc = small_case();
+  RapOptions ro = base_options(pc);
+  ro.shards = 1;
+  const RapResult w = solve_rap(pc.initial, ro);
+  const RapResult s = solve_rap_sharded(pc.initial, ro);
+  EXPECT_TRUE(s.bands.empty());
+  EXPECT_EQ(s.assignment.pair_is_minority, w.assignment.pair_is_minority);
+  EXPECT_EQ(s.cluster_pair, w.cluster_pair);
+  EXPECT_EQ(s.objective, w.objective);  // bit-identical, not just close
+}
+
+TEST(RapShard, BitIdenticalAcrossThreadCountsAndRepeats) {
+  const auto& pc = small_case();
+  for (int bands : {2, 4, 8}) {
+    RapOptions ro = base_options(pc);
+    ro.shards = bands;
+    ro.ctx.exec.num_threads = 1;
+    const RapResult a = solve_rap_sharded(pc.initial, ro);
+    const RapResult a2 = solve_rap_sharded(pc.initial, ro);
+    ro.ctx.exec.num_threads = 8;
+    const RapResult b = solve_rap_sharded(pc.initial, ro);
+    EXPECT_EQ(a.assignment.pair_is_minority, b.assignment.pair_is_minority)
+        << "bands=" << bands;
+    EXPECT_EQ(a.cluster_pair, b.cluster_pair) << "bands=" << bands;
+    EXPECT_EQ(a.objective, b.objective) << "bands=" << bands;
+    EXPECT_EQ(a.repair_moves, b.repair_moves) << "bands=" << bands;
+    EXPECT_EQ(a.ilp_nodes, b.ilp_nodes) << "bands=" << bands;
+    EXPECT_EQ(a.assignment.pair_is_minority, a2.assignment.pair_is_minority);
+    EXPECT_EQ(a.objective, a2.objective);
+  }
+}
+
+TEST(RapShard, FeasibleAndNearWholeDesignAtEveryBandCount) {
+  const auto& pc = small_case();
+  RapOptions ro = base_options(pc);
+  const RapResult w = solve_rap(pc.initial, ro);
+  for (int bands : {2, 4, 8}) {
+    ro.shards = bands;
+    const RapResult s = solve_rap_sharded(pc.initial, ro);
+    expect_rap_feasible(pc, s);
+    if (!s.bands.empty()) {
+      // Decomposition record covers the whole floorplan and quota exactly.
+      int quota = 0;
+      int covered = 0;
+      std::size_t routed = 0;
+      for (const RapBand& band : s.bands) {
+        EXPECT_EQ(band.pair_lo, covered);
+        covered = band.pair_hi;
+        quota += band.n_min_pairs;
+        routed += band.clusters.size();
+      }
+      EXPECT_EQ(covered, pc.initial.floorplan.num_pairs());
+      EXPECT_EQ(quota, pc.n_min_pairs);
+      EXPECT_EQ(static_cast<int>(routed), s.num_clusters);
+    }
+    // The restriction can only cost objective; it must stay within the
+    // default certified optimality window of the whole-design solve.
+    const double denom = std::max(std::abs(w.objective), 1.0);
+    EXPECT_GE(s.objective, w.objective - 1e-6 * denom) << "bands=" << bands;
+    EXPECT_LE((s.objective - w.objective) / denom, 0.15) << "bands=" << bands;
+    // Stats aggregate across bands (not last-band-only): at least one
+    // assignment variable per cluster must be accounted for in the totals.
+    if (s.bands.size() > 1) {
+      EXPECT_GE(s.num_x_vars, s.num_clusters);
+      EXPECT_GT(s.lp_iterations, 0);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mth::rap

@@ -261,5 +261,82 @@ TEST(FlowVerify, FullFlowPassesWithVerifyOn) {
   EXPECT_NO_THROW(flows::run_flow(pc, flows::FlowId::F5, opt, true));
 }
 
+// --- sharded certificates ----------------------------------------------------
+
+rap::RapOptions sharded_options() {
+  rap::RapOptions ro = rap_options(small_case());
+  ro.shards = 4;
+  return ro;
+}
+
+/// Shared sharded solve (solved once; tests mutate copies).
+const rap::RapResult& sharded_solved() {
+  static const rap::RapResult r =
+      rap::solve_rap_sharded(small_case().initial, sharded_options());
+  return r;
+}
+
+TEST(Certifier, CertifiesShardedResultViaBandAggregation) {
+  const rap::RapResult& r = sharded_solved();
+  ASSERT_FALSE(r.bands.empty());
+  CertifyOptions co;
+  co.require_certificate = true;
+  const CertifyReport rep =
+      certify_rap(small_case().initial, r, sharded_options(), co);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_TRUE(rep.objective_ok);
+  EXPECT_TRUE(rep.certificate_ok);
+  EXPECT_TRUE(rep.bound_available);
+  // The aggregated decomposition bound must still bracket the objective
+  // from below within the window; repair may push the gap negative.
+  EXPECT_LE(rep.certified_gap, rep.gap_window_used);
+}
+
+TEST(Certifier, FlagsTamperedShardedObjective) {
+  rap::RapResult r = sharded_solved();
+  ASSERT_FALSE(r.bands.empty());
+  r.objective = r.objective * 1.5 + 100.0;
+  const CertifyReport rep =
+      certify_rap(small_case().initial, r, sharded_options());
+  EXPECT_FALSE(rep.objective_ok);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Certifier, FlagsBrokenBandQuotaPartition) {
+  rap::RapResult r = sharded_solved();
+  ASSERT_FALSE(r.bands.empty());
+  r.bands[0].n_min_pairs += 1;  // quota sum no longer equals N_minR
+  const CertifyReport rep =
+      certify_rap(small_case().initial, r, sharded_options());
+  EXPECT_FALSE(rep.certificate_ok);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Certifier, FlagsBandCertificateQuotaMismatch) {
+  rap::RapResult r = sharded_solved();
+  ASSERT_GE(r.bands.size(), 2u);
+  // Keep the quota sum intact but shift one pair between two certified
+  // bands: each band's Eq. 5 row rhs now disagrees with its claimed quota.
+  std::size_t a = r.bands.size(), b = r.bands.size();
+  for (std::size_t i = 0; i < r.bands.size(); ++i) {
+    if (r.bands[i].certificate != nullptr && r.bands[i].n_min_pairs >= 1) {
+      if (a == r.bands.size()) {
+        a = i;
+      } else if (b == r.bands.size()) {
+        b = i;
+      }
+    }
+  }
+  ASSERT_LT(a, r.bands.size());
+  ASSERT_LT(b, r.bands.size());
+  r.bands[a].n_min_pairs += 1;
+  r.bands[b].n_min_pairs -= 1;
+  const CertifyReport rep =
+      certify_rap(small_case().initial, r, sharded_options());
+  EXPECT_FALSE(rep.certificate_ok);
+  EXPECT_FALSE(rep.ok());
+}
+
 }  // namespace
 }  // namespace mth::verify

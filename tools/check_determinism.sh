@@ -109,6 +109,51 @@ else
   echo "[determinism] note: mth_flow or python3 unavailable, skipping trace summary check"
 fi
 
+# Sharded-RAP band sweep: the decomposition must be as thread-invariant as
+# the whole-design path at every band count. Flow (5) with --shards 2/4/8 at
+# MTH_THREADS=1 and 8, canonical trace summaries diffed per band count.
+# The scale is picked per band count so that (a) banding actually engages —
+# more bands need more row pairs before the per-band quota floors fit under
+# N_minR — and (b) every band subproblem proves Optimal well inside the ILP
+# deadline. Both matter: a fallback runs the whole-design solve, and any
+# deadline-limited (status Feasible) solve explores however many nodes fit
+# in the wall-clock budget, which is not comparable across runs at all (the
+# same caveat the parallel bench records as deadline_limited). Each leg must
+# contain the rap/shard span so an engagement regression cannot silently
+# reduce the sweep to identical whole-design runs.
+if [[ -x "$BUILD_DIR/tools/mth_flow" ]] && command -v python3 > /dev/null; then
+  SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  for b in 2 4 8; do
+    scale=0.1
+    [[ "$b" -eq 8 ]] && scale=0.15
+    echo "[determinism] mth_flow --shards $b (scale $scale) trace summary: MTH_THREADS=1 vs 8 ..."
+    for n in 1 8; do
+      MTH_THREADS=$n "$BUILD_DIR/tools/mth_flow" --testcase aes_300 --flow 5 \
+        --scale "$scale" --ilp-seconds 5 --shards "$b" \
+        --trace-summary "$TMP/shard.$b.$n.json" > /dev/null
+      python3 "$SCRIPT_DIR/trace_schema_check.py" \
+        --registry "$SCRIPT_DIR/trace_spans.json" \
+        --canonical "$TMP/shard.$b.$n.json" > "$TMP/shard.$b.$n.canon"
+    done
+    if diff -u "$TMP/shard.$b.1.canon" "$TMP/shard.$b.8.canon" \
+         > "$TMP/shard.$b.diff"; then
+      echo "[determinism] --shards $b: canonical form identical at 1 and 8 threads"
+    else
+      echo "[determinism] --shards $b: DIVERGED between thread counts:" >&2
+      cat "$TMP/shard.$b.diff" >&2
+      status=1
+    fi
+    if grep -q "rap/shard" "$TMP/shard.$b.1.canon"; then
+      echo "[determinism] --shards $b: banding engaged (rap/shard span present)"
+    else
+      echo "[determinism] --shards $b: banding DID NOT ENGAGE at scale $scale" >&2
+      status=1
+    fi
+  done
+else
+  echo "[determinism] note: mth_flow or python3 unavailable, skipping band sweep"
+fi
+
 if [[ $status -eq 0 ]]; then
   echo "[determinism] OK"
 else

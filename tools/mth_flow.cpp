@@ -43,6 +43,8 @@ void usage(std::ostream& os) {
         "  --s <f>             clustering resolution (default 0.2)\n"
         "  --alpha <f>         RAP cost weight (default 0.75)\n"
         "  --ilp-seconds <f>   ILP deadline (default 20)\n"
+        "  --shards <n>        sharded RAP band count: 1 whole-design\n"
+        "                      (default), 0 auto-size, N>1 bands\n"
         "  --route             run routing + STA (Table V metrics)\n"
         "  --height-swap       netlist-stage track-height optimization\n"
         "  --pattern <p>       evenly|alternating|bottom|center instead of\n"
@@ -113,6 +115,8 @@ int main(int argc, char** argv) {
       opt.rap.alpha = std::atof(next());
     } else if (a == "--ilp-seconds") {
       opt.rap.ilp.time_limit_s = std::atof(next());
+    } else if (a == "--shards") {
+      opt.rap.shards = std::atoi(next());
     } else if (a == "--route") {
       route = true;
     } else if (a == "--height-swap") {

@@ -16,6 +16,11 @@
 //      agree with A within the MTH_SPARSE_GAP window when both are Optimal
 //   D  sparse,                     cold simplex, 1 thread  — warm vs cold:
 //      objectives within twice the ILP gap tolerance when both are Optimal
+//   E  sharded (solve_rap_sharded, band count derived from the scenario
+//      seed or fixed with --shard-bands), 1 thread — objective within the
+//      decomposition window of A and never below A's proven optimum beyond
+//      the gap tolerance; certified through the per-band aggregation path
+//   F  sharded, 8 threads — must be bit-identical to E
 //
 // Each result is graded by verify::certify_rap (feasibility, objective
 // recomputation, LP-dual gap bound); A's assignment is then pushed through
@@ -131,8 +136,10 @@ bool results_identical(const rap::RapResult& a, const rap::RapResult& b,
 }
 
 /// One full differential iteration. Appends human-readable findings.
+/// `shard_bands` > 0 pins the sharded legs' band count; 0 derives 2..4 from
+/// the scenario seed so replays stay pure functions of (seed_base, iter).
 void run_iteration(const Scenario& sc, double sparse_gap_window,
-                   std::vector<std::string>& findings) {
+                   int shard_bands, std::vector<std::string>& findings) {
   auto finding = [&](const std::string& msg) { findings.push_back(msg); };
   const flows::FlowOptions opt = scenario_options(sc);
   const flows::PreparedCase pc = flows::prepare_case(*sc.spec, opt);
@@ -226,6 +233,45 @@ void run_iteration(const Scenario& sc, double sparse_gap_window,
     }
   }
 
+  // E/F: sharded decomposition. Bit-identical across thread counts, the
+  // merged objective within the decomposition window of A (and never below
+  // A's proven optimum beyond the solver's own gap tolerance — band repair
+  // can improve on the decomposition bound but not on a whole-design proof),
+  // and the result certified through the per-band aggregation path.
+  {
+    rap::RapOptions ro_e = ro_a;
+    ro_e.shards =
+        shard_bands > 0 ? shard_bands : 2 + static_cast<int>(sc.seed % 3);
+    rap::RapOptions ro_f = ro_e;
+    ro_f.ctx.exec.num_threads = 8;
+    const rap::RapResult rr_e = rap::solve_rap_sharded(pc.initial, ro_e);
+    const rap::RapResult rr_f = rap::solve_rap_sharded(pc.initial, ro_f);
+    if (!results_identical(rr_e, rr_f, &why)) {
+      finding("sharded threads 1 vs 8: " + why);
+    }
+    // Micro instances split a quota of 2-3 pairs across bands, so the
+    // decomposition loss reaches ~0.25 even with boundary repair (measured;
+    // it shrinks to ~0.03 at bench scale, where bench_scaling gates it at
+    // 0.15). The fuzz window only catches decomposition blowups.
+    if (rr_a.status == ilp::Status::Optimal &&
+        rr_e.status == ilp::Status::Optimal) {
+      const double hi = std::max(std::abs(rr_a.objective), 1.0);
+      const double dev = (rr_e.objective - rr_a.objective) / hi;
+      if (dev > 0.5 + 1e-9) {
+        finding("sharded objective " + std::to_string(rr_e.objective) +
+                " above whole-design " + std::to_string(rr_a.objective) +
+                " beyond the decomposition window");
+      }
+      if (dev < -rel_gap - 1e-9) {
+        finding("sharded objective " + std::to_string(rr_e.objective) +
+                " below the proven whole-design optimum " +
+                std::to_string(rr_a.objective));
+      }
+    }
+    const auto rep = verify::certify_rap(pc.initial, rr_e, ro_e, co);
+    if (!rep.ok()) finding("certify E/sharded: " + rep.summary());
+  }
+
   // Oracle-graded legalization of A's assignment through both legalizers,
   // then the mixed-space finalize.
   {
@@ -269,7 +315,8 @@ void run_iteration(const Scenario& sc, double sparse_gap_window,
 /// Shrink a failing scenario by halving the cell count while it still fails,
 /// then dump the smallest failing instance.
 void dump_repro(const Scenario& first_fail, std::uint64_t seed_base, int iter,
-                double sparse_gap_window, const std::string& out_dir,
+                double sparse_gap_window, int shard_bands,
+                const std::string& out_dir,
                 const std::vector<std::string>& findings) {
   Scenario smallest = first_fail;
   std::vector<std::string> last_findings = findings;
@@ -277,7 +324,7 @@ void dump_repro(const Scenario& first_fail, std::uint64_t seed_base, int iter,
     Scenario sc = derive_scenario(seed_base, iter, cells);
     std::vector<std::string> f;
     try {
-      run_iteration(sc, sparse_gap_window, f);
+      run_iteration(sc, sparse_gap_window, shard_bands, f);
     } catch (const Error& e) {
       f.push_back(std::string("exception: ") + e.what());
     }
@@ -356,6 +403,8 @@ void usage(std::ostream& os) {
         "                    failing iteration with --start N --iters 1)\n"
         "  --seed-base <n>   scenario derivation base seed (default 1)\n"
         "  --out <dir>       repro dump directory (default fuzz_repro)\n"
+        "  --shard-bands <n> pin the sharded legs' band count (default 0:\n"
+        "                    derive 2..4 from the scenario seed)\n"
         "  --certify         certify the bundled Table II cases instead\n"
         "  --scale <f>       certify-mode cell-count scale (default "
         "MTH_SCALE or 0.04)\n"
@@ -370,6 +419,7 @@ int main(int argc, char** argv) {
   int start = 0;
   std::uint64_t seed_base = 1;
   std::string out_dir = "fuzz_repro";
+  int shard_bands = 0;
   bool certify = false;
   double scale = env_double("MTH_SCALE", 0.04);
 
@@ -391,6 +441,8 @@ int main(int argc, char** argv) {
       seed_base = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (a == "--out") {
       out_dir = next();
+    } else if (a == "--shard-bands") {
+      shard_bands = std::atoi(next());
     } else if (a == "--certify") {
       certify = true;
     } else if (a == "--scale") {
@@ -418,7 +470,7 @@ int main(int argc, char** argv) {
       const Scenario sc = derive_scenario(seed_base, iter, 0);
       std::vector<std::string> findings;
       try {
-        run_iteration(sc, sparse_gap_window, findings);
+        run_iteration(sc, sparse_gap_window, shard_bands, findings);
       } catch (const Error& e) {
         findings.push_back(std::string("exception: ") + e.what());
       }
@@ -428,7 +480,8 @@ int main(int argc, char** argv) {
                   << " @" << sc.target_cells << " cells, seed " << sc.seed
                   << "): " << findings.size() << " finding(s)\n";
         for (const auto& f : findings) std::cerr << "  - " << f << "\n";
-        dump_repro(sc, seed_base, iter, sparse_gap_window, out_dir, findings);
+        dump_repro(sc, seed_base, iter, sparse_gap_window, shard_bands,
+                   out_dir, findings);
       } else if ((iter + 1) % 25 == 0) {
         std::cout << "fuzz: " << (iter + 1) << "/" << iters
                   << " iterations clean\n";

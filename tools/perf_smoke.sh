@@ -14,6 +14,13 @@
 # bit-identical outputs, and the emitted BENCH_kernels.json must pass the
 # schema check below.
 #
+# Also runs the P5 sharded-RAP harness (bench_scaling) on one testcase at a
+# scale where banding engages: the sharded objective must stay within the
+# decomposition window of the whole-design solve, the merged result must
+# certify through the per-band aggregation path and be bit-identical across
+# thread counts (all gates internal to the bench), and the emitted
+# BENCH_shard.json must pass the schema check below.
+#
 # Also smokes the mth::trace observability layer: a traced Flow (5) run via
 # mth_flow --trace/--trace-summary, with both JSON artifacts validated against
 # the schema in tools/trace_schema_check.py. Skipped when mth_flow or python3
@@ -91,6 +98,58 @@ EOF
   fi
 else
   echo "[perf-smoke] note: bench_micro_kernels not built, skipping kernel gate"
+fi
+
+# Sharded-RAP harness: window/identity/certification gates are internal to
+# the bench; the artifact schema is checked here. One case at scale 0.1 —
+# large enough that 4 bands engage (smaller instances fall back whole-design
+# by design), small enough to stay in smoke-test territory.
+SBIN="$(dirname "$BIN")/bench_scaling"
+if [[ -x "$SBIN" ]]; then
+  echo "[perf-smoke] $SBIN (sharded RAP vs whole-design)"
+  if ! MTH_SCALE=0.1 MTH_CASES=1 MTH_ILP_SECONDS=10 MTH_SHARDS=4 "$SBIN"; then
+    echo "[perf-smoke] FAILED: sharded window/identity/certification gate" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null; then
+    python3 - "$TMP/BENCH_shard.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key, ty in [("source", str), ("scale", (int, float)),
+                ("threads", int), ("records", list)]:
+    assert key in doc, f"missing key: {key}"
+    assert isinstance(doc[key], ty), f"bad type for {key}"
+assert doc["source"] == "bench_scaling"
+assert doc["records"], "no records"
+for rec in doc["records"]:
+    for key, ty in [("testcase", str), ("minority_cells", int),
+                    ("clusters", int), ("pairs", int), ("bands", int),
+                    ("repair_moves", int), ("whole_status", str),
+                    ("shard_status", str), ("whole_s", (int, float)),
+                    ("shard_s", (int, float)), ("speedup", (int, float)),
+                    ("whole_obj", (int, float)), ("shard_obj", (int, float)),
+                    ("rel_dev", (int, float)), ("dev_ok", bool),
+                    ("identical", bool), ("certified", bool),
+                    ("certified_gap", (int, float)), ("whole_nodes", int),
+                    ("shard_nodes", int), ("node_batch", int),
+                    ("batch_s", (int, float)),
+                    ("batch_speedup", (int, float))]:
+        assert key in rec, f"missing record key: {key}"
+        assert isinstance(rec[key], ty), f"bad type for record {key}"
+    assert rec["dev_ok"], f"{rec['testcase']}: objective window violated"
+    assert rec["identical"], f"{rec['testcase']}: not thread-identical"
+    assert rec["certified"], f"{rec['testcase']}: certification failed"
+    assert rec["bands"] > 1, f"{rec['testcase']}: banding did not engage"
+print(f"[perf-smoke] BENCH_shard.json schema OK ({len(doc['records'])} records)")
+EOF
+    if [[ $? -ne 0 ]]; then
+      echo "[perf-smoke] FAILED: BENCH_shard.json violates the schema" >&2
+      exit 1
+    fi
+  fi
+else
+  echo "[perf-smoke] note: bench_scaling not built, skipping sharded gate"
 fi
 
 # Traced-flow smoke: both exporters must produce schema-valid JSON.
