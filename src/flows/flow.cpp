@@ -116,6 +116,67 @@ PreparedCase prepare_case(const synth::TestcaseSpec& spec,
   return pc;
 }
 
+PreparedCase prepare_external_case(Design design, const FlowOptions& opt) {
+  trace::SinkScope sink_scope(opt.ctx.sink);
+  MTH_SPAN("flow/prepare");
+  WallTimer timer;
+  MTH_ASSERT(design.library != nullptr,
+             "prepare_external: design carries no library");
+  design.netlist.check(*design.library);
+
+  PreparedCase pc;
+  pc.spec.circuit = design.name;
+  pc.spec.short_name = design.name;
+  pc.spec.clock_ps = static_cast<int>(design.clock_ps);
+  pc.spec.num_cells = design.netlist.num_instances();
+  pc.spec.num_nets = design.netlist.num_nets();
+  pc.original_library = design.library;
+  pc.initial = std::move(design);
+  pc.minority_cells = pc.initial.num_minority();
+  if (pc.spec.num_cells > 0) {
+    pc.spec.pct_75t =
+        100.0 * pc.minority_cells / static_cast<double>(pc.spec.num_cells);
+  }
+
+  // mLEF transform and uniform floorplan, exactly as for synthetic cases.
+  pc.mlef = std::make_shared<MlefTransform>(pc.original_library,
+                                            minority_area_fraction(pc.initial));
+  pc.mlef->to_mlef(pc.initial);
+  place::build_uniform_floorplan(pc.initial, opt.utilization, opt.aspect_ratio);
+
+  {
+    // The ingested placement stands in for the global placer: legalize the
+    // DEF positions onto the fresh uniform floorplan with minimum
+    // displacement, then refine as prepare_case does.
+    MTH_SPAN("place/global");
+    const auto ar = legal::abacus_legalize(pc.initial, {});
+    MTH_ASSERT(ar.success, "prepare_external: initial legalization failed");
+  }
+  {
+    MTH_SPAN("place/refine");
+    rap::RcLegalOptions dp_opt = opt.rclegal;
+    dp_opt.enforce_assignment = false;
+    const auto dp_res = rap::rc_legalize(
+        pc.initial,
+        RowAssignment::all_majority(pc.initial.floorplan.num_pairs()), dp_opt);
+    MTH_ASSERT(dp_res.success, "prepare_external: detailed refinement failed");
+    legal::swap_polish_converge(pc.initial);
+  }
+
+  if (opt.verify) verify_stage(pc.initial, "prepare", nullptr, false);
+
+  pc.initial_positions = placement_snapshot(pc.initial);
+  pc.n_min_pairs = baseline::auto_minority_pairs(
+      pc.initial, *pc.original_library, opt.baseline.minority_row_fill);
+  pc.prepare_seconds = timer.seconds();
+  MTH_INFO << pc.spec.short_name << ": prepared external design, "
+           << pc.initial.netlist.num_instances() << " cells ("
+           << pc.minority_cells << " minority), "
+           << pc.initial.floorplan.num_pairs() << " row pairs, N_minR="
+           << pc.n_min_pairs << " in " << pc.prepare_seconds << "s";
+  return pc;
+}
+
 void finalize_mixed(Design& design, const MlefTransform& mlef,
                     const RowAssignment& assignment) {
   const Floorplan old_fp = design.floorplan;
@@ -222,7 +283,8 @@ FlowOutput run_flow(const PreparedCase& pc, FlowId flow,
           rap::RapOptions ro = opt.rap;
           ro.n_min_pairs = pc.n_min_pairs;
           ro.width_library = pc.original_library.get();
-          const verify::CertifyReport cr = verify::certify_rap(design, rr, ro);
+          const verify::CertifyReport cr =
+              verify::certify_rap(design, rr, ro, opt.certify);
           MTH_ASSERT(cr.ok(), "verify[rap]: " + cr.summary());
         }
         assignment = rr.assignment;

@@ -31,6 +31,7 @@
 #include "mth/synth/generator.hpp"
 #include "mth/timing/sta.hpp"
 #include "mth/util/exec.hpp"
+#include "mth/verify/certifier.hpp"
 
 namespace mth::flows {
 
@@ -57,6 +58,12 @@ struct FlowOptions {
   /// oracle's summary. Off by default: it roughly doubles the metric-side
   /// work per flow.
   bool verify = false;
+  /// Settings for the RAP certification run under `verify`. The default gap
+  /// window is tuned for the synthetic preparation path; ingested designs
+  /// (prepare_external_case) can produce RAP instances whose LP-dual bound
+  /// is legitimately looser, so callers may widen certify.gap_window without
+  /// giving up the feasibility / objective-recompute checks.
+  verify::CertifyOptions certify;
   synth::GeneratorOptions gen;
   place::GlobalPlaceOptions gp;
   rap::RapOptions rap;
@@ -128,6 +135,16 @@ struct FlowResult {
 /// Synthesize, mLEF-transform, floorplan and globally place one testcase.
 PreparedCase prepare_case(const synth::TestcaseSpec& spec,
                           const FlowOptions& options);
+
+/// Prepare an *ingested* design (io::read_lef + io::read_design) for the
+/// flow comparison. Mirrors prepare_case from the mLEF transform onward, but
+/// the design's own placement stands in for the global placer: cells are
+/// mLEF-transformed, re-floorplanned at options.utilization, legalized with
+/// minimum displacement from their ingested positions, and refined exactly
+/// as synthetic cases are (so all five flows branch from comparable state).
+/// The spec is synthesized from the design (short_name = design.name).
+/// `design` must carry a library and pass netlist.check.
+PreparedCase prepare_external_case(Design design, const FlowOptions& options);
 
 /// Everything a flow run produces: the Table IV/V metrics plus, on request,
 /// the final design itself (mixed space after routing flows, mLEF space

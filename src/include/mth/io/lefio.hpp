@@ -1,0 +1,71 @@
+#pragma once
+// LEF ingestion: external standard-cell libraries next to the defio format.
+//
+// read_lef parses the LEF 5.x subset that carries placement-relevant
+// geometry — UNITS/DATABASE MICRONS, MANUFACTURINGGRID, CORE SITE
+// definitions, and MACRO blocks (CLASS/SIZE/SITE plus PIN blocks with
+// DIRECTION, USE and PORT RECT shapes) — into an mth::Library, so
+// OpenROAD/ISPD-format benchmarks can enter the flow end to end
+// (SNIPPETS.md Snippet 1: readLef/readDef -> improve -> checkPlacement).
+//
+// Model mapping:
+//   * Tech: site width from the CORE SITE(s); the (at most two) distinct
+//     CORE site heights become row_height_6t / row_height_75t (shorter is
+//     the 6T majority height). A single-height library synthesizes a 25%
+//     taller unused minority height so Tech::check holds.
+//   * CellMaster: width/height from SIZE; track_height by matching the
+//     macro height against the site heights; Vt from an "LVT" name token;
+//     drive from an "X<d>" name token; CellFunc from the leading name token
+//     (INV/BUF/NAND2/... as printed by to_string(CellFunc)), falling back
+//     to a pin-shape inference (clock pin -> Dff, else by input count).
+//   * PinDef: one pin per signal/clock PIN block, offset = center of the
+//     union bbox of its PORT RECTs (cell center when the PORT is empty).
+//     POWER/GROUND pins are counted and skipped — they are not part of the
+//     connectivity model.
+//
+// LEF carries geometry only: the electrical fields of CellMaster keep their
+// defaults, so ingested libraries support every placement-side stage
+// (HPWL/RAP/legalization/improver) exactly; timing/power columns are only
+// meaningful for the built-in library.
+//
+// Diagnostics are strict and unconditional: any malformed statement throws
+// mth::Error prefixed "lef:<label>:<line>:", and structural violations
+// (duplicate macros, off-site-grid widths, heights matching no CORE site,
+// missing output pins) are rejected at parse time with the offending line.
+// mth_fuzz's --lef-fuzz leg holds the parser to "error cleanly, never
+// crash, never silently mis-parse" on mutated inputs.
+//
+// write_lef emits exactly the subset read_lef accepts (one CORE site per
+// track height, one PORT RECT centered on each pin offset), so
+// write_lef -> read_lef round-trips a library's geometric/structural fields
+// bit-for-bit (property-tested in lefio_test).
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "mth/db/library.hpp"
+
+namespace mth::io {
+
+/// Parse result: the library plus ingestion statistics for diagnostics.
+struct LefResult {
+  std::shared_ptr<const Library> library;
+  int num_sites = 0;         ///< CORE SITE definitions seen
+  int num_macros = 0;        ///< MACRO blocks ingested
+  int skipped_pins = 0;      ///< POWER/GROUND pins dropped
+  int inferred_funcs = 0;    ///< macros whose CellFunc came from pin shape
+};
+
+/// Parse a LEF stream. `label` names the input in diagnostics
+/// ("lef:<label>:<line>: ..."); throws mth::Error on any malformed or
+/// structurally invalid input.
+LefResult read_lef(std::istream& is, const std::string& label = "<lef>");
+LefResult read_lef_file(const std::string& path);
+
+/// Serialize `library` as the LEF subset read_lef accepts (round-trip exact
+/// on geometric/structural fields).
+void write_lef(std::ostream& os, const Library& library);
+void write_lef_file(const std::string& path, const Library& library);
+
+}  // namespace mth::io

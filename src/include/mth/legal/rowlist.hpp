@@ -1,0 +1,84 @@
+#pragma once
+// Doubly-linked row structure for detailed placement (Coloquinte-style:
+// cellPred/cellNext/rowFirstCell, SNIPPETS.md Snippets 2-3).
+//
+// A RowList indexes a legal placement by physical row: per instance a pred
+// and next link (its left and right neighbor in the same row, kInvalidId at
+// the row ends) and per row the first (leftmost) and last (rightmost)
+// instance. After the one-time O(n log n) build, every neighbor query and
+// every structural update an in-row move needs — swap two adjacent cells,
+// remove a cell, re-insert it elsewhere — is O(1) pointer surgery, which is
+// what lets swap_polish and improve_placement evaluate moves at
+// IncrementalHpwl speed instead of re-bucketing and re-sorting rows per
+// sweep. The improver relies on this: mth_lint's row-rescan rule bans
+// row_at_y / std::sort from legal/polish and legal/improve so per-move row
+// rescans cannot creep back in (the build below is the one sanctioned scan).
+//
+// The structure tracks *order*, not coordinates: callers move cells through
+// db::IncrementalHpwl (or directly) and must keep the list consistent with
+// the x-order of the design via swap_adjacent/remove/insert_after. check()
+// verifies the full invariant set (pred/next symmetry, row_first/row_last
+// reachability, x-sorted order, every instance in exactly one row) against
+// the design and is property-tested in rowlist_test against a brute-force
+// vector model.
+
+#include <string>
+#include <vector>
+
+#include "mth/db/design.hpp"
+
+namespace mth::legal {
+
+class RowList {
+ public:
+  RowList() = default;
+
+  /// Build from a placed design: instances are bucketed by the row containing
+  /// their y and chained in x-order (ties broken by InstId, so the build is
+  /// deterministic on any input).
+  explicit RowList(const Design& design);
+
+  int num_rows() const { return static_cast<int>(row_first_.size()); }
+  int num_instances() const { return static_cast<int>(next_.size()); }
+
+  /// Leftmost / rightmost instance of a row; kInvalidId when the row is empty.
+  InstId row_first(int row) const {
+    return row_first_[static_cast<std::size_t>(row)];
+  }
+  InstId row_last(int row) const {
+    return row_last_[static_cast<std::size_t>(row)];
+  }
+
+  /// Left / right neighbor in the same row; kInvalidId at the row ends. O(1).
+  InstId pred(InstId i) const { return pred_[static_cast<std::size_t>(i)]; }
+  InstId next(InstId i) const { return next_[static_cast<std::size_t>(i)]; }
+
+  /// Row currently holding instance `i`. O(1).
+  int row_of(InstId i) const { return row_of_[static_cast<std::size_t>(i)]; }
+
+  /// Exchange two adjacent cells of one row: `left` must be pred(right).
+  /// After the call `right` precedes `left`. O(1).
+  void swap_adjacent(InstId left, InstId right);
+
+  /// Unlink `i` from its row (row_of becomes -1). O(1).
+  void remove(InstId i);
+
+  /// Link `i` into `row` directly after `after` (kInvalidId = at the row
+  /// front). `i` must currently be unlinked. O(1).
+  void insert_after(InstId i, int row, InstId after);
+
+  /// Verify every invariant against `design`: pred/next symmetry, row ends
+  /// consistent, every instance reachable from exactly one row_first chain,
+  /// and chains (x, id)-sorted. Returns false and fills `why` (when given)
+  /// on the first violation.
+  bool check(const Design& design, std::string* why = nullptr) const;
+
+ private:
+  std::vector<InstId> pred_;
+  std::vector<InstId> next_;
+  std::vector<std::int32_t> row_of_;
+  std::vector<InstId> row_first_;
+  std::vector<InstId> row_last_;
+};
+
+}  // namespace mth::legal

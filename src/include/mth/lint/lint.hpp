@@ -28,7 +28,12 @@
 //    merge in index order (simd::argmin_merge) to stay bit-identical to the
 //    scalar tier. And total_hpwl() — a full-netlist rescan — inside a loop
 //    in the rap or legal modules needs an inline justification; per-move
-//    costing goes through db::IncrementalHpwl instead.
+//    costing goes through db::IncrementalHpwl instead. Similarly, the
+//    detailed-placement sweeps (legal/polish, legal/improve) hold an O(1)
+//    neighbor-query contract through legal::RowList: row_at_y(...) and
+//    sort/stable_sort calls are banned there, so a per-sweep row re-bucket
+//    or re-sort cannot creep back in (legal/rowlist.cpp's build is the one
+//    sanctioned scan).
 //
 // The analyzer is a token-level scanner, not a compiler: it strips comments
 // and string/char literals with a small state machine (raw strings included)
@@ -64,6 +69,7 @@ enum class Rule {
   SimdMerge,      ///< simd-merge: vector intrinsic outside mth::simd, or a
                   ///< horizontal lane-merge intrinsic anywhere
   IhpwlFullScan,  ///< ihpwl-full-scan: total_hpwl() in a rap/legal loop
+  RowRescan,      ///< row-rescan: row_at_y / sort in legal/polish|improve
 };
 
 /// Stable kebab-case rule id, used in diagnostics, suppression comments,

@@ -1,0 +1,603 @@
+#include "mth/io/lefio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mth/trace/trace.hpp"
+#include "mth/util/error.hpp"
+
+namespace mth::io {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: whitespace-separated tokens with line tracking. ';' is its own
+// token (LEF statements are ';'-terminated); '#' comments run to the end of
+// the line; double-quoted strings are one token (content only).
+// ---------------------------------------------------------------------------
+
+class Lexer {
+ public:
+  Lexer(std::istream& is, std::string label) : is_(is), label_(std::move(label)) {}
+
+  /// Next token; empty string at end of input. Sets `tok_line_` to the line
+  /// the token started on.
+  std::string next() {
+    std::string tok;
+    int c;
+    while ((c = is_.get()) != EOF) {
+      if (c == '\n') {
+        ++line_;
+        if (!tok.empty()) return tok;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        if (!tok.empty()) {
+          is_.unget();
+          return tok;
+        }
+        while ((c = is_.get()) != EOF && c != '\n') {
+        }
+        if (c == '\n') is_.unget();  // let the main loop count the line
+        continue;
+      }
+      if (std::isspace(c) != 0) {
+        if (!tok.empty()) return tok;
+        continue;
+      }
+      if (c == ';') {
+        if (!tok.empty()) {
+          is_.unget();
+          return tok;
+        }
+        tok_line_ = line_;
+        return ";";
+      }
+      if (c == '"') {
+        tok_line_ = line_;
+        while ((c = is_.get()) != EOF && c != '"') {
+          if (c == '\n') ++line_;
+          tok += static_cast<char>(c);
+        }
+        return tok.empty() ? "\"\"" : tok;  // never empty: EOF sentinel stays distinct
+      }
+      if (tok.empty()) tok_line_ = line_;
+      tok += static_cast<char>(c);
+    }
+    return tok;
+  }
+
+  int token_line() const { return tok_line_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::istream& is_;
+  std::string label_;
+  int line_ = 1;
+  int tok_line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct SiteDef {
+  std::string name;
+  Dbu width = 0;
+  Dbu height = 0;
+  bool is_core = true;
+};
+
+class Parser {
+ public:
+  Parser(std::istream& is, const std::string& label) : lex_(is, label) {}
+
+  LefResult parse() {
+    for (std::string kw = need_or_end(); !kw.empty(); kw = need_or_end()) {
+      if (kw == "VERSION" || kw == "BUSBITCHARS" || kw == "DIVIDERCHAR" ||
+          kw == "NAMESCASESENSITIVE" || kw == "CLEARANCEMEASURE" ||
+          kw == "USEMINSPACING" || kw == "NOWIREEXTENSIONATPIN") {
+        skip_statement(kw);
+      } else if (kw == "MANUFACTURINGGRID") {
+        mfg_grid_um_ = need_num("MANUFACTURINGGRID value");
+        expect(";", "MANUFACTURINGGRID");
+      } else if (kw == "UNITS") {
+        parse_units();
+      } else if (kw == "PROPERTYDEFINITIONS") {
+        skip_block_until("PROPERTYDEFINITIONS");
+      } else if (kw == "LAYER" || kw == "VIA" || kw == "VIARULE" ||
+                 kw == "SPACING") {
+        // Routing-tech blocks: END <name> delimited; not modeled here.
+        const std::string name = need("name after " + kw);
+        skip_block_until(name);
+      } else if (kw == "SITE") {
+        parse_site();
+      } else if (kw == "MACRO") {
+        parse_macro();
+      } else if (kw == "END") {
+        const std::string what = need("name after END");
+        if (what != "LIBRARY") {
+          fail("unexpected 'END " + what + "' at library scope (want END LIBRARY)");
+        }
+        return finish();
+      } else {
+        fail("unknown statement '" + kw + "' at library scope");
+      }
+    }
+    fail("missing 'END LIBRARY'");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("lef:" + lex_.label() + ":" + std::to_string(lex_.token_line()) +
+                ": " + msg);
+  }
+
+  std::string need_or_end() { return lex_.next(); }
+
+  std::string need(const std::string& what) {
+    std::string t = lex_.next();
+    if (t.empty()) fail("unexpected end of input (expected " + what + ")");
+    return t;
+  }
+
+  double need_num(const std::string& what) {
+    const std::string t = need(what);
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0') {
+      fail("expected a number for " + what + ", got '" + t + "'");
+    }
+    return v;
+  }
+
+  void expect(const std::string& tok, const std::string& where) {
+    const std::string t = need("'" + tok + "' in " + where);
+    if (t != tok) fail("expected '" + tok + "' in " + where + ", got '" + t + "'");
+  }
+
+  void skip_statement(const std::string& kw) {
+    // Consume tokens up to the terminating ';'.
+    for (std::string t = need("';' terminating " + kw); t != ";";
+         t = need("';' terminating " + kw)) {
+    }
+  }
+
+  void skip_block_until(const std::string& name) {
+    // Consume tokens up to "END <name>".
+    while (true) {
+      std::string t = need("'END " + name + "'");
+      if (t != "END") continue;
+      t = need("name after END");
+      if (t == name) return;
+    }
+  }
+
+  Dbu to_dbu(double microns) const {
+    return static_cast<Dbu>(std::llround(microns * dbu_per_micron_));
+  }
+
+  void parse_units() {
+    while (true) {
+      std::string t = need("UNITS body");
+      if (t == "DATABASE") {
+        expect("MICRONS", "UNITS DATABASE");
+        const double v = need_num("DATABASE MICRONS value");
+        if (v <= 0.0) fail("DATABASE MICRONS must be positive");
+        dbu_per_micron_ = v;
+        expect(";", "UNITS DATABASE");
+      } else if (t == "TIME" || t == "CAPACITANCE" || t == "RESISTANCE" ||
+                 t == "POWER" || t == "CURRENT" || t == "VOLTAGE" ||
+                 t == "FREQUENCY") {
+        skip_statement(t);
+      } else if (t == "END") {
+        expect("UNITS", "END of UNITS block");
+        return;
+      } else {
+        fail("unknown statement '" + t + "' in UNITS");
+      }
+    }
+  }
+
+  void parse_site() {
+    SiteDef site;
+    site.name = need("SITE name");
+    while (true) {
+      std::string t = need("SITE body of " + site.name);
+      if (t == "CLASS") {
+        const std::string cls = need("SITE CLASS value");
+        site.is_core = cls == "CORE";
+        expect(";", "SITE CLASS");
+      } else if (t == "SYMMETRY" || t == "ROWPATTERN") {
+        skip_statement(t);
+      } else if (t == "SIZE") {
+        site.width = to_dbu(need_num("SITE width"));
+        expect("BY", "SITE SIZE");
+        site.height = to_dbu(need_num("SITE height"));
+        expect(";", "SITE SIZE");
+      } else if (t == "END") {
+        const std::string name = need("name after END");
+        if (name != site.name) {
+          fail("SITE '" + site.name + "' terminated by 'END " + name + "'");
+        }
+        break;
+      } else {
+        fail("unknown statement '" + t + "' in SITE " + site.name);
+      }
+    }
+    if (site.is_core) {
+      if (site.width <= 0 || site.height <= 0) {
+        fail("CORE site '" + site.name + "' without a positive SIZE");
+      }
+      sites_.push_back(site);
+    }
+  }
+
+  /// Offset of one PIN: center of the union bbox of its PORT RECTs, or the
+  /// cell center when no shape was given.
+  Point parse_port(const std::string& pin, const std::string& macro) {
+    BBox box;
+    while (true) {
+      std::string t = need("PORT body of " + macro + "." + pin);
+      if (t == "LAYER" || t == "WIDTH" || t == "PATH" || t == "POLYGON") {
+        skip_statement(t);
+      } else if (t == "RECT") {
+        const Dbu x1 = to_dbu(need_num("RECT x1"));
+        const Dbu y1 = to_dbu(need_num("RECT y1"));
+        const Dbu x2 = to_dbu(need_num("RECT x2"));
+        const Dbu y2 = to_dbu(need_num("RECT y2"));
+        expect(";", "RECT");
+        box.add({std::min(x1, x2), std::min(y1, y2)});
+        box.add({std::max(x1, x2), std::max(y1, y2)});
+      } else if (t == "END") {
+        break;  // PORT blocks end with a bare END
+      } else {
+        fail("unknown statement '" + t + "' in PORT of " + macro + "." + pin);
+      }
+    }
+    if (!box.valid()) return {-1, -1};  // sentinel: caller centers the pin
+    return {(box.xmin + box.xmax) / 2, (box.ymin + box.ymax) / 2};
+  }
+
+  void parse_pin(CellMaster& m, const std::string& macro) {
+    const std::string name = need("PIN name");
+    PinDef pd;
+    pd.name = name;
+    bool have_dir = false;
+    bool is_supply = false;
+    Point offset{-1, -1};
+    while (true) {
+      std::string t = need("PIN body of " + macro + "." + name);
+      if (t == "DIRECTION") {
+        const std::string dir = need("PIN DIRECTION value");
+        if (dir == "OUTPUT") {
+          pd.is_output = true;
+        } else if (dir == "INPUT" || dir == "INOUT" || dir == "FEEDTHRU") {
+          pd.is_output = false;
+        } else {
+          fail("unknown PIN DIRECTION '" + dir + "' on " + macro + "." + name);
+        }
+        have_dir = true;
+        // OUTPUT may be followed by TRISTATE; both forms end with ';'.
+        skip_statement("DIRECTION");
+      } else if (t == "USE") {
+        const std::string use = need("PIN USE value");
+        if (use == "CLOCK") {
+          pd.is_clock = true;
+        } else if (use == "POWER" || use == "GROUND") {
+          is_supply = true;
+        } else if (use != "SIGNAL" && use != "ANALOG") {
+          fail("unknown PIN USE '" + use + "' on " + macro + "." + name);
+        }
+        expect(";", "PIN USE");
+      } else if (t == "SHAPE" || t == "ANTENNAGATEAREA" ||
+                 t == "ANTENNADIFFAREA" || t == "TAPERRULE" ||
+                 t == "PROPERTY") {
+        skip_statement(t);
+      } else if (t == "PORT") {
+        const Point p = parse_port(name, macro);
+        if (p.x >= 0) offset = p;
+      } else if (t == "END") {
+        const std::string end = need("name after END");
+        if (end != name) {
+          fail("PIN '" + name + "' terminated by 'END " + end + "'");
+        }
+        break;
+      } else {
+        fail("unknown statement '" + t + "' in PIN " + macro + "." + name);
+      }
+    }
+    if (is_supply) {
+      ++result_.skipped_pins;
+      return;
+    }
+    if (!have_dir) {
+      fail("PIN " + macro + "." + name + " has no DIRECTION");
+    }
+    pd.offset = offset.x >= 0 ? offset : Point{m.width / 2, m.height / 2};
+    m.pins.push_back(std::move(pd));
+  }
+
+  void parse_macro() {
+    const std::string name = need("MACRO name");
+    if (macro_names_.count(name) != 0) fail("duplicate MACRO '" + name + "'");
+    macro_names_.insert(name);
+
+    CellMaster m;
+    m.name = name;
+    bool have_size = false;
+    const int macro_line = lex_.token_line();
+    while (true) {
+      std::string t = need("MACRO body of " + name);
+      if (t == "CLASS" || t == "FOREIGN" || t == "ORIGIN" || t == "SYMMETRY" ||
+          t == "SITE" || t == "PROPERTY" || t == "EEQ" || t == "SOURCE") {
+        skip_statement(t);
+      } else if (t == "SIZE") {
+        m.width = to_dbu(need_num("MACRO width"));
+        expect("BY", "MACRO SIZE");
+        m.height = to_dbu(need_num("MACRO height"));
+        expect(";", "MACRO SIZE");
+        if (m.width <= 0 || m.height <= 0) {
+          fail("MACRO '" + name + "' has a non-positive SIZE");
+        }
+        have_size = true;
+      } else if (t == "PIN") {
+        parse_pin(m, name);
+      } else if (t == "OBS") {
+        // Obstruction geometry: skip to the bare END closing the block.
+        while (true) {
+          std::string o = need("OBS body of " + name);
+          if (o == "END") break;
+        }
+      } else if (t == "END") {
+        const std::string end = need("name after END");
+        if (end != name) {
+          fail("MACRO '" + name + "' terminated by 'END " + end + "'");
+        }
+        break;
+      } else {
+        fail("unknown statement '" + t + "' in MACRO " + name);
+      }
+    }
+    if (!have_size) {
+      fail("MACRO '" + name + "' has no SIZE (line " +
+           std::to_string(macro_line) + ")");
+    }
+    // Pins with no shape defaulted to (-1,-1)? No: parse_pin already centers
+    // them using the width/height present *at pin time*; re-center any pin
+    // parsed before SIZE.
+    for (PinDef& pd : m.pins) {
+      if (pd.offset.x < 0 || pd.offset.y < 0) {
+        pd.offset = {m.width / 2, m.height / 2};
+      }
+    }
+    macros_.push_back(std::move(m));
+    ++result_.num_macros;
+  }
+
+  // --- semantic finishing ---------------------------------------------------
+
+  static const std::map<std::string, CellFunc>& func_by_token() {
+    static const std::map<std::string, CellFunc> k = {
+        {"INV", CellFunc::Inv},       {"BUF", CellFunc::Buf},
+        {"NAND2", CellFunc::Nand2},   {"NOR2", CellFunc::Nor2},
+        {"AND2", CellFunc::And2},     {"OR2", CellFunc::Or2},
+        {"AOI21", CellFunc::Aoi21},   {"OAI21", CellFunc::Oai21},
+        {"XOR2", CellFunc::Xor2},     {"XNOR2", CellFunc::Xnor2},
+        {"MUX2", CellFunc::Mux2},     {"HA", CellFunc::HalfAdder},
+        {"FA", CellFunc::FullAdder},  {"DFF", CellFunc::Dff},
+    };
+    return k;
+  }
+
+  /// Split a macro name on '_' and classify: leading token -> CellFunc,
+  /// "X<d>" -> drive, "LVT" -> Vt.
+  void classify(CellMaster& m) {
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : m.name) {
+      if (c == '_') {
+        if (!cur.empty()) parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) parts.push_back(cur);
+
+    const auto& funcs = func_by_token();
+    const auto it = parts.empty() ? funcs.end() : funcs.find(parts[0]);
+    if (it != funcs.end()) {
+      m.func = it->second;
+    } else {
+      // Pin-shape inference for foreign naming schemes.
+      ++result_.inferred_funcs;
+      int inputs = 0;
+      bool clocked = false;
+      for (const PinDef& pd : m.pins) {
+        if (pd.is_clock) clocked = true;
+        if (!pd.is_output && !pd.is_clock) ++inputs;
+      }
+      if (clocked) {
+        m.func = CellFunc::Dff;
+      } else if (inputs <= 1) {
+        m.func = CellFunc::Buf;
+      } else if (inputs == 2) {
+        m.func = CellFunc::Nand2;
+      } else {
+        m.func = CellFunc::Aoi21;
+      }
+    }
+    m.vt = Vt::RVT;
+    m.drive = 1;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string& p = parts[i];
+      if (p == "LVT") m.vt = Vt::LVT;
+      if (p.size() >= 2 && p[0] == 'X' &&
+          std::all_of(p.begin() + 1, p.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c)) != 0;
+          })) {
+        m.drive = std::max(1, std::atoi(p.c_str() + 1));
+      }
+    }
+  }
+
+  LefResult finish() {
+    if (macros_.empty()) fail("LEF defines no MACRO");
+    if (sites_.empty()) fail("LEF defines no CORE SITE");
+
+    // Tech from the CORE sites: one pitch, at most two distinct heights.
+    Tech tech;
+    tech.site_width = sites_[0].width;
+    std::vector<Dbu> heights;
+    for (const SiteDef& s : sites_) {
+      if (s.width != tech.site_width) {
+        fail("CORE sites disagree on width (" + std::to_string(s.width) +
+             " vs " + std::to_string(tech.site_width) + " dbu)");
+      }
+      if (std::find(heights.begin(), heights.end(), s.height) == heights.end()) {
+        heights.push_back(s.height);
+      }
+    }
+    std::sort(heights.begin(), heights.end());
+    if (heights.size() > 2) {
+      fail("more than two distinct CORE site heights (mixed track-height "
+           "model supports exactly two)");
+    }
+    const double grid_um = mfg_grid_um_ > 0.0 ? mfg_grid_um_ : -1.0;
+    tech.mfg_grid = grid_um > 0.0 ? to_dbu(grid_um) : 1;
+    if (tech.mfg_grid <= 0) tech.mfg_grid = 1;
+    tech.row_height_6t = heights[0];
+    tech.row_height_75t =
+        heights.size() == 2
+            ? heights[1]
+            // Single-height library: synthesize an unused 25%-taller
+            // minority height so Tech::check's strict ordering holds.
+            : snap_up(heights[0] + heights[0] / 4, tech.mfg_grid);
+
+    for (CellMaster& m : macros_) {
+      if (m.width % tech.site_width != 0) {
+        fail("MACRO '" + m.name + "' width " + std::to_string(m.width) +
+             " dbu is not a multiple of the site width " +
+             std::to_string(tech.site_width));
+      }
+      if (m.height == tech.row_height_6t) {
+        m.track_height = TrackHeight::H6T;
+      } else if (m.height == tech.row_height_75t) {
+        m.track_height = TrackHeight::H75T;
+      } else {
+        fail("MACRO '" + m.name + "' height " + std::to_string(m.height) +
+             " dbu matches no CORE site height");
+      }
+      if (m.pins.empty()) {
+        fail("MACRO '" + m.name + "' has no signal pins");
+      }
+      classify(m);
+      bool has_output = false;
+      bool has_clock = false;
+      for (const PinDef& pd : m.pins) {
+        has_output = has_output || pd.is_output;
+        has_clock = has_clock || pd.is_clock;
+      }
+      if (!has_output && !has_clock) {
+        fail("MACRO '" + m.name + "' has no OUTPUT pin");
+      }
+      if (has_clock) m.func = CellFunc::Dff;
+    }
+
+    result_.num_sites = static_cast<int>(sites_.size());
+    result_.library = std::make_shared<Library>(lex_.label(), tech,
+                                                std::move(macros_));
+    return result_;
+  }
+
+  Lexer lex_;
+  double dbu_per_micron_ = 1000.0;
+  double mfg_grid_um_ = 0.0;
+  std::vector<SiteDef> sites_;
+  std::vector<CellMaster> macros_;
+  std::set<std::string> macro_names_;
+  LefResult result_;
+};
+
+/// Fixed-point micron formatting: Dbu (nm-scale) at DATABASE MICRONS 1000,
+/// exact for any integer dbu value.
+std::string um(Dbu v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(v >= 0 ? v / 1000 : -((-v) / 1000)),
+                static_cast<long long>(v >= 0 ? v % 1000 : (-v) % 1000));
+  // Negative values in (-1000, 0) need the explicit sign.
+  if (v < 0 && v > -1000) return std::string("-") + buf;
+  return buf;
+}
+
+}  // namespace
+
+LefResult read_lef(std::istream& is, const std::string& label) {
+  MTH_SPAN("io/lef");
+  return Parser(is, label).parse();
+}
+
+LefResult read_lef_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  MTH_ASSERT(f.good(), "lef: cannot open " + path);
+  return read_lef(f, path);
+}
+
+void write_lef(std::ostream& os, const Library& library) {
+  const Tech& tech = library.tech();
+  os << "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n";
+  os << "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n";
+  os << "MANUFACTURINGGRID " << um(tech.mfg_grid) << " ;\n\n";
+
+  // One CORE site per track height actually used by a master.
+  bool used[kNumTrackHeights] = {false, false};
+  for (const CellMaster& m : library.masters()) {
+    used[static_cast<int>(m.track_height)] = true;
+  }
+  const char* site_name[kNumTrackHeights] = {"core_site_6t", "core_site_75t"};
+  for (int th = 0; th < kNumTrackHeights; ++th) {
+    if (!used[th]) continue;
+    os << "SITE " << site_name[th] << "\n  CLASS CORE ;\n  SYMMETRY Y ;\n"
+       << "  SIZE " << um(tech.site_width) << " BY "
+       << um(tech.row_height(static_cast<TrackHeight>(th))) << " ;\nEND "
+       << site_name[th] << "\n\n";
+  }
+
+  for (const CellMaster& m : library.masters()) {
+    os << "MACRO " << m.name << "\n  CLASS CORE ;\n  ORIGIN 0 0 ;\n"
+       << "  SIZE " << um(m.width) << " BY " << um(m.height) << " ;\n"
+       << "  SITE " << site_name[static_cast<int>(m.track_height)] << " ;\n"
+       << "  SYMMETRY X Y ;\n";
+    int anon = 0;
+    for (const PinDef& pd : m.pins) {
+      std::string pin_name = pd.name;
+      if (pin_name.empty()) pin_name = "P" + std::to_string(anon++);
+      os << "  PIN " << pin_name << "\n    DIRECTION "
+         << (pd.is_output ? "OUTPUT" : "INPUT") << " ;\n    USE "
+         << (pd.is_clock ? "CLOCK" : "SIGNAL") << " ;\n    PORT\n"
+         << "      LAYER M1 ;\n      RECT " << um(pd.offset.x - 1) << ' '
+         << um(pd.offset.y - 1) << ' ' << um(pd.offset.x + 1) << ' '
+         << um(pd.offset.y + 1) << " ;\n    END\n  END " << pin_name << "\n";
+    }
+    os << "END " << m.name << "\n\n";
+  }
+  os << "END LIBRARY\n";
+}
+
+void write_lef_file(const std::string& path, const Library& library) {
+  std::ofstream f(path, std::ios::binary);
+  MTH_ASSERT(f.good(), "lef: cannot open " + path);
+  write_lef(f, library);
+  MTH_ASSERT(f.good(), "lef: write failed for " + path);
+}
+
+}  // namespace mth::io

@@ -1,86 +1,92 @@
 #include "mth/legal/polish.hpp"
 
-#include <algorithm>
-#include <vector>
+#include "mth/legal/rowlist.hpp"
 
 namespace mth::legal {
+namespace {
 
-/// One sweep of adjacent same-row swaps, accepted when they reduce the HPWL
-/// of the touched nets. Swapping cells a (left) and b (right) keeps the
-/// envelope [a.x, b.x + w_b) intact: b lands at a.x, a at b.x + w_b - w_a,
-/// so legality and the site grid are preserved for any width mix.
-int swap_polish(Design& design) {
+/// Historical acceptance metric: the HPWL of the nets touching a and b,
+/// summed *per use* — a net wired to the same instance through two pins
+/// contributes twice. This is deliberately preserved bit-for-bit (the
+/// golden flow metrics and the RAP certify window were tuned against it);
+/// the strict total-HPWL acceptance rule lives in legal/improve instead.
+Dbu local_hpwl(const Design& design, InstId a, InstId b) {
   const Netlist& nl = design.netlist;
   const auto& uses = nl.inst_uses();
-
-  auto local_hpwl = [&](InstId a, InstId b) {
-    Dbu sum = 0;
-    auto add_nets = [&](InstId i, InstId skip_dup_of) {
-      for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
-        const Net& net = nl.net(u.net);
-        if (net.is_clock) continue;
-        // Avoid double counting nets shared by a and b.
-        if (skip_dup_of >= 0) {
-          bool shared = false;
-          for (const InstUse& v : uses[static_cast<std::size_t>(skip_dup_of)]) {
-            if (v.net == u.net) {
-              shared = true;
-              break;
-            }
+  Dbu sum = 0;
+  auto add_nets = [&](InstId i, InstId skip_dup_of) {
+    for (const InstUse& u : uses[static_cast<std::size_t>(i)]) {
+      const Net& net = nl.net(u.net);
+      if (net.is_clock) continue;
+      // Avoid double counting nets shared by a and b.
+      if (skip_dup_of >= 0) {
+        bool shared = false;
+        for (const InstUse& v : uses[static_cast<std::size_t>(skip_dup_of)]) {
+          if (v.net == u.net) {
+            shared = true;
+            break;
           }
-          if (shared) continue;
         }
-        BBox bb;
-        for (const PinRef& ref : net.pins) {
-          bb.add(nl.pin_position(ref, *design.library));
-        }
-        sum += bb.half_perimeter();
+        if (shared) continue;
       }
-    };
-    add_nets(a, -1);
-    add_nets(b, a);
-    return sum;
+      BBox bb;
+      for (const PinRef& ref : net.pins) {
+        bb.add(nl.pin_position(ref, *design.library));
+      }
+      sum += bb.half_perimeter();
+    }
   };
+  add_nets(a, -1);
+  add_nets(b, a);
+  return sum;
+}
 
+/// One sweep of adjacent same-row swaps over the linked row structure,
+/// accepted when they reduce the local metric above. Cursor rule (same as
+/// the historical vector scan): an accepted swap keeps the cursor on the
+/// left cell, which just moved right; a rejected one advances past it.
+int sweep(Design& design, RowList& rows) {
   int accepted = 0;
-  // Row buckets sorted by x.
-  std::vector<std::vector<InstId>> rows(
-      static_cast<std::size_t>(design.floorplan.num_rows()));
-  for (InstId i = 0; i < nl.num_instances(); ++i) {
-    rows[static_cast<std::size_t>(design.floorplan.row_at_y(nl.instance(i).pos.y))]
-        .push_back(i);
-  }
-  for (auto& row : rows) {
-    std::sort(row.begin(), row.end(), [&](InstId x, InstId y) {
-      return nl.instance(x).pos.x < nl.instance(y).pos.x;
-    });
-    for (std::size_t k = 0; k + 1 < row.size(); ++k) {
-      const InstId a = row[k];
-      const InstId b = row[k + 1];
+  for (int row = 0; row < rows.num_rows(); ++row) {
+    InstId a = rows.row_first(row);
+    while (a != kInvalidId) {
+      const InstId b = rows.next(a);
+      if (b == kInvalidId) break;
       Instance& ia = design.netlist.instance(a);
       Instance& ib = design.netlist.instance(b);
       const Dbu wa = design.master_of(a).width;
       const Dbu wb = design.master_of(b).width;
       const Dbu ax = ia.pos.x, bx = ib.pos.x;
-      const Dbu before = local_hpwl(a, b);
+      // Swap keeps the envelope [a.x, b.x + w_b) intact: b lands at a.x,
+      // a at b.x + w_b - w_a, preserving legality for any width mix.
+      const Dbu before = local_hpwl(design, a, b);
       ib.pos.x = ax;
       ia.pos.x = bx + wb - wa;
-      if (local_hpwl(a, b) < before) {
-        std::swap(row[k], row[k + 1]);  // keep the bucket x-sorted
+      if (local_hpwl(design, a, b) < before) {
+        rows.swap_adjacent(a, b);
         ++accepted;
       } else {
         ia.pos.x = ax;
         ib.pos.x = bx;
+        a = b;
       }
     }
   }
   return accepted;
 }
 
+}  // namespace
+
+int swap_polish(Design& design) {
+  RowList rows(design);
+  return sweep(design, rows);
+}
+
 int swap_polish_converge(Design& design, int max_sweeps) {
+  RowList rows(design);
   int total = 0;
   for (int s = 0; s < max_sweeps; ++s) {
-    const int accepted = swap_polish(design);
+    const int accepted = sweep(design, rows);
     total += accepted;
     if (accepted == 0) break;
   }

@@ -1,0 +1,156 @@
+#include "mth/legal/rowlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mth/util/error.hpp"
+
+namespace mth::legal {
+
+RowList::RowList(const Design& design) {
+  const Netlist& nl = design.netlist;
+  const std::size_t n = static_cast<std::size_t>(nl.num_instances());
+  const std::size_t r = static_cast<std::size_t>(design.floorplan.num_rows());
+  pred_.assign(n, kInvalidId);
+  next_.assign(n, kInvalidId);
+  row_of_.assign(n, -1);
+  row_first_.assign(r, kInvalidId);
+  row_last_.assign(r, kInvalidId);
+
+  // The one sanctioned row scan: bucket by containing row, sort by (x, id).
+  std::vector<std::vector<InstId>> buckets(r);
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    buckets[static_cast<std::size_t>(
+                design.floorplan.row_at_y(nl.instance(i).pos.y))]
+        .push_back(i);
+  }
+  for (std::size_t row = 0; row < r; ++row) {
+    std::vector<InstId>& b = buckets[row];
+    std::sort(b.begin(), b.end(), [&](InstId a, InstId c) {
+      const Dbu xa = nl.instance(a).pos.x;
+      const Dbu xc = nl.instance(c).pos.x;
+      return xa != xc ? xa < xc : a < c;
+    });
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      const InstId i = b[k];
+      row_of_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(row);
+      pred_[static_cast<std::size_t>(i)] = k > 0 ? b[k - 1] : kInvalidId;
+      next_[static_cast<std::size_t>(i)] =
+          k + 1 < b.size() ? b[k + 1] : kInvalidId;
+    }
+    row_first_[row] = b.empty() ? kInvalidId : b.front();
+    row_last_[row] = b.empty() ? kInvalidId : b.back();
+  }
+}
+
+void RowList::swap_adjacent(InstId left, InstId right) {
+  MTH_ASSERT(next_[static_cast<std::size_t>(left)] == right,
+             "rowlist: swap_adjacent cells are not adjacent");
+  const InstId p = pred_[static_cast<std::size_t>(left)];
+  const InstId q = next_[static_cast<std::size_t>(right)];
+  // p <-> left <-> right <-> q   becomes   p <-> right <-> left <-> q
+  pred_[static_cast<std::size_t>(right)] = p;
+  next_[static_cast<std::size_t>(right)] = left;
+  pred_[static_cast<std::size_t>(left)] = right;
+  next_[static_cast<std::size_t>(left)] = q;
+  const std::size_t row = static_cast<std::size_t>(
+      row_of_[static_cast<std::size_t>(left)]);
+  if (p != kInvalidId) {
+    next_[static_cast<std::size_t>(p)] = right;
+  } else {
+    row_first_[row] = right;
+  }
+  if (q != kInvalidId) {
+    pred_[static_cast<std::size_t>(q)] = left;
+  } else {
+    row_last_[row] = left;
+  }
+}
+
+void RowList::remove(InstId i) {
+  const std::int32_t row = row_of_[static_cast<std::size_t>(i)];
+  MTH_ASSERT(row >= 0, "rowlist: remove of an unlinked instance");
+  const InstId p = pred_[static_cast<std::size_t>(i)];
+  const InstId q = next_[static_cast<std::size_t>(i)];
+  if (p != kInvalidId) {
+    next_[static_cast<std::size_t>(p)] = q;
+  } else {
+    row_first_[static_cast<std::size_t>(row)] = q;
+  }
+  if (q != kInvalidId) {
+    pred_[static_cast<std::size_t>(q)] = p;
+  } else {
+    row_last_[static_cast<std::size_t>(row)] = p;
+  }
+  pred_[static_cast<std::size_t>(i)] = kInvalidId;
+  next_[static_cast<std::size_t>(i)] = kInvalidId;
+  row_of_[static_cast<std::size_t>(i)] = -1;
+}
+
+void RowList::insert_after(InstId i, int row, InstId after) {
+  MTH_ASSERT(row_of_[static_cast<std::size_t>(i)] < 0,
+             "rowlist: insert of a linked instance");
+  const std::size_t r = static_cast<std::size_t>(row);
+  InstId q;
+  if (after == kInvalidId) {
+    q = row_first_[r];
+    row_first_[r] = i;
+  } else {
+    MTH_ASSERT(row_of_[static_cast<std::size_t>(after)] == row,
+               "rowlist: insert_after anchor is in another row");
+    q = next_[static_cast<std::size_t>(after)];
+    next_[static_cast<std::size_t>(after)] = i;
+  }
+  pred_[static_cast<std::size_t>(i)] = after;
+  next_[static_cast<std::size_t>(i)] = q;
+  if (q != kInvalidId) {
+    pred_[static_cast<std::size_t>(q)] = i;
+  } else {
+    row_last_[r] = i;
+  }
+  row_of_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(row);
+}
+
+bool RowList::check(const Design& design, std::string* why) const {
+  const Netlist& nl = design.netlist;
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (num_instances() != nl.num_instances() ||
+      num_rows() != design.floorplan.num_rows()) {
+    return fail("rowlist: size mismatch with design");
+  }
+  std::vector<char> seen(static_cast<std::size_t>(num_instances()), 0);
+  for (int row = 0; row < num_rows(); ++row) {
+    InstId prev = kInvalidId;
+    for (InstId i = row_first(row); i != kInvalidId; i = next(i)) {
+      std::ostringstream at;
+      at << "rowlist: row " << row << ", inst " << i << ": ";
+      if (seen[static_cast<std::size_t>(i)] != 0) {
+        return fail(at.str() + "reached twice");
+      }
+      seen[static_cast<std::size_t>(i)] = 1;
+      if (row_of(i) != row) return fail(at.str() + "row_of mismatch");
+      if (pred(i) != prev) return fail(at.str() + "pred/next asymmetry");
+      if (prev != kInvalidId) {
+        const Dbu xp = nl.instance(prev).pos.x;
+        const Dbu xi = nl.instance(i).pos.x;
+        if (xp > xi || (xp == xi && prev > i)) {
+          return fail(at.str() + "x order violated");
+        }
+      }
+      prev = i;
+    }
+    if (row_last(row) != prev) return fail("rowlist: row_last mismatch");
+  }
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    if (seen[static_cast<std::size_t>(i)] == 0) {
+      return fail("rowlist: inst " + std::to_string(i) +
+                  " unreachable from any row_first");
+    }
+  }
+  return true;
+}
+
+}  // namespace mth::legal

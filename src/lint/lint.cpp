@@ -769,6 +769,32 @@ void rule_ihpwl_full_scan(Ctx& ctx, const std::string& module) {
   }
 }
 
+void rule_row_rescan(Ctx& ctx, const std::string& module) {
+  // The detailed-placement sweeps hold an O(1) neighbor-query contract
+  // through legal::RowList: evaluating a move must not re-bucket instances
+  // by row (row_at_y) or re-sort a row — that is the per-sweep O(n log n)
+  // rescan the linked row structure removed. Scoped to legal/polish and
+  // legal/improve; the RowList build (legal/rowlist.cpp) is the one
+  // sanctioned scan.
+  if (module != "legal") return;
+  if (ctx.file.find("polish") == std::string::npos &&
+      ctx.file.find("improve") == std::string::npos) {
+    return;
+  }
+  const auto& T = ctx.scan.tokens;
+  for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+    const bool rescan = is_ident(T[i], "row_at_y") ||
+                        is_ident(T[i], "sort") ||
+                        is_ident(T[i], "stable_sort");
+    if (!rescan || !is_punct(T[i + 1], "(")) continue;
+    ctx.report(Rule::RowRescan, T[i].line,
+               "'" + T[i].text + "' re-scans rows inside " + ctx.file +
+                   "; neighbor queries go through legal::RowList "
+                   "(pred/next/swap_adjacent are O(1)), or justify with "
+                   "mth-lint: allow(row-rescan)");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -785,6 +811,7 @@ const char* to_string(Rule r) {
     case Rule::AbDoc: return "ab-doc";
     case Rule::SimdMerge: return "simd-merge";
     case Rule::IhpwlFullScan: return "ihpwl-full-scan";
+    case Rule::RowRescan: return "row-rescan";
   }
   return "?";
 }
@@ -799,6 +826,7 @@ std::optional<Rule> rule_from_string(std::string_view id) {
       {"ab-doc", Rule::AbDoc},
       {"simd-merge", Rule::SimdMerge},
       {"ihpwl-full-scan", Rule::IhpwlFullScan},
+      {"row-rescan", Rule::RowRescan},
   };
   const auto it = kIds.find(id);
   return it == kIds.end() ? std::nullopt : std::optional<Rule>(it->second);
@@ -826,6 +854,7 @@ std::vector<Finding> lint_source(const std::string& file,
   rule_ab_doc(ctx, module);
   rule_simd_merge(ctx);
   rule_ihpwl_full_scan(ctx, module);
+  rule_row_rescan(ctx, module);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {

@@ -67,6 +67,31 @@ TEST(DefIo, RoundTripMixedDesign) {
   EXPECT_EQ(total_hpwl(back), total_hpwl(d));
 }
 
+// The serialized form itself is canonical: write -> read -> write is
+// byte-identical, over a bundled prepared case (both spaces) and seeded
+// synthetic designs. This is what lets the golden-DEF integration harness
+// (integration_golden_test) and check_determinism.sh diff DEFs with cmp.
+TEST(DefIo, WriteReadWriteIsByteIdentical) {
+  auto serialize = [](const Design& d) {
+    std::ostringstream os;
+    write_design(os, d);
+    return os.str();
+  };
+  auto expect_stable = [&](const Design& d) {
+    const std::string first = serialize(d);
+    std::istringstream in(first);
+    EXPECT_EQ(serialize(read_design(in, d.library)), first);
+  };
+  expect_stable(small_case().initial);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    flows::FlowOptions opt;
+    opt.scale = 0.02;
+    opt.gen.seed = seed;
+    expect_stable(
+        flows::prepare_case(synth::spec_by_name("aes_400"), opt).initial);
+  }
+}
+
 TEST(DefIo, FileRoundTrip) {
   const Design& d = small_case().initial;
   const std::string path = "/tmp/mth_io_test.def";

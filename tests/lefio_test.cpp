@@ -1,0 +1,235 @@
+// LEF reader/writer tests: write_lef -> read_lef round-trip property over
+// the bundled library (geometric/structural fields bit-for-bit), strict
+// file:line diagnostics, the single-height fallback, and a seeded mutation
+// fuzz holding the parser to "error cleanly, never crash".
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mth/io/lefio.hpp"
+#include "mth/liberty/asap7.hpp"
+#include "mth/util/error.hpp"
+
+namespace mth::io {
+namespace {
+
+std::string lef_text(const Library& library) {
+  std::ostringstream os;
+  write_lef(os, library);
+  return os.str();
+}
+
+LefResult parse(const std::string& text, const std::string& label = "t") {
+  std::istringstream in(text);
+  return read_lef(in, label);
+}
+
+/// Parse expecting failure; returns the diagnostic message.
+std::string parse_error(const std::string& text) {
+  try {
+    parse(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "parse unexpectedly succeeded";
+  return {};
+}
+
+TEST(LefIo, RoundTripsBundledLibrary) {
+  const auto lib = liberty::library_ref();
+  const LefResult r = parse(lef_text(*lib), "rt");
+  ASSERT_TRUE(r.library);
+  EXPECT_EQ(r.num_sites, 2);
+  EXPECT_EQ(r.num_macros, lib->num_masters());
+  EXPECT_EQ(r.skipped_pins, 0);
+  EXPECT_EQ(r.inferred_funcs, 0);  // bundled names all carry a known token
+
+  const Library& got = *r.library;
+  EXPECT_EQ(got.tech().site_width, lib->tech().site_width);
+  EXPECT_EQ(got.tech().mfg_grid, lib->tech().mfg_grid);
+  EXPECT_EQ(got.tech().row_height_6t, lib->tech().row_height_6t);
+  EXPECT_EQ(got.tech().row_height_75t, lib->tech().row_height_75t);
+
+  ASSERT_EQ(got.num_masters(), lib->num_masters());
+  for (int id = 0; id < lib->num_masters(); ++id) {
+    const CellMaster& a = lib->master(id);
+    const int gid = got.find(a.name);
+    ASSERT_GE(gid, 0) << "master lost in round-trip: " << a.name;
+    const CellMaster& b = got.master(gid);
+    SCOPED_TRACE(a.name);
+    EXPECT_EQ(b.func, a.func);
+    EXPECT_EQ(b.track_height, a.track_height);
+    EXPECT_EQ(b.vt, a.vt);
+    EXPECT_EQ(b.drive, a.drive);
+    EXPECT_EQ(b.width, a.width);
+    EXPECT_EQ(b.height, a.height);
+    ASSERT_EQ(b.pins.size(), a.pins.size());
+    for (std::size_t p = 0; p < a.pins.size(); ++p) {
+      EXPECT_EQ(b.pins[p].name, a.pins[p].name);
+      EXPECT_EQ(b.pins[p].offset.x, a.pins[p].offset.x);
+      EXPECT_EQ(b.pins[p].offset.y, a.pins[p].offset.y);
+      EXPECT_EQ(b.pins[p].is_output, a.pins[p].is_output);
+      EXPECT_EQ(b.pins[p].is_clock, a.pins[p].is_clock);
+    }
+  }
+}
+
+TEST(LefIo, WriteReadWriteIsByteIdentical) {
+  const auto lib = liberty::library_ref();
+  const std::string first = lef_text(*lib);
+  const LefResult r = parse(first);
+  EXPECT_EQ(lef_text(*r.library), first);
+}
+
+const char kMini[] = R"(UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+MANUFACTURINGGRID 0.001 ;
+SITE s6
+  CLASS CORE ;
+  SIZE 0.054 BY 0.216 ;
+END s6
+MACRO INV_X2_LVT
+  CLASS CORE ;
+  SIZE 0.108 BY 0.216 ;
+  PIN A
+    DIRECTION INPUT ;
+    USE SIGNAL ;
+  END A
+  PIN Y
+    DIRECTION OUTPUT ;
+    USE SIGNAL ;
+  END Y
+END INV_X2_LVT
+END LIBRARY
+)";
+
+TEST(LefIo, SingleHeightLibrarySynthesizesMinorityHeight) {
+  const LefResult r = parse(kMini);
+  EXPECT_EQ(r.num_sites, 1);
+  const Tech& tech = r.library->tech();
+  EXPECT_EQ(tech.row_height_6t, 216);
+  EXPECT_EQ(tech.row_height_75t, 270);  // 216 + 216/4, on the 1 nm grid
+  tech.check();                         // strict height ordering holds
+  const CellMaster& m = r.library->master(0);
+  EXPECT_EQ(m.func, CellFunc::Inv);
+  EXPECT_EQ(m.drive, 2);
+  EXPECT_EQ(m.vt, Vt::LVT);
+  // No PORT shapes: both pins default to the cell center.
+  ASSERT_EQ(m.pins.size(), 2u);
+  EXPECT_EQ(m.pins[0].offset.x, m.width / 2);
+  EXPECT_EQ(m.pins[1].offset.y, m.height / 2);
+}
+
+TEST(LefIo, PowerPinsAreSkippedAndCounted) {
+  std::string text(kMini);
+  const std::string hook = "  PIN A\n";
+  text.insert(text.find(hook),
+              "  PIN VDD\n    DIRECTION INOUT ;\n    USE POWER ;\n  END VDD\n");
+  const LefResult r = parse(text);
+  EXPECT_EQ(r.skipped_pins, 1);
+  EXPECT_EQ(r.library->master(0).pins.size(), 2u);
+}
+
+TEST(LefIo, DiagnosticsCarryLabelAndLine) {
+  // Unknown top-level keyword, first line.
+  EXPECT_EQ(parse_error("GARBAGE ;\n").substr(0, 8), "lef:t:1:");
+  // Unknown keyword inside the MACRO body: kMini line 12 is "  PIN A".
+  std::string text(kMini);
+  text.replace(text.find("  PIN A"), 7, "  BOGUS");
+  const std::string err = parse_error(text);
+  EXPECT_NE(err.find("lef:t:12:"), std::string::npos) << err;
+  EXPECT_NE(err.find("BOGUS"), std::string::npos) << err;
+}
+
+TEST(LefIo, RejectsStructurallyInvalidInput) {
+  struct Case {
+    const char* what;
+    const char* from;
+    const char* to;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"truncation", "END LIBRARY\n", "", "missing 'END LIBRARY'"},
+      {"bad number", "SIZE 0.108 BY", "SIZE x BY", "expected a number"},
+      {"width off site grid", "SIZE 0.108 BY", "SIZE 0.1 BY",
+       "not a multiple of the site width"},
+      {"height matches no site", "SIZE 0.108 BY 0.216 ;", "SIZE 0.108 BY 0.3 ;",
+       "matches no CORE site height"},
+      {"no output pin", "DIRECTION OUTPUT ;", "DIRECTION INPUT ;",
+       "has no OUTPUT pin"},
+      {"pin without direction", "    DIRECTION INPUT ;\n", "",
+       "has no DIRECTION"},
+      {"core site without size", "SIZE 0.054 BY 0.216 ;", "",
+       "without a positive SIZE"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.what);
+    std::string text(kMini);
+    const std::size_t at = text.find(c.from);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string(c.from).size(), c.to);
+    const std::string err = parse_error(text);
+    EXPECT_EQ(err.substr(0, 6), "lef:t:") << err;
+    EXPECT_NE(err.find(c.expect), std::string::npos) << err;
+  }
+  // Duplicate macro: append a second copy of the MACRO block.
+  std::string text(kMini);
+  const std::size_t macro_at = text.find("MACRO");
+  const std::size_t end_at = text.find("END LIBRARY");
+  text.insert(end_at, text.substr(macro_at, end_at - macro_at));
+  EXPECT_NE(parse_error(text).find("duplicate MACRO"), std::string::npos);
+  // Whole-file structural absences.
+  EXPECT_NE(parse_error("END LIBRARY\n").find("no MACRO"), std::string::npos);
+  std::string no_site(kMini);
+  no_site.replace(no_site.find("CLASS CORE ;\n  SIZE 0.054"), 12,
+                  "CLASS PAD  ;");
+  EXPECT_NE(parse_error(no_site).find("no CORE SITE"), std::string::npos);
+}
+
+// Seeded mutation fuzz: single-character edits, line deletions and
+// truncations of a valid LEF must either parse or throw mth::Error — never
+// crash, never escape as another exception type. (mth_fuzz --lef-fuzz runs
+// the same property open-endedly and under ASan; this is the bounded
+// always-on slice.)
+TEST(LefIo, MutatedInputErrorsCleanly) {
+  const std::string base = lef_text(*liberty::library_ref());
+  std::mt19937_64 rng(20260809);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text = base;
+    switch (rng() % 3) {
+      case 0:  // replace one character
+        text[rng() % text.size()] =
+            static_cast<char>("X;.0 \n"[rng() % 6]);
+        break;
+      case 1:  // truncate
+        text.resize(rng() % text.size());
+        break;
+      default: {  // delete one line
+        const std::size_t pos = rng() % text.size();
+        const std::size_t a = text.rfind('\n', pos);
+        const std::size_t b = text.find('\n', pos);
+        text.erase(a == std::string::npos ? 0 : a,
+                   (b == std::string::npos ? text.size() : b) -
+                       (a == std::string::npos ? 0 : a));
+        break;
+      }
+    }
+    try {
+      parse(text, "fuzz");
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 300);
+  EXPECT_GT(rejected, 0);  // the mutations do exercise the error paths
+}
+
+}  // namespace
+}  // namespace mth::io

@@ -412,6 +412,46 @@ TEST(IhpwlFullScan, SuppressedHit) {
   EXPECT_TRUE(f.empty());
 }
 
+// --- row-rescan -------------------------------------------------------------
+
+TEST(RowRescan, RowAtYInPolishPositiveHit) {
+  const auto f = run("src/legal/polish.cpp", R"cpp(
+    int bucket(const Design& d, InstId i) {
+      return d.floorplan.row_at_y(d.netlist.instance(i).pos.y);
+    }
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::RowRescan);
+  EXPECT_NE(f[0].message.find("RowList"), std::string::npos);
+}
+
+TEST(RowRescan, SortInImprovePositiveHit) {
+  EXPECT_TRUE(has_rule(run("src/legal/improve.cpp",
+      "void f(std::vector<InstId>& v) { std::sort(v.begin(), v.end()); }\n"),
+      Rule::RowRescan));
+  EXPECT_TRUE(has_rule(run("src/include/mth/legal/improve.hpp",
+      "inline void f(V& v) { std::stable_sort(v.begin(), v.end()); }\n"),
+      Rule::RowRescan));
+}
+
+TEST(RowRescan, RowListBuildAndOtherModulesAreOutOfScope) {
+  // The RowList constructor is the one sanctioned scan...
+  EXPECT_TRUE(run("src/legal/rowlist.cpp",
+      "int r = d.floorplan.row_at_y(y); std::sort(b.begin(), b.end());\n")
+      .empty());
+  // ...abacus predates the contract and has its own structure...
+  EXPECT_TRUE(run("src/legal/abacus.cpp",
+      "int r = d.floorplan.row_at_y(y);\n").empty());
+  // ...and identifiers that merely mention sort without a call are fine.
+  EXPECT_TRUE(run("src/legal/polish.cpp", "bool sorted = true;\n").empty());
+}
+
+TEST(RowRescan, SuppressedHit) {
+  const auto f = run("src/legal/improve.cpp",
+      "int r = fp.row_at_y(y);  // mth-lint: allow(row-rescan): fixture\n");
+  EXPECT_TRUE(f.empty());
+}
+
 // --- scanner robustness ---------------------------------------------------
 
 TEST(Scanner, RawStringsAndCommentsAreInvisible) {

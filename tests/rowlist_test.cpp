@@ -1,0 +1,234 @@
+// RowList property tests: the doubly-linked row structure is driven through
+// randomized swap_adjacent / remove / insert_after sequences in lockstep
+// with a brute-force vector-of-rows model, asserting structural equality
+// and the full check() invariant set after every step. Also covers the
+// linked-list detailed-placement improver built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mth/db/metrics.hpp"
+#include "mth/db/mlef.hpp"
+#include "mth/legal/abacus.hpp"
+#include "mth/legal/improve.hpp"
+#include "mth/legal/rowlist.hpp"
+#include "mth/liberty/asap7.hpp"
+#include "mth/place/placer.hpp"
+#include "mth/synth/generator.hpp"
+
+namespace mth::legal {
+namespace {
+
+Design make_placed_design(const char* name, double scale,
+                          std::uint64_t seed = 7) {
+  auto lib = liberty::library_ref();
+  synth::GeneratorOptions gen;
+  gen.scale = scale;
+  gen.seed = seed;
+  Design d =
+      synth::generate_testcase(synth::spec_by_name(name), lib, gen).design;
+  double minority_area = 0, total = 0;
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    const double a = static_cast<double>(d.master_of(i).area());
+    total += a;
+    if (d.is_minority(i)) minority_area += a;
+  }
+  static std::vector<std::shared_ptr<MlefTransform>> keep_alive;
+  keep_alive.push_back(
+      std::make_shared<MlefTransform>(lib, minority_area / total));
+  keep_alive.back()->to_mlef(d);
+  place::build_uniform_floorplan(d, 0.6, 1.0);
+  place::GlobalPlaceOptions gp;
+  gp.max_iterations = 10;
+  place::global_place(d, gp);
+  abacus_legalize(d, {});
+  return d;
+}
+
+/// Brute-force reference: rows as plain vectors, built the slow way.
+std::vector<std::vector<InstId>> model_of(const Design& d) {
+  const Netlist& nl = d.netlist;
+  std::vector<std::vector<InstId>> rows(
+      static_cast<std::size_t>(d.floorplan.num_rows()));
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    rows[static_cast<std::size_t>(d.floorplan.row_at_y(nl.instance(i).pos.y))]
+        .push_back(i);
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(), [&](InstId a, InstId b) {
+      const Dbu xa = nl.instance(a).pos.x;
+      const Dbu xb = nl.instance(b).pos.x;
+      return xa != xb ? xa < xb : a < b;
+    });
+  }
+  return rows;
+}
+
+/// Full structural comparison: chains, ends, links and row_of must agree
+/// with the model exactly, in both directions.
+void expect_matches_model(const RowList& rows,
+                          const std::vector<std::vector<InstId>>& model) {
+  ASSERT_EQ(rows.num_rows(), static_cast<int>(model.size()));
+  for (int r = 0; r < rows.num_rows(); ++r) {
+    const std::vector<InstId>& m = model[static_cast<std::size_t>(r)];
+    EXPECT_EQ(rows.row_first(r), m.empty() ? kInvalidId : m.front());
+    EXPECT_EQ(rows.row_last(r), m.empty() ? kInvalidId : m.back());
+    InstId i = rows.row_first(r);
+    for (std::size_t k = 0; k < m.size(); ++k, i = rows.next(i)) {
+      ASSERT_EQ(i, m[k]) << "chain diverges from model in row " << r;
+      EXPECT_EQ(rows.pred(i), k > 0 ? m[k - 1] : kInvalidId);
+      EXPECT_EQ(rows.row_of(i), r);
+    }
+    EXPECT_EQ(i, kInvalidId) << "chain longer than model in row " << r;
+  }
+}
+
+TEST(RowList, BuildMatchesBruteForceModel) {
+  const Design d = make_placed_design("aes_360", 0.03);
+  const RowList rows(d);
+  expect_matches_model(rows, model_of(d));
+  std::string why;
+  EXPECT_TRUE(rows.check(d, &why)) << why;
+}
+
+TEST(RowList, RandomizedOpsStayConsistentWithModel) {
+  Design d = make_placed_design("aes_400", 0.02);
+  RowList rows(d);
+  std::vector<std::vector<InstId>> model = model_of(d);
+  std::mt19937_64 rng(1234);
+
+  // Positions are relabeled from the model after each mutation, so check()'s
+  // x-order clause grades the *structure* (order == model order), and the
+  // layout stays simple: cell k of a row sits at x = 1000 k.
+  auto relabel = [&](std::size_t r) {
+    const std::vector<InstId>& row = model[r];
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      d.netlist.instance(row[k]).pos.x = static_cast<Dbu>(1000 * k);
+    }
+  };
+  for (std::size_t r = 0; r < model.size(); ++r) relabel(r);
+
+  auto nonempty_row = [&]() {
+    std::size_t r;
+    do {
+      r = rng() % model.size();
+    } while (model[r].empty());
+    return r;
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    if (rng() % 2 == 0) {  // adjacent swap
+      const std::size_t r = nonempty_row();
+      if (model[r].size() < 2) continue;
+      const std::size_t k = rng() % (model[r].size() - 1);
+      rows.swap_adjacent(model[r][k], model[r][k + 1]);
+      std::swap(model[r][k], model[r][k + 1]);
+      relabel(r);
+    } else {  // move: remove + insert_after at a random spot
+      const std::size_t r = nonempty_row();
+      const std::size_t k = rng() % model[r].size();
+      const InstId i = model[r][k];
+      rows.remove(i);
+      model[r].erase(model[r].begin() + static_cast<std::ptrdiff_t>(k));
+      EXPECT_EQ(rows.row_of(i), -1);
+      const std::size_t r2 = rng() % model.size();
+      const std::size_t j = model[r2].empty() ? 0 : rng() % (model[r2].size() + 1);
+      rows.insert_after(i, static_cast<int>(r2),
+                        j == 0 ? kInvalidId : model[r2][j - 1]);
+      model[r2].insert(model[r2].begin() + static_cast<std::ptrdiff_t>(j), i);
+      // The cell's y is stale after a cross-row move; only x matters to
+      // check(), which grades order, so park it on the model's layout.
+      relabel(r);
+      relabel(r2);
+    }
+    if (op % 64 == 0) {
+      std::string why;
+      ASSERT_TRUE(rows.check(d, &why)) << "op " << op << ": " << why;
+    }
+  }
+  expect_matches_model(rows, model);
+  std::string why;
+  EXPECT_TRUE(rows.check(d, &why)) << why;
+}
+
+TEST(RowList, CheckRejectsCorruptedStructure) {
+  const Design d = make_placed_design("aes_360", 0.02);
+  // A swap without the matching position update breaks the x-order clause.
+  RowList rows(d);
+  for (int r = 0; r < rows.num_rows(); ++r) {
+    const InstId a = rows.row_first(r);
+    if (a == kInvalidId || rows.next(a) == kInvalidId) continue;
+    rows.swap_adjacent(a, rows.next(a));
+    std::string why;
+    EXPECT_FALSE(rows.check(d, &why));
+    EXPECT_NE(why.find("x order"), std::string::npos) << why;
+    return;
+  }
+  FAIL() << "no row with two cells";
+}
+
+// ---------------------------------------------------------------------------
+// improve_placement: the strict-total-HPWL detailed placer on top of RowList.
+// ---------------------------------------------------------------------------
+
+TEST(Improve, NeverIncreasesHpwlAndStaysLegal) {
+  Design d = make_placed_design("aes_400", 0.04);
+  const Dbu before = total_hpwl(d);
+  ImproveOptions opt;
+  opt.oracle = [](const Design& g) { return placement_is_legal(g); };
+  opt.oracle_every = 1;
+  const ImproveStats stats = improve_placement(d, opt);
+  EXPECT_EQ(stats.hpwl_before, before);
+  EXPECT_LE(stats.hpwl_after, before);
+  EXPECT_EQ(stats.hpwl_after, total_hpwl(d));
+  EXPECT_GT(stats.accepted_swaps + stats.accepted_shifts, 0);
+  std::string why;
+  EXPECT_TRUE(placement_is_legal(d, &why)) << why;
+}
+
+TEST(Improve, IsDeterministic) {
+  Design d1 = make_placed_design("aes_360", 0.03);
+  Design d2 = d1;
+  const ImproveStats s1 = improve_placement(d1);
+  const ImproveStats s2 = improve_placement(d2);
+  EXPECT_EQ(s1.accepted_swaps, s2.accepted_swaps);
+  EXPECT_EQ(s1.accepted_shifts, s2.accepted_shifts);
+  EXPECT_EQ(s1.hpwl_after, s2.hpwl_after);
+  for (InstId i = 0; i < d1.netlist.num_instances(); ++i) {
+    ASSERT_EQ(d1.netlist.instance(i).pos, d2.netlist.instance(i).pos);
+  }
+}
+
+TEST(Improve, HpwlIsMonotoneOverPassBudgets) {
+  const Design base = make_placed_design("aes_360", 0.03);
+  Dbu prev = total_hpwl(base);
+  for (int passes = 1; passes <= 4; ++passes) {
+    Design d = base;
+    ImproveOptions opt;
+    opt.max_passes = passes;
+    const ImproveStats stats = improve_placement(d, opt);
+    EXPECT_LE(stats.hpwl_after, prev) << "more passes made the result worse";
+    prev = stats.hpwl_after;
+  }
+}
+
+TEST(Improve, MoveKindsCanBeDisabled) {
+  const Design base = make_placed_design("aes_400", 0.03);
+  Design d = base;
+  ImproveOptions opt;
+  opt.enable_swap = false;
+  opt.enable_shift = false;
+  const ImproveStats stats = improve_placement(d, opt);
+  EXPECT_EQ(stats.accepted_swaps, 0);
+  EXPECT_EQ(stats.accepted_shifts, 0);
+  EXPECT_EQ(stats.hpwl_after, stats.hpwl_before);
+  for (InstId i = 0; i < d.netlist.num_instances(); ++i) {
+    ASSERT_EQ(d.netlist.instance(i).pos, base.netlist.instance(i).pos);
+  }
+}
+
+}  // namespace
+}  // namespace mth::legal

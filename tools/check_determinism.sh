@@ -154,6 +154,48 @@ else
   echo "[determinism] note: mth_flow or python3 unavailable, skipping band sweep"
 fi
 
+# External-design gate: the same LEF/DEF pairs integration_golden_test diffs
+# in-process, checked end to end through the mth_flow CLI path.
+#  * improver leg — `--improve` on an ingested pair must write a
+#    bit-identical DEF at MTH_THREADS=1 and 8 (the linked-list improver is
+#    sequential by construction; a thread-count diff means something upstream
+#    in the flow leaked scheduling order into positions).
+#  * golden leg — the plain external flow must reproduce the checked-in
+#    golden DEF byte-for-byte. --ilp-seconds is set far above the solve time
+#    so the RAP proves Optimal (a deadline-limited solve is not comparable
+#    across machines, same caveat as the band sweep above).
+SRC_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+GOLDEN_EXT="$SRC_DIR/tests/golden/ext"
+if [[ -x "$BUILD_DIR/tools/mth_flow" && -f "$GOLDEN_EXT/aes_400.lef" ]]; then
+  echo "[determinism] mth_flow external improver: MTH_THREADS=1 vs 8 ..."
+  for n in 1 8; do
+    MTH_THREADS=$n "$BUILD_DIR/tools/mth_flow" \
+      --lef "$GOLDEN_EXT/aes_400.lef" --def "$GOLDEN_EXT/aes_400.in.def" \
+      --flow 5 --ilp-seconds 1000 --improve \
+      --out-def "$TMP/ext.improve.$n.def" > /dev/null
+  done
+  if cmp -s "$TMP/ext.improve.1.def" "$TMP/ext.improve.8.def"; then
+    echo "[determinism] external improver: DEF bit-identical at 1 and 8 threads"
+  else
+    echo "[determinism] external improver: DEF DIVERGED between thread counts:" >&2
+    diff -u "$TMP/ext.improve.1.def" "$TMP/ext.improve.8.def" | head -40 >&2
+    status=1
+  fi
+  echo "[determinism] mth_flow external flow vs checked-in golden DEF ..."
+  "$BUILD_DIR/tools/mth_flow" \
+    --lef "$GOLDEN_EXT/aes_400.lef" --def "$GOLDEN_EXT/aes_400.in.def" \
+    --flow 5 --ilp-seconds 1000 --out-def "$TMP/ext.flow.def" > /dev/null
+  if cmp -s "$GOLDEN_EXT/aes_400.flow.defok" "$TMP/ext.flow.def"; then
+    echo "[determinism] external flow: matches golden DEF byte-for-byte"
+  else
+    echo "[determinism] external flow: DIFFERS from aes_400.flow.defok:" >&2
+    diff -u "$GOLDEN_EXT/aes_400.flow.defok" "$TMP/ext.flow.def" | head -40 >&2
+    status=1
+  fi
+else
+  echo "[determinism] note: mth_flow or tests/golden/ext unavailable, skipping external gate"
+fi
+
 if [[ $status -eq 0 ]]; then
   echo "[determinism] OK"
 else

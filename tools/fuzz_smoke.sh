@@ -46,6 +46,14 @@ if ! "$BIN" --iters "$MTH_FUZZ_ITERS" --out "$REPRO_DIR"; then
   exit 1
 fi
 
+# LEF-parser leg: mutation iterations are cheap (no placement behind them),
+# so run an order of magnitude more of them.
+echo "[fuzz-smoke] $BIN --lef-fuzz --iters $((MTH_FUZZ_ITERS * 10))"
+if ! "$BIN" --lef-fuzz --iters "$((MTH_FUZZ_ITERS * 10))"; then
+  echo "[fuzz-smoke] FAILED: LEF parser findings above" >&2
+  exit 1
+fi
+
 if [[ "$MTH_FUZZ_ASAN" != "0" ]]; then
   ASAN_DIR="$SRC_DIR/build-asan"
   echo "[fuzz-smoke] ASan build of verify_test + rap_test in $ASAN_DIR"

@@ -29,8 +29,19 @@
 // while the failure persists, and the smallest failing instance is dumped as
 // a defio placement plus a JSON repro card.
 //
+// Each iteration also runs the linked-list detailed-placement improver on
+// the rc-legalized placement and grades the result: HPWL must never exceed
+// the input and the oracle (including fence compliance) must stay clean.
+//
 // Certify mode runs the 26 bundled Table II cases (MTH_CASES limits the
 // count) through the standard RAP and prints the certified gap per case.
+//
+// LEF-fuzz mode (--lef-fuzz) holds the LEF parser to "error cleanly, never
+// crash, never silently mis-parse": every iteration applies seeded
+// mutations (character edits, truncations, line deletions/duplications) to
+// the serialized bundled library and parses the result. Inputs must either
+// parse or throw mth::Error, and anything that parses must re-serialize to
+// a writer-closed fixed point (write(parse(write(parse(x)))) byte-stable).
 //
 // Exit code 0 == no finding; 1 == findings (repro files written); 2 == usage.
 
@@ -44,7 +55,11 @@
 
 #include "mth/flows/flow.hpp"
 #include "mth/baseline/linchang.hpp"
+#include "mth/db/metrics.hpp"
 #include "mth/io/defio.hpp"
+#include "mth/io/lefio.hpp"
+#include "mth/legal/improve.hpp"
+#include "mth/liberty/asap7.hpp"
 #include "mth/rap/rclegal.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/rng.hpp"
@@ -284,6 +299,24 @@ void run_iteration(const Scenario& sc, double sparse_gap_window,
       ck.assignment = &rr_a.assignment;
       const auto rep = verify::check_placement(d, ck);
       if (!rep.ok()) finding("rc_legalize output: " + rep.summary());
+      // Differential improver leg: the linked-list detailed placer must
+      // keep the fence-compliant placement legal and never pay HPWL for it
+      // (in-row moves cannot break the row constraint, so the same
+      // assignment-aware oracle applies).
+      {
+        Design di = d;
+        const Dbu before = total_hpwl(di);
+        const legal::ImproveStats st = legal::improve_placement(di);
+        if (st.hpwl_after > before) {
+          finding("improve: HPWL " + std::to_string(st.hpwl_after) +
+                  " above input " + std::to_string(before));
+        }
+        if (st.hpwl_after != total_hpwl(di)) {
+          finding("improve: incremental HPWL drifted from recomputation");
+        }
+        const auto repi = verify::check_placement(di, ck);
+        if (!repi.ok()) finding("improve output: " + repi.summary());
+      }
       flows::finalize_mixed(d, *pc.mlef, rr_a.assignment);
       verify::CheckOptions cm = ck;
       cm.require_track_match = true;
@@ -360,6 +393,77 @@ void dump_repro(const Scenario& first_fail, std::uint64_t seed_base, int iter,
   std::cerr << "repro written: " << stem << ".def / .json\n";
 }
 
+/// Seeded mutation fuzz of the LEF parser. Mutants must parse or throw
+/// mth::Error; parsed mutants must be writer-closed (the re-serialized
+/// library re-parses to the same bytes). Crashes surface as crashes — the
+/// ASan leg of fuzz_smoke.sh runs the same binary.
+int lef_fuzz_mode(int iters, std::uint64_t seed_base) {
+  std::ostringstream base_os;
+  io::write_lef(base_os, *liberty::library_ref());
+  const std::string base = base_os.str();
+  static const char kCharset[] = "X;.0 \n\"";
+  int parsed = 0, rejected = 0, failures = 0;
+
+  for (int iter = 0; iter < iters; ++iter) {
+    Rng rng(seed_base * 0x9E3779B97F4A7C15ull +
+            static_cast<std::uint64_t>(iter));
+    std::string text = base;
+    const auto pick = [&](std::size_t n) {
+      return static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    };
+    const auto line_span = [&](std::size_t* a, std::size_t* b) {
+      const std::size_t pos = pick(text.size());
+      const std::size_t nl = text.rfind('\n', pos);
+      *a = nl == std::string::npos ? 0 : nl + 1;
+      const std::size_t end = text.find('\n', pos);
+      *b = end == std::string::npos ? text.size() : end + 1;
+    };
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      std::size_t a = 0, b = 0;
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // replace one character
+          text[pick(text.size())] = kCharset[pick(sizeof kCharset - 1)];
+          break;
+        case 1:  // truncate
+          text.resize(pick(text.size()));
+          break;
+        case 2:  // delete one line
+          line_span(&a, &b);
+          text.erase(a, b - a);
+          break;
+        default:  // duplicate one line
+          line_span(&a, &b);
+          text.insert(a, text.substr(a, b - a));
+          break;
+      }
+    }
+    try {
+      std::istringstream in(text);
+      const io::LefResult r = io::read_lef(in, "fuzz");
+      ++parsed;
+      std::ostringstream once;
+      io::write_lef(once, *r.library);
+      std::istringstream in2(once.str());
+      const io::LefResult r2 = io::read_lef(in2, "fuzz-closure");
+      std::ostringstream twice;
+      io::write_lef(twice, *r2.library);
+      if (once.str() != twice.str()) {
+        ++failures;
+        std::cerr << "lef-fuzz iteration " << iter
+                  << ": writer closure broken (re-serialization differs)\n";
+      }
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  std::cout << "lef-fuzz: " << iters << " iterations, " << parsed
+            << " parsed, " << rejected << " rejected cleanly, " << failures
+            << " failing\n";
+  return failures == 0 ? 0 : 1;
+}
+
 int certify_mode(double scale) {
   const int max_cases = env_int("MTH_CASES", 0);
   int n = 0, certified = 0;
@@ -406,6 +510,8 @@ void usage(std::ostream& os) {
         "  --shard-bands <n> pin the sharded legs' band count (default 0:\n"
         "                    derive 2..4 from the scenario seed)\n"
         "  --certify         certify the bundled Table II cases instead\n"
+        "  --lef-fuzz        mutate the serialized bundled library and hold\n"
+        "                    the LEF parser to error-cleanly/never-crash\n"
         "  --scale <f>       certify-mode cell-count scale (default "
         "MTH_SCALE or 0.04)\n"
         "  -v                verbose logging\n";
@@ -421,6 +527,7 @@ int main(int argc, char** argv) {
   std::string out_dir = "fuzz_repro";
   int shard_bands = 0;
   bool certify = false;
+  bool lef_fuzz = false;
   double scale = env_double("MTH_SCALE", 0.04);
 
   for (int i = 1; i < argc; ++i) {
@@ -445,6 +552,8 @@ int main(int argc, char** argv) {
       shard_bands = std::atoi(next());
     } else if (a == "--certify") {
       certify = true;
+    } else if (a == "--lef-fuzz") {
+      lef_fuzz = true;
     } else if (a == "--scale") {
       scale = std::atof(next());
     } else if (a == "-v") {
@@ -461,6 +570,7 @@ int main(int argc, char** argv) {
 
   try {
     if (certify) return certify_mode(scale);
+    if (lef_fuzz) return lef_fuzz_mode(iters, seed_base);
 
     const double sparse_gap_window =
         env_double("MTH_SPARSE_GAP",
