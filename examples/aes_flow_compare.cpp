@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   for (flows::FlowId id : {flows::FlowId::F1, flows::FlowId::F2,
                            flows::FlowId::F3, flows::FlowId::F4,
                            flows::FlowId::F5}) {
-    const flows::FlowResult r = flows::run_flow(pc, id, opt, true);
+    const flows::FlowResult r = flows::run_flow(pc, id, opt, true, false).result;
     table.add_row({to_string(id),
                    format_count(static_cast<long long>(r.displacement / 1000)),
                    format_count(static_cast<long long>(r.hpwl / 1000)),

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   fopt.scale = scale;
   const flows::PreparedCase pc =
       flows::prepare_case(synth::spec_by_name(name), fopt);
-  const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, fopt, false);
+  const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, fopt, false, false).result;
 
   report::Table t({"Row assignment", "HPWL (um)", "Displacement (um)"});
   t.add_row({"customized (Flow 5, ILP)",

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
             << pc.n_min_pairs << "\n";
 
   const flows::FlowResult r =
-      flows::run_flow(pc, flows::FlowId::F5, opt, /*with_route=*/true);
+      flows::run_flow(pc, flows::FlowId::F5, opt, /*with_route=*/true,
+                      /*capture_design=*/false)
+          .result;
 
   std::cout << "\n=== " << to_string(r.flow) << " on " << r.testcase << " ===\n";
   std::cout << "post-place  displacement : "

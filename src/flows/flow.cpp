@@ -357,13 +357,4 @@ FlowOutput run_flow(const PreparedCase& pc, FlowId flow,
   return out;
 }
 
-FlowResult run_flow(const PreparedCase& pc, FlowId flow,
-                    const FlowOptions& opt, bool with_route,
-                    Design* final_design) {
-  FlowOutput out =
-      run_flow(pc, flow, opt, with_route, final_design != nullptr);
-  if (final_design != nullptr) *final_design = std::move(*out.design);
-  return std::move(out.result);
-}
-
 }  // namespace mth::flows

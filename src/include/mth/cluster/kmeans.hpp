@@ -25,11 +25,6 @@ struct KMeansOptions {
   /// bit-identical for every value. exec.seed is unused — k-means seeding
   /// is the paper's deterministic grid (grid_seeds).
   util::ExecPolicy exec;
-
-  /// \deprecated Pre-ExecPolicy field layout, kept one release as a
-  /// forwarding accessor; use exec.num_threads.
-  int& num_threads() { return exec.num_threads; }
-  int num_threads() const { return exec.num_threads; }
 };
 
 struct KMeansResult {

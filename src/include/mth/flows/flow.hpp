@@ -71,14 +71,6 @@ struct FlowOptions {
   rap::RcLegalOptions rclegal;
   route::RouterOptions router;
   timing::StaOptions sta;
-
-  /// \deprecated Pre-RunContext field layout, kept one release as
-  /// forwarding accessors; use ctx.exec.seed / ctx.exec.num_threads.
-  std::uint64_t& seed() { return ctx.exec.seed; }
-  std::uint64_t seed() const { return ctx.exec.seed; }
-  /// \deprecated See seed().
-  int& num_threads() { return ctx.exec.num_threads; }
-  int num_threads() const { return ctx.exec.num_threads; }
 };
 
 /// One testcase prepared through synthesis, mLEF and initial placement; all
@@ -164,13 +156,6 @@ struct FlowOutput {
 FlowOutput run_flow(const PreparedCase& prepared, FlowId flow,
                     const FlowOptions& options, bool with_route,
                     bool capture_design);
-
-/// \deprecated Out-parameter form, kept one release as a thin wrapper over
-/// the FlowOutput overload. When `final_design` is non-null it receives the
-/// flow's output design.
-FlowResult run_flow(const PreparedCase& prepared, FlowId flow,
-                    const FlowOptions& options, bool with_route,
-                    Design* final_design = nullptr);
 
 /// Finalize helper (exposed for tests): revert mLEF and rebuild the mixed
 /// floorplan per the assignment; design must satisfy the row constraint.

@@ -25,6 +25,8 @@
 
 namespace mth::rap {
 
+struct RapResult;
+
 struct RapOptions {
   double s = 0.2;        ///< clustering resolution (paper-tuned; Fig. 4a)
   double alpha = 0.75;   ///< displacement weight (paper-tuned; Fig. 4b)
@@ -84,11 +86,19 @@ struct RapOptions {
   /// repair ILP after the band merge (solve_rap_sharded only).
   int shard_overlap = 2;
   ilp::Options ilp = default_ilp_options();
-
-  /// \deprecated Pre-RunContext field layout, kept one release as a
-  /// forwarding accessor; use ctx.exec.num_threads.
-  int& num_threads() { return ctx.exec.num_threads; }
-  int num_threads() const { return ctx.exec.num_threads; }
+  /// A/B knob — ECO re-solve (README "Serving"): a prior whole-design
+  /// RapResult for a *similar* design (same floorplan pair count, quota and
+  /// cluster count — typically the pre-perturbation run of an ECO loop).
+  /// When set and compatible, solve_rap hot-starts from it: the prior
+  /// cluster→pair assignment and open-row set are offered as the incumbent
+  /// warm point, and the prior certificate's root lp::Basis seeds the root
+  /// cut loop's first LP (dual re-solve instead of cold two-phase). A warm
+  /// hint never changes the answer, only the work — incompatible or
+  /// infeasible hints fall back to the cold path. Acceptance shows up as
+  /// RapResult::basis_reuse_hits and the `rap/eco_hot` trace counter. The
+  /// warm-vs-cold ECO A/B lives in `bench_serve` (BENCH_serve.json; gated
+  /// by tools/perf_smoke.sh) and behind the mth_serve `eco_base` job field.
+  std::shared_ptr<const RapResult> eco_base;
 
   static ilp::Options default_ilp_options() {
     // CPLEX-with-a-deadline semantics: prove optimality within the gap when
@@ -119,6 +129,13 @@ struct RapCertificate {
   std::vector<int> yvar;               ///< pair -> indicator model var
   std::vector<Dbu> cluster_w;          ///< Eq. 4 cluster widths (width lib)
   std::vector<double> evict_cost;      ///< y_r objective coefficients
+  /// Optimal basis of the *base* model's first root-relaxation solve (round
+  /// 0 of the cut loop, before any linking cuts were appended). Unlike the
+  /// final cut-loop basis, this one is loadable into a freshly built model
+  /// of the same shape (lp::load_warm_basis requires m_old <= m), which is
+  /// exactly what an ECO re-solve builds — see RapOptions::eco_base. Empty
+  /// when the round-0 LP did not export a basis.
+  lp::Basis root_basis;
 };
 
 /// One horizontal band of a sharded solve (solve_rap_sharded): the pair
@@ -319,6 +336,10 @@ struct SubInstance {
   /// (RapOptions::max_cand_rows == 0) so the point is always representable.
   std::vector<int> warm_pair;      ///< empty == none
   std::vector<char> warm_open;
+  /// Optional hot-start basis for the root cut loop's first LP (an ECO
+  /// re-solve passes the prior certificate's root_basis). Ignored unless it
+  /// matches the model the solve builds; see RapOptions::eco_base.
+  lp::Basis hot_basis;
 };
 
 /// Solver outcome of one subproblem, window-local indices throughout.

@@ -220,11 +220,13 @@ std::string module_of(const std::string& file) {
 
 bool is_det_module(const std::string& module) {
   // Deterministic subsystems: everything whose byte-exact output feeds the
-  // golden tests and the 1-vs-8-thread diff — including serialization (io)
-  // and testcase synthesis (synth).
+  // golden tests and the 1-vs-8-thread diff — including serialization (io,
+  // ser), the job server (serve: cached replays and tenant scheduling must
+  // be byte-reproducible) and testcase synthesis (synth).
   static const std::set<std::string> kDet = {"rap",  "cluster", "lp",
                                             "ilp",  "legal",   "flows",
-                                            "verify", "io",    "synth"};
+                                            "verify", "io",    "synth",
+                                            "ser",  "serve"};
   return kDet.count(module) != 0;
 }
 
@@ -638,10 +640,13 @@ void rule_trace_registry(Ctx& ctx, const Registry& registry) {
 
 void rule_ab_doc(Ctx& ctx, const std::string& module) {
   // The unified A/B-knob doc convention (observability PR): any doc block in
-  // the public lp/ilp/rap headers that advertises an A/B knob must say where
-  // the A/B lives — a bench binary or a tools/ entry point.
+  // the public lp/ilp/rap/ser/serve headers that advertises an A/B knob must
+  // say where the A/B lives — a bench binary or a tools/ entry point.
   if (!is_public_header(ctx.file)) return;
-  if (module != "lp" && module != "ilp" && module != "rap") return;
+  if (module != "lp" && module != "ilp" && module != "rap" &&
+      module != "ser" && module != "serve") {
+    return;
+  }
   const Scan& s = ctx.scan;
   std::size_t li = 0;
   while (li < s.lines.size()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <numeric>
 
 #include "mth/cluster/kmeans.hpp"
@@ -473,6 +474,11 @@ SubSolution solve_subproblem(const SubInstance& inst, const RapOptions& opt) {
   std::vector<int> yvar;
   lp::Model model;
   ilp::Result ir;
+  // Basis of the *base* model's first root LP (pre-cut), exported with the
+  // certificate so a later ECO re-solve of a same-shape model can hot-start
+  // (RapCertificate::root_basis). The final cut-loop basis would not do: it
+  // has more rows than a freshly built base model accepts.
+  lp::Basis round0_basis;
   for (;;) {
   model = lp::Model();
   // x vars, c-major over candidate lists; then y vars.
@@ -559,6 +565,15 @@ SubSolution solve_subproblem(const SubInstance& inst, const RapOptions& opt) {
   // warm-starts the B&B root relaxation.
   lp::Basis round_basis;
   bool have_basis = false;
+  // ECO hot start: a prior run's root basis (SubInstance::hot_basis, from
+  // RapOptions::eco_base) seeds the first LP of the cut loop. lp::solve
+  // validates the basis against the model and silently falls back to the
+  // cold two-phase path on any mismatch, so a stale hint can only cost
+  // pivots, never change the answer.
+  if (opt.ilp.warm_basis && !inst.hot_basis.empty()) {
+    round_basis = inst.hot_basis;
+    have_basis = true;
+  }
   {
     // Cut budget: the dense-LU basis factorization costs O(m^3), so the row
     // count must stay bounded; a few hundred of the most-violated cuts close
@@ -579,6 +594,7 @@ SubSolution solve_subproblem(const SubInstance& inst, const RapOptions& opt) {
       if (rel.warm_used) ++sol.basis_reuse_hits;
       if (rel.status != lp::Status::Optimal) break;
       if (!rel.basis.empty()) {
+        if (round == 0) round0_basis = rel.basis;
         round_basis = std::move(rel.basis);
         have_basis = true;
       }
@@ -768,6 +784,7 @@ SubSolution solve_subproblem(const SubInstance& inst, const RapOptions& opt) {
     cert->yvar = yvar;
     cert->cluster_w = cluster_w;
     cert->evict_cost = evict_cost;
+    cert->root_basis = std::move(round0_basis);
     sol.certificate = std::move(cert);
   }
 
@@ -824,6 +841,77 @@ RapResult solve_prepared(const Design& design, const RapOptions& opt,
   si.evict_cost = std::move(prep.evict_cost);
   si.member_ys = std::move(prep.member_ys);
   si.pair_y = std::move(prep.pair_y);
+
+  // ECO hot start (RapOptions::eco_base): map the prior run's solution onto
+  // this instance's clustering and offer it as the external incumbent, and
+  // hand the prior certificate's root basis to the cut loop. The mapping
+  // goes through minority-cell *identity* (the minority enumeration is
+  // position-independent, so index i names the same cell in both runs):
+  // each new cluster takes the majority vote of its members' prior pairs.
+  // Any shape mismatch or out-of-range index — a perturbation large enough
+  // to change the minority set, quota or cluster count, or an untrusted
+  // deserialized base — degrades silently to the cold path.
+  if (opt.eco_base != nullptr) {
+    const RapResult& base = *opt.eco_base;
+    bool ok = base.bands.empty() && base.num_clusters > 0 &&
+              base.n_min_pairs == prep.n_min_pairs &&
+              base.assignment.num_pairs() == nr &&
+              base.minority_cells == res.minority_cells &&
+              base.cluster_of.size() == res.minority_cells.size() &&
+              static_cast<int>(base.cluster_pair.size()) == base.num_clusters;
+    if (ok) {
+      for (const int c : base.cluster_of) {
+        if (c < 0 || c >= base.num_clusters) ok = false;
+      }
+      for (const int r : base.cluster_pair) {
+        if (r < 0 || r >= nr) ok = false;
+      }
+    }
+    if (ok) {
+      std::vector<std::map<int, int>> votes(
+          static_cast<std::size_t>(n_clusters));
+      for (std::size_t i = 0; i < res.cluster_of.size(); ++i) {
+        const int nc = res.cluster_of[i];
+        const int prior_pair =
+            base.cluster_pair[static_cast<std::size_t>(base.cluster_of[i])];
+        if (nc < 0 || nc >= n_clusters) {
+          ok = false;
+          break;
+        }
+        ++votes[static_cast<std::size_t>(nc)][prior_pair];
+      }
+      if (ok) {
+        std::vector<int> warm_pair(static_cast<std::size_t>(n_clusters), -1);
+        for (int c = 0; c < n_clusters; ++c) {
+          int best = -1, best_votes = -1;
+          // std::map iteration is pair-index ascending: ties break low.
+          for (const auto& [pair, n] : votes[static_cast<std::size_t>(c)]) {
+            if (n > best_votes) {
+              best_votes = n;
+              best = pair;
+            }
+          }
+          if (best < 0) ok = false;
+          warm_pair[static_cast<std::size_t>(c)] = best;
+        }
+        if (ok) {
+          si.warm_pair = std::move(warm_pair);
+          si.warm_open.assign(static_cast<std::size_t>(nr), 0);
+          for (int r = 0; r < nr; ++r) {
+            si.warm_open[static_cast<std::size_t>(r)] =
+                base.assignment.is_minority_pair(r) ? 1 : 0;
+          }
+          if (base.certificate != nullptr) {
+            si.hot_basis = base.certificate->root_basis;
+          }
+          MTH_COUNT("rap/eco_hot", 1);
+          MTH_DEBUG << "rap: eco hot start mapped (" << n_clusters
+                    << " clusters, basis "
+                    << (si.hot_basis.empty() ? "cold" : "warm") << ")";
+        }
+      }
+    }
+  }
 
   SubSolution ss = solve_subproblem(si, opt);
   // Historical dense-formulation contract: the whole-design instance is

@@ -46,7 +46,7 @@ TEST(Prepare, MlefSpaceUniformHeights) {
 
 TEST(Flow1, NoDisplacementByDefinition) {
   const PreparedCase& pc = shared_case();
-  const FlowResult r = run_flow(pc, FlowId::F1, default_options(), false);
+  const FlowResult r = run_flow(pc, FlowId::F1, default_options(), false, false).result;
   EXPECT_EQ(r.displacement, 0);
   EXPECT_EQ(r.hpwl, total_hpwl(pc.initial));
 }
@@ -54,7 +54,7 @@ TEST(Flow1, NoDisplacementByDefinition) {
 TEST(Flows, RunFlowDoesNotMutatePreparedCase) {
   const PreparedCase& pc = shared_case();
   const Dbu before = total_hpwl(pc.initial);
-  (void)run_flow(pc, FlowId::F2, default_options(), false);
+  (void)run_flow(pc, FlowId::F2, default_options(), false, false).result;
   EXPECT_EQ(total_hpwl(pc.initial), before);
   EXPECT_EQ(placement_snapshot(pc.initial), pc.initial_positions);
 }
@@ -63,7 +63,7 @@ TEST(Flows, ConstrainedFlowsSatisfyRowConstraint) {
   const PreparedCase& pc = shared_case();
   const FlowOptions opt = default_options();
   for (FlowId id : {FlowId::F2, FlowId::F3, FlowId::F4, FlowId::F5}) {
-    const FlowResult r = run_flow(pc, id, opt, false);
+    const FlowResult r = run_flow(pc, id, opt, false, false).result;
     EXPECT_GT(r.displacement, 0) << to_string(id);
     EXPECT_GT(r.hpwl, 0) << to_string(id);
   }
@@ -75,10 +75,10 @@ TEST(Flows, PaperOrderingHpwl) {
   // spending more displacement (§IV-B-2).
   const PreparedCase& pc = shared_case();
   const FlowOptions opt = default_options();
-  const FlowResult f1 = run_flow(pc, FlowId::F1, opt, false);
-  const FlowResult f2 = run_flow(pc, FlowId::F2, opt, false);
-  const FlowResult f3 = run_flow(pc, FlowId::F3, opt, false);
-  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false);
+  const FlowResult f1 = run_flow(pc, FlowId::F1, opt, false, false).result;
+  const FlowResult f2 = run_flow(pc, FlowId::F2, opt, false, false).result;
+  const FlowResult f3 = run_flow(pc, FlowId::F3, opt, false, false).result;
+  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false, false).result;
   EXPECT_LE(f1.hpwl, f2.hpwl);
   EXPECT_LE(f1.hpwl, f5.hpwl);
   EXPECT_LT(f3.hpwl, f2.hpwl);
@@ -88,9 +88,9 @@ TEST(Flows, PaperOrderingHpwl) {
 TEST(Flows, RapStatsOnlyForIlpFlows) {
   const PreparedCase& pc = shared_case();
   const FlowOptions opt = default_options();
-  const FlowResult f2 = run_flow(pc, FlowId::F2, opt, false);
+  const FlowResult f2 = run_flow(pc, FlowId::F2, opt, false, false).result;
   EXPECT_EQ(f2.num_clusters, 0);
-  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, false);
+  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, false, false).result;
   EXPECT_GT(f4.num_clusters, 0);
   EXPECT_GE(f4.ilp_seconds, 0.0);
   EXPECT_TRUE(f4.ilp_status == ilp::Status::Optimal ||
@@ -100,10 +100,10 @@ TEST(Flows, RapStatsOnlyForIlpFlows) {
 TEST(Flows, RapCacheSharedBetweenF4AndF5) {
   FlowOptions opt = default_options();
   const PreparedCase pc = prepare_case(synth::spec_by_name("aes_400"), opt);
-  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, false);
+  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, false, false).result;
   ASSERT_NE(pc.rap_cache, nullptr);
   const auto* cached = pc.rap_cache.get();
-  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false);
+  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false, false).result;
   EXPECT_EQ(pc.rap_cache.get(), cached) << "F5 must reuse F4's RAP solution";
   EXPECT_EQ(f4.num_clusters, f5.num_clusters);
 }
@@ -151,7 +151,8 @@ TEST(Finalize, CoreHeightReflectsMix) {
 TEST(PostRoute, MetricsPopulated) {
   const PreparedCase& pc = shared_case();
   const FlowOptions opt = default_options();
-  const FlowResult r = run_flow(pc, FlowId::F5, opt, /*with_route=*/true);
+  const FlowResult r =
+      run_flow(pc, FlowId::F5, opt, /*with_route=*/true, false).result;
   EXPECT_TRUE(r.routed);
   EXPECT_GT(r.post.routed_wl, 0);
   EXPECT_GT(r.post.timing.total_power_mw(), 0.0);
@@ -165,7 +166,7 @@ TEST(PostRoute, MetricsPopulated) {
 TEST(PostRoute, RoutedWlExceedsHpwl) {
   const PreparedCase& pc = shared_case();
   const FlowOptions opt = default_options();
-  const FlowResult r = run_flow(pc, FlowId::F2, opt, true);
+  const FlowResult r = run_flow(pc, FlowId::F2, opt, true, false).result;
   // Routed trees are at least as long as placement HPWL (same space modulo
   // the mixed-height revert, which changes geometry mildly).
   EXPECT_GT(r.post.routed_wl, r.hpwl / 2);
@@ -175,8 +176,8 @@ TEST(Flows, DeterministicAcrossRuns) {
   FlowOptions opt = default_options();
   const PreparedCase a = prepare_case(synth::spec_by_name("aes_400"), opt);
   const PreparedCase b = prepare_case(synth::spec_by_name("aes_400"), opt);
-  const FlowResult ra = run_flow(a, FlowId::F2, opt, false);
-  const FlowResult rb = run_flow(b, FlowId::F2, opt, false);
+  const FlowResult ra = run_flow(a, FlowId::F2, opt, false, false).result;
+  const FlowResult rb = run_flow(b, FlowId::F2, opt, false, false).result;
   EXPECT_EQ(ra.hpwl, rb.hpwl);
   EXPECT_EQ(ra.displacement, rb.displacement);
 }

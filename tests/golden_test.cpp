@@ -51,7 +51,7 @@ Metrics collect(const std::string& name) {
   for (const flows::FlowId id :
        {flows::FlowId::F2, flows::FlowId::F3, flows::FlowId::F4,
         flows::FlowId::F5}) {
-    const flows::FlowResult r = flows::run_flow(pc, id, opt, false);
+    const flows::FlowResult r = flows::run_flow(pc, id, opt, false, false).result;
     const std::string key = name + "." + flows::to_string(id);
     m[key + ".displacement"] = r.displacement;
     m[key + ".hpwl"] = r.hpwl;

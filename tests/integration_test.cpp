@@ -23,9 +23,9 @@ const CaseRun& run_aes() {
     opt.scale = 0.06;
     opt.rap.ilp.time_limit_s = 20;
     CaseRun cr{prepare_case(synth::spec_by_name("aes_300"), opt), {}, {}, {}};
-    cr.f1 = run_flow(cr.pc, FlowId::F1, opt, true);
-    cr.f2 = run_flow(cr.pc, FlowId::F2, opt, true);
-    cr.f5 = run_flow(cr.pc, FlowId::F5, opt, true);
+    cr.f1 = run_flow(cr.pc, FlowId::F1, opt, true, false).result;
+    cr.f2 = run_flow(cr.pc, FlowId::F2, opt, true, false).result;
+    cr.f5 = run_flow(cr.pc, FlowId::F5, opt, true, false).result;
     return cr;
   }();
   return r;
@@ -79,7 +79,7 @@ TEST(Integration, SecondTestcaseFullPipeline) {
   opt.scale = 0.04;
   opt.rap.ilp.time_limit_s = 15;
   const PreparedCase pc = prepare_case(synth::spec_by_name("des3_250"), opt);
-  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, true);
+  const FlowResult f4 = run_flow(pc, FlowId::F4, opt, true, false).result;
   EXPECT_TRUE(f4.routed);
   EXPECT_GT(f4.num_clusters, 0);
   EXPECT_GT(f4.post.routed_wl, 0);
@@ -106,7 +106,7 @@ TEST(Integration, TightTimeLimitStillFeasible) {
   opt.scale = 0.04;
   opt.rap.ilp.time_limit_s = 0.01;
   const PreparedCase pc = prepare_case(synth::spec_by_name("jpeg_400"), opt);
-  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false);
+  const FlowResult f5 = run_flow(pc, FlowId::F5, opt, false, false).result;
   EXPECT_GT(f5.hpwl, 0);
   EXPECT_EQ(f5.n_min_pairs, pc.n_min_pairs);
 }
@@ -116,7 +116,7 @@ TEST(Integration, RerunFromSamePreparedCaseIsStable) {
   FlowOptions opt;
   opt.scale = 0.06;
   opt.rap.ilp.time_limit_s = 20;
-  const FlowResult again = run_flow(cr.pc, FlowId::F2, opt, false);
+  const FlowResult again = run_flow(cr.pc, FlowId::F2, opt, false, false).result;
   EXPECT_EQ(again.hpwl, cr.f2.hpwl);
   EXPECT_EQ(again.displacement, cr.f2.displacement);
 }

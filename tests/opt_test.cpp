@@ -145,7 +145,7 @@ TEST(Patterns, CustomRowsBeatCenterBlockOnHpwl) {
   const auto& pc = small_case();
   flows::FlowOptions opt;
   opt.rap.ilp.time_limit_s = 10;
-  const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+  const flows::FlowResult f5 = flows::run_flow(pc, flows::FlowId::F5, opt, false, false).result;
   Design d = pc.initial;
   const RowAssignment block = rap::pattern_assignment(
       d.floorplan.num_pairs(), pc.n_min_pairs, rap::RowPattern::CenterBlock);

@@ -102,7 +102,7 @@ TEST(StressFlow, MinimumSizedDesignSurvivesAllFlows) {
   EXPECT_GE(pc.initial.netlist.num_instances(), 60);
   for (auto id : {flows::FlowId::F1, flows::FlowId::F2, flows::FlowId::F3,
                   flows::FlowId::F4, flows::FlowId::F5}) {
-    const flows::FlowResult r = flows::run_flow(pc, id, opt, false);
+    const flows::FlowResult r = flows::run_flow(pc, id, opt, false, false).result;
     EXPECT_GT(r.hpwl, 0) << to_string(id);
   }
 }
@@ -118,7 +118,7 @@ TEST(StressFlow, HighMinorityFractionCase) {
   opt.rap.ilp.time_limit_s = 10;
   const flows::PreparedCase pc =
       flows::prepare_case(synth::spec_by_name("aes_300"), opt);
-  const flows::FlowResult r5 = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+  const flows::FlowResult r5 = flows::run_flow(pc, flows::FlowId::F5, opt, false, false).result;
   EXPECT_GT(r5.hpwl, 0);
   EXPECT_EQ(r5.n_min_pairs, pc.n_min_pairs);
 }
@@ -133,7 +133,7 @@ TEST(StressFlow, UtilizationSweepStaysLegal) {
         flows::prepare_case(synth::spec_by_name("des3_290"), opt);
     std::string why;
     EXPECT_TRUE(placement_is_legal(pc.initial, &why)) << "util " << util << ": " << why;
-    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, opt, false);
+    const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F5, opt, false, false).result;
     EXPECT_GT(r.hpwl, 0);
   }
 }
@@ -145,7 +145,7 @@ TEST(StressFlow, RouteOnDenseDesign) {
   opt.rap.ilp.time_limit_s = 5;
   const flows::PreparedCase pc =
       flows::prepare_case(synth::spec_by_name("jpeg_400"), opt);
-  const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F2, opt, true);
+  const flows::FlowResult r = flows::run_flow(pc, flows::FlowId::F2, opt, true, false).result;
   EXPECT_TRUE(r.routed);
   EXPECT_GT(r.post.routed_wl, 0);
 }

@@ -258,7 +258,7 @@ TEST(FlowVerify, FullFlowPassesWithVerifyOn) {
   const flows::PreparedCase pc =
       flows::prepare_case(synth::spec_by_name("aes_300"), opt);
   // F5 exercises the RAP certification + rc-legalize + finalize hooks.
-  EXPECT_NO_THROW(flows::run_flow(pc, flows::FlowId::F5, opt, true));
+  EXPECT_NO_THROW(flows::run_flow(pc, flows::FlowId::F5, opt, true, false));
 }
 
 // --- sharded certificates ----------------------------------------------------

@@ -196,6 +196,65 @@ else
   echo "[determinism] note: mth_flow or tests/golden/ext unavailable, skipping external gate"
 fi
 
+# Serve leg: the same job run through the mth_flow CLI and as an mth_serve
+# envelope must produce a bit-identical DEF and the same canonical trace
+# summary — the server's per-job RunContext wiring is exactly the CLI's, so
+# any divergence means server state leaked into a job. The envelope is
+# submitted twice in one batch: the second response must be a cache hit that
+# replays the first byte-for-byte (only the id and cache_hit fields differ).
+if [[ -x "$BUILD_DIR/tools/mth_serve" && -x "$BUILD_DIR/tools/mth_flow" ]] \
+     && command -v python3 > /dev/null; then
+  SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  echo "[determinism] mth_serve vs mth_flow: aes_360 flow 5 ..."
+  "$BUILD_DIR/tools/mth_flow" --testcase aes_360 --flow 5 --scale 0.05 \
+    --ilp-seconds 5 --out-def "$TMP/cli.def" \
+    --trace-summary "$TMP/cli.summary.json" > /dev/null
+  mkdir -p "$TMP/serve_def" "$TMP/serve_trace"
+  job='{"mth_ser_version": 1, "kind": "job", "id": "IDVAL", "testcase": "aes_360", "flow": 5, "options": {"mth_ser_version": 1, "kind": "flow_options", "scale": 0.05, "rap": {"mth_ser_version": 1, "kind": "rap_options", "ilp": {"time_limit_s": 5}}}}'
+  { printf '%s\n' "${job/IDVAL/serve1}"; printf '%s\n' "${job/IDVAL/serve2}"; } \
+    | "$BUILD_DIR/tools/mth_serve" --dump-def "$TMP/serve_def" \
+        --dump-trace "$TMP/serve_trace" > "$TMP/serve.responses"
+  if cmp -s "$TMP/cli.def" "$TMP/serve_def/serve1.def"; then
+    echo "[determinism] serve: DEF bit-identical to the CLI"
+  else
+    echo "[determinism] serve: DEF DIVERGED from the CLI:" >&2
+    diff -u "$TMP/cli.def" "$TMP/serve_def/serve1.def" | head -40 >&2
+    status=1
+  fi
+  python3 "$SCRIPT_DIR/trace_schema_check.py" \
+    --registry "$SCRIPT_DIR/trace_spans.json" \
+    --canonical "$TMP/cli.summary.json" > "$TMP/cli.summary.canon"
+  python3 "$SCRIPT_DIR/trace_schema_check.py" \
+    --registry "$SCRIPT_DIR/trace_spans.json" \
+    --canonical "$TMP/serve_trace/serve1.trace" > "$TMP/serve.summary.canon"
+  if diff -u "$TMP/cli.summary.canon" "$TMP/serve.summary.canon" \
+       > "$TMP/serve.summary.diff"; then
+    echo "[determinism] serve: canonical trace summary identical to the CLI"
+  else
+    echo "[determinism] serve: trace summary DIVERGED from the CLI:" >&2
+    cat "$TMP/serve.summary.diff" >&2
+    status=1
+  fi
+  if [[ "$(wc -l < "$TMP/serve.responses")" -eq 2 ]] \
+       && grep -q '"id":"serve2","status":"ok","cache_hit":true' \
+            "$TMP/serve.responses"; then
+    sed -e 's/"id":"serve[12]"/"id":"X"/' -e 's/"cache_hit":true/"cache_hit":false/' \
+      "$TMP/serve.responses" > "$TMP/serve.responses.norm"
+    if [[ "$(sort -u "$TMP/serve.responses.norm" | wc -l)" -eq 1 ]]; then
+      echo "[determinism] serve: cache-hit replay bit-identical"
+    else
+      echo "[determinism] serve: cache-hit replay DIVERGED:" >&2
+      sort -u "$TMP/serve.responses.norm" | head -4 >&2
+      status=1
+    fi
+  else
+    echo "[determinism] serve: second response was not a cache hit" >&2
+    status=1
+  fi
+else
+  echo "[determinism] note: mth_serve, mth_flow or python3 unavailable, skipping serve leg"
+fi
+
 if [[ $status -eq 0 ]]; then
   echo "[determinism] OK"
 else

@@ -61,6 +61,7 @@
 #include "mth/legal/improve.hpp"
 #include "mth/liberty/asap7.hpp"
 #include "mth/rap/rclegal.hpp"
+#include "mth/ser/ser.hpp"
 #include "mth/util/log.hpp"
 #include "mth/util/rng.hpp"
 #include "mth/verify/certifier.hpp"
@@ -372,24 +373,26 @@ void dump_repro(const Scenario& first_fail, std::uint64_t seed_base, int iter,
   const flows::PreparedCase pc =
       flows::prepare_case(*smallest.spec, scenario_options(smallest));
   io::write_design_file(stem + ".def", pc.initial);
-  std::ofstream js(stem + ".json");
-  js << "{\n  \"testcase\": \"" << smallest.spec->short_name << "\",\n"
-     << "  \"iteration\": " << iter << ",\n"
-     << "  \"seed_base\": " << seed_base << ",\n"
-     << "  \"generator_seed\": " << smallest.seed << ",\n"
-     << "  \"target_cells\": " << smallest.target_cells << ",\n"
-     << "  \"scale\": " << smallest.scale() << ",\n"
-     << "  \"findings\": [\n";
-  for (std::size_t i = 0; i < last_findings.size(); ++i) {
-    std::string esc;
-    for (char c : last_findings[i]) {
-      if (c == '"' || c == '\\') esc += '\\';
-      if (c == '\n') { esc += "\\n"; continue; }
-      esc += c;
-    }
-    js << "    \"" << esc << (i + 1 < last_findings.size() ? "\",\n" : "\"\n");
+  // The card is a versioned mth::ser envelope, so it submits to mth_serve
+  // verbatim (`mth_serve < iterN_case.json`); the fuzz-forensic fields ride
+  // along and the embedded options reproduce the failing scenario exactly.
+  ser::Value card = ser::make_envelope("repro");
+  card.set("testcase", ser::Value::string(smallest.spec->short_name));
+  card.set("iteration", ser::Value::integer(iter));
+  card.set("seed_base",
+           ser::Value::integer(static_cast<std::int64_t>(seed_base)));
+  card.set("generator_seed",
+           ser::Value::integer(static_cast<std::int64_t>(smallest.seed)));
+  card.set("target_cells", ser::Value::integer(smallest.target_cells));
+  card.set("scale", ser::Value::number(smallest.scale()));
+  card.set("options", ser::to_value(scenario_options(smallest)));
+  ser::Value findings_v = ser::Value::array();
+  for (const std::string& f : last_findings) {
+    findings_v.push(ser::Value::string(f));
   }
-  js << "  ]\n}\n";
+  card.set("findings", std::move(findings_v));
+  std::ofstream js(stem + ".json");
+  js << ser::write(card);
   std::cerr << "repro written: " << stem << ".def / .json\n";
 }
 

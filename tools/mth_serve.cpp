@@ -1,0 +1,230 @@
+// mth_serve — batched multi-tenant flow/RAP job server (README "Serving").
+//
+//   printf '%s\n' "$JOB_JSON" | mth_serve --dump-def out/
+//
+// Reads line-delimited mth::ser job envelopes (kinds "job" and "repro" —
+// mth_fuzz repro cards submit verbatim) on stdin or a Unix socket. Each
+// non-blank line is submitted; a blank line is a drain barrier (runs every
+// queued job, prints one response line per job in deterministic tenant
+// round-robin order); EOF drains whatever remains. Immediate outcomes
+// (malformed envelope, queue overload) are answered in place.
+//
+//   --max-queue <n>    admission bound before typed rejects (default 64)
+//   --no-cache         disable the result cache (A/B vs cached replay)
+//   --threads <n>      thread policy applied to every job (default auto)
+//   --dump-def <dir>   write each ok response's DEF to <dir>/<id>.def
+//   --dump-trace <dir> write each ok response's canonical trace summary
+//                      to <dir>/<id>.trace
+//   --socket <path>    serve one client over an AF_UNIX stream socket
+//                      instead of stdin/stdout
+//
+// Exit code 0 on success; prints usage and exits 2 on bad arguments.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "mth/serve/serve.hpp"
+#include "mth/util/log.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: mth_serve [options]\n"
+        "  --max-queue <n>    queued-job admission bound (default 64)\n"
+        "  --no-cache         disable the result cache\n"
+        "  --threads <n>      per-job thread policy (default auto)\n"
+        "  --dump-def <dir>   write ok responses' DEF to <dir>/<id>.def\n"
+        "  --dump-trace <dir> write ok responses' trace summary to\n"
+        "                     <dir>/<id>.trace\n"
+        "  --socket <path>    serve one AF_UNIX client instead of stdio\n"
+        "  -v / -q            verbose / quiet logging\n";
+}
+
+// Side-channel artifact dumps for shell harnesses (check_determinism.sh
+// serve leg): the response line stays the only protocol output.
+void dump_artifacts(const std::string& response, const std::string& def_dir,
+                    const std::string& trace_dir) {
+  if (def_dir.empty() && trace_dir.empty()) return;
+  try {
+    const mth::ser::Value v = mth::ser::parse(response);
+    if (mth::ser::envelope_kind(v) != "response") return;
+    if (v.get("status").as_string() != "ok") return;
+    const std::string id = v.get("id").as_string();
+    if (!def_dir.empty()) {
+      std::ofstream os(def_dir + "/" + id + ".def", std::ios::binary);
+      os << v.get("def").as_string();
+    }
+    if (!trace_dir.empty()) {
+      std::ofstream os(trace_dir + "/" + id + ".trace", std::ios::binary);
+      os << v.get("trace_summary").as_string();
+    }
+  } catch (const std::exception& e) {
+    MTH_WARN << "mth_serve: artifact dump failed: " << e.what();
+  }
+}
+
+// One protocol turn: submit a line, or drain on a barrier. Returns the
+// response lines to emit now.
+class Session {
+ public:
+  Session(mth::serve::Server& server, std::string def_dir,
+          std::string trace_dir)
+      : server_(server),
+        def_dir_(std::move(def_dir)),
+        trace_dir_(std::move(trace_dir)) {}
+
+  void feed(const std::string& line, std::ostream& os) {
+    if (line.empty()) {
+      emit_all(server_.drain(), os);
+      os.flush();
+      return;
+    }
+    if (std::optional<std::string> immediate = server_.submit(line)) {
+      emit(*immediate, os);
+      os.flush();
+    }
+  }
+
+  void finish(std::ostream& os) {
+    emit_all(server_.drain(), os);
+    os.flush();
+  }
+
+ private:
+  void emit(const std::string& response, std::ostream& os) {
+    dump_artifacts(response, def_dir_, trace_dir_);
+    os << response << "\n";
+  }
+  void emit_all(const std::vector<std::string>& responses, std::ostream& os) {
+    for (const std::string& r : responses) emit(r, os);
+  }
+
+  mth::serve::Server& server_;
+  std::string def_dir_;
+  std::string trace_dir_;
+};
+
+int serve_socket(const std::string& path, Session& session) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "mth_serve: socket() failed\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "mth_serve: socket path too long\n";
+    ::close(listener);
+    return 1;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 1) < 0) {
+    std::cerr << "mth_serve: cannot listen on " << path << "\n";
+    ::close(listener);
+    return 1;
+  }
+  const int client = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (client < 0) {
+    std::cerr << "mth_serve: accept() failed\n";
+    return 1;
+  }
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      std::ostringstream out;
+      session.feed(line, out);
+      const std::string replies = out.str();
+      if (!replies.empty()) {
+        (void)!::write(client, replies.data(), replies.size());
+      }
+    }
+  }
+  std::ostringstream out;
+  session.finish(out);
+  const std::string replies = out.str();
+  if (!replies.empty()) {
+    (void)!::write(client, replies.data(), replies.size());
+  }
+  ::close(client);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mth;
+  set_log_level(LogLevel::Warn);
+
+  serve::ServeOptions opt;
+  std::string def_dir, trace_dir, socket_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        usage(std::cerr);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--max-queue") {
+      opt.max_queue = std::atoi(next());
+    } else if (a == "--no-cache") {
+      opt.cache = false;
+    } else if (a == "--threads") {
+      opt.ctx.exec.num_threads = std::atoi(next());
+    } else if (a == "--dump-def") {
+      def_dir = next();
+    } else if (a == "--dump-trace") {
+      trace_dir = next();
+    } else if (a == "--socket") {
+      socket_path = next();
+    } else if (a == "-v") {
+      set_log_level(LogLevel::Debug);
+    } else if (a == "-q") {
+      set_log_level(LogLevel::Error);
+    } else if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (opt.max_queue <= 0) {
+    std::cerr << "--max-queue must be positive\n";
+    return 2;
+  }
+
+  serve::Server server(opt);
+  Session session(server, def_dir, trace_dir);
+  if (!socket_path.empty()) return serve_socket(socket_path, session);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    session.feed(line, std::cout);
+  }
+  session.finish(std::cout);
+  return 0;
+}

@@ -152,6 +152,65 @@ else
   echo "[perf-smoke] note: bench_scaling not built, skipping sharded gate"
 fi
 
+# Serving harness: cache-replay (>= 10x), warm-ECO (fewer LP iterations,
+# break-even or better wall clock) and server-vs-CLI identity gates are
+# internal to the bench; the artifact schema is checked here. Two cases keep
+# the identity sweep in smoke-test territory — the committed EXPERIMENTS run
+# covers all 26.
+VBIN="$(dirname "$BIN")/bench_serve"
+if [[ -x "$VBIN" ]]; then
+  echo "[perf-smoke] $VBIN (serve: cache replay / warm ECO / identity)"
+  if ! MTH_CASES=2 "$VBIN"; then
+    echo "[perf-smoke] FAILED: serve cache/eco/identity gate" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null; then
+    python3 - "$TMP/BENCH_serve.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key, ty in [("source", str), ("scale", (int, float)), ("cache", dict),
+                ("eco", dict), ("records", list)]:
+    assert key in doc, f"missing key: {key}"
+    assert isinstance(doc[key], ty), f"bad type for {key}"
+assert doc["source"] == "bench_serve"
+for key, ty in [("testcase", str), ("cold_s", (int, float)),
+                ("replay_s", (int, float)), ("speedup", (int, float)),
+                ("identical", bool)]:
+    assert key in doc["cache"], f"missing cache key: {key}"
+    assert isinstance(doc["cache"][key], ty), f"bad type for cache {key}"
+assert doc["cache"]["identical"], "cache replay not byte-identical"
+assert doc["cache"]["speedup"] >= 10, "cache replay under 10x"
+for key, ty in [("testcase", str), ("perturbed_cells", int),
+                ("total_cells", int), ("cold_s", (int, float)),
+                ("warm_s", (int, float)), ("speedup", (int, float)),
+                ("cold_lp_iterations", int), ("warm_lp_iterations", int),
+                ("cold_reuse_hits", int), ("warm_reuse_hits", int),
+                ("hot_engaged", bool), ("fewer_iterations", bool)]:
+    assert key in doc["eco"], f"missing eco key: {key}"
+    assert isinstance(doc["eco"][key], ty), f"bad type for eco {key}"
+assert doc["eco"]["hot_engaged"], "eco hot start did not engage"
+assert doc["eco"]["fewer_iterations"], "warm eco not fewer lp iterations"
+assert doc["records"], "no identity records"
+for rec in doc["records"]:
+    for key, ty in [("testcase", str), ("def_identical", bool),
+                    ("trace_identical", bool), ("direct_s", (int, float)),
+                    ("served_s", (int, float))]:
+        assert key in rec, f"missing record key: {key}"
+        assert isinstance(rec[key], ty), f"bad type for record {key}"
+    assert rec["def_identical"], f"{rec['testcase']}: DEF differs from CLI"
+    assert rec["trace_identical"], f"{rec['testcase']}: trace differs from CLI"
+print(f"[perf-smoke] BENCH_serve.json schema OK ({len(doc['records'])} records)")
+EOF
+    if [[ $? -ne 0 ]]; then
+      echo "[perf-smoke] FAILED: BENCH_serve.json violates the schema" >&2
+      exit 1
+    fi
+  fi
+else
+  echo "[perf-smoke] note: bench_serve not built, skipping serve gate"
+fi
+
 # Traced-flow smoke: both exporters must produce schema-valid JSON.
 if [[ -n "$FLOW_BIN" ]] && command -v python3 > /dev/null; then
   echo "[perf-smoke] traced flow: $FLOW_BIN --flow 5 --trace/--trace-summary"
