@@ -35,11 +35,35 @@
 //    or re-sort cannot creep back in (legal/rowlist.cpp's build is the one
 //    sanctioned scan).
 //
+//  * parallel rules — the semantic layer (v2). A lightweight scope parser on
+//    top of the token stream recovers function/lambda boundaries, capture
+//    lists, lambda parameters and body-local declarations, and analyzes the
+//    worker lambda of every parallel_for / parallel_chunks / parallel_reduce
+//    call site: writes through by-reference captures to shared non-atomic
+//    state that is not indexed by a chunk/index parameter are flagged
+//    (par-capture-race — the static complement to the TSan CI leg, which
+//    only sees interleavings that execute), and floating-point += / -= / *=
+//    accumulation on captured state inside a worker body is flagged
+//    separately (fp-ordered-merge — it bypasses the ordered per-chunk merge
+//    that keeps results bit-identical at any MTH_THREADS).
+//  * layering rules — an include-graph extractor over every scanned file
+//    checks the `#include "mth/..."` edges against the module DAG declared
+//    in tools/lint_layers.json: a module may only include modules in the
+//    transitive closure of its declared dependencies (layer-violation), and
+//    the file-level include graph must be acyclic (layer-cycle). Adding a
+//    module or a new cross-module edge means amending the checked-in DAG —
+//    a reviewed, explicit act rather than an accidental #include.
+//
 // The analyzer is a token-level scanner, not a compiler: it strips comments
 // and string/char literals with a small state machine (raw strings included)
-// and pattern-matches the remaining token stream. That is deliberate — the
-// rules are lexical by design so the tool stays dependency-free, runs on the
-// whole tree in milliseconds, and can be unit-tested with inline fixtures.
+// and pattern-matches the remaining token stream; the v2 passes add brace/
+// paren matching and declaration tracking on top, but no type checking or
+// template instantiation. That is deliberate — the rules are lexical (or
+// scope-lexical) by design so the tool stays dependency-free, runs on the
+// whole tree in well under the 5 s CI budget, and can be unit-tested with
+// inline fixtures. Pointer laundering (stashing a captured pointer in a
+// local and writing through it) is out of lexical reach; TSan remains the
+// dynamic backstop for that.
 //
 // Findings can be suppressed two ways:
 //  * inline, with a justification comment the scanner recognizes on the same
@@ -70,12 +94,22 @@ enum class Rule {
                   ///< horizontal lane-merge intrinsic anywhere
   IhpwlFullScan,  ///< ihpwl-full-scan: total_hpwl() in a rap/legal loop
   RowRescan,      ///< row-rescan: row_at_y / sort in legal/polish|improve
+  ParCaptureRace,  ///< par-capture-race: unindexed by-ref-capture write in a
+                   ///< parallel worker lambda
+  FpOrderedMerge,  ///< fp-ordered-merge: FP accumulation on captured state
+                   ///< inside a parallel worker body
+  LayerCycle,      ///< layer-cycle: include cycle (files or declared DAG)
+  LayerViolation,  ///< layer-violation: include edge outside the declared
+                   ///< module DAG (tools/lint_layers.json)
 };
 
 /// Stable kebab-case rule id, used in diagnostics, suppression comments,
 /// the JSON output and the baseline ("det-rand", "trace-registry", ...).
 const char* to_string(Rule r);
 std::optional<Rule> rule_from_string(std::string_view id);
+
+/// One-line rule description (SARIF rules metadata, --help output).
+const char* rule_description(Rule r);
 
 /// One diagnostic. `file` is whatever path label the caller passed in
 /// (repo-relative by convention); `snippet` is the trimmed source line the
@@ -121,13 +155,74 @@ struct TraceUses {
 };
 TraceUses collect_trace_uses(std::string_view text);
 
+// --- include graph + layering --------------------------------------------
+// The layering contract is declared module-by-module in a checked-in JSON
+// config (tools/lint_layers.json): each module lists the modules it may
+// depend on *directly*; the transitive closure is computed here, so the
+// config stays minimal. check_layers() enforces three things over the
+// include edges collected from the tree:
+//  * the declared module graph itself is acyclic and closed (every listed
+//    dependency is itself declared) — config errors are findings too, so a
+//    bad edit to the JSON fails the same gate;
+//  * every `#include "mth/X/..."` from a file in module M has X in the
+//    transitive closure of M's declared dependencies (layer-violation);
+//  * the file-level include graph over the scanned tree is acyclic
+//    (layer-cycle; the finding names the full cycle path).
+// Files outside src/ (tools, tests, bench, examples) have no module and are
+// exempt from the violation check, but their edges still feed cycle
+// detection. Inline suppressions on the offending #include line work as for
+// every other rule.
+
+/// One `#include "..."` edge as written in a source buffer. Only quoted
+/// includes are collected — that is the project convention for first-party
+/// headers; angle includes are system/third-party by definition.
+struct IncludeUse {
+  std::string target;  ///< include path as written, e.g. "mth/rap/rap.hpp"
+  int line = 0;
+  bool allow_violation = false;  ///< inline layer-violation suppression
+  bool allow_cycle = false;      ///< inline layer-cycle suppression
+  std::string snippet;           ///< trimmed source line (baseline key part)
+};
+std::vector<IncludeUse> collect_includes(std::string_view text);
+
+struct FileIncludes {
+  std::string file;  ///< repo-relative label, as passed to lint_source
+  std::vector<IncludeUse> includes;
+};
+
+/// The declared module DAG. Order is preserved from the config file so
+/// diagnostics and regenerated JSON are diff-stable.
+struct LayerConfig {
+  std::vector<std::pair<std::string, std::vector<std::string>>> modules;
+  bool empty() const { return modules.empty(); }
+};
+std::optional<LayerConfig> parse_layers(std::string_view json,
+                                        std::string* error);
+std::string layers_to_json(const LayerConfig& config);
+
+/// Run the layering + cycle analysis over the collected include edges.
+/// `config_label` names the config file in config-level findings (pass the
+/// repo-relative path of lint_layers.json).
+std::vector<Finding> check_layers(const std::vector<FileIncludes>& files,
+                                  const LayerConfig& config,
+                                  const std::string& config_label);
+
 // --- serialization -------------------------------------------------------
 // All readers accept exactly what the writers emit (plus whitespace); on
 // malformed input they return nullopt and set *error to a short description.
 
+/// Schema v2: {"version": 2, "total": N, "counts": {"<rule>": n, ...},
+/// "findings": [{rule, file, line, module, message, snippet}, ...]}.
+/// parse_findings_json also accepts the v1 form (no counts, no module).
 std::string findings_to_json(const std::vector<Finding>& findings);
 std::optional<std::vector<Finding>> parse_findings_json(std::string_view json,
                                                         std::string* error);
+
+/// SARIF 2.1.0 (one run, tool "mth_lint", every rule listed with its
+/// description) — the format GitHub code scanning ingests for inline PR
+/// annotations. File-level findings (line 0) clamp to startLine 1 as the
+/// SARIF spec requires regions to be 1-based.
+std::string findings_to_sarif(const std::vector<Finding>& findings);
 
 std::string baseline_to_json(const std::vector<Finding>& findings);
 std::optional<std::vector<std::string>> parse_baseline(std::string_view json,

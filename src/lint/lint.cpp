@@ -1,470 +1,32 @@
 #include "mth/lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "scan.hpp"
+
 namespace mth::lint {
+
+using detail::Ctx;
+using detail::Scan;
+using detail::Tok;
+using detail::Token;
+using detail::is_ident;
+using detail::is_punct;
+using detail::json_escape;
+using detail::JParser;
+using detail::JValue;
+
 namespace {
 
 // ---------------------------------------------------------------------------
-// Scanner: strips comments and string/char literals from a C++ buffer and
-// produces (a) a token stream of identifiers / punctuation / string literals
-// with line numbers, (b) per-line comment text for suppression and doc-block
-// analysis, (c) the raw lines for snippets. This is a lexer, not a parser —
-// the rules are lexical by design (see lint.hpp).
+// Token-level rule implementations (the v1 rule families). The scanner, the
+// suppression machinery and the JSON plumbing live in scan.cpp; the v2
+// semantic passes live in scope.cpp (parallel captures) and layers.cpp
+// (include graph).
 // ---------------------------------------------------------------------------
-
-enum class Tok { Ident, Punct, Literal, Number };
-
-struct Token {
-  Tok kind;
-  std::string text;  // identifier / punctuation text, or literal *content*
-  int line;
-};
-
-struct Scan {
-  std::vector<std::string> lines;     // raw source, for snippets
-  std::vector<Token> tokens;
-  std::vector<std::string> comments;  // per line (index line-1), '\n'-joined
-  std::vector<bool> doc;              // line carries a /// doc comment
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-Scan scan_source(std::string_view text) {
-  Scan s;
-  {
-    std::string cur;
-    for (char c : text) {
-      if (c == '\n') {
-        s.lines.push_back(cur);
-        cur.clear();
-      } else if (c != '\r') {
-        cur += c;
-      }
-    }
-    s.lines.push_back(cur);
-  }
-  s.comments.resize(s.lines.size());
-  s.doc.resize(s.lines.size(), false);
-
-  const std::size_t n = text.size();
-  std::size_t i = 0;
-  int line = 1;
-  // End offset of the last emitted token — used to detect the raw-string
-  // prefix (an identifier ending in 'R' immediately before the quote).
-  std::size_t last_tok_end = static_cast<std::size_t>(-1);
-
-  auto add_comment = [&](int at, std::string_view body, bool is_doc) {
-    std::string& dst = s.comments[static_cast<std::size_t>(at - 1)];
-    if (!dst.empty()) dst += '\n';
-    dst.append(body);
-    if (is_doc) s.doc[static_cast<std::size_t>(at - 1)] = true;
-  };
-
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      std::size_t j = i;
-      while (j < n && text[j] != '\n') ++j;
-      const std::string_view body = text.substr(i, j - i);
-      add_comment(line, body, body.substr(0, 3) == "///");
-      i = j;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      i += 2;
-      std::string body;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          add_comment(line, body, false);
-          body.clear();
-          ++line;
-        } else {
-          body += text[i];
-        }
-        ++i;
-      }
-      add_comment(line, body, false);
-      i = (i + 1 < n) ? i + 2 : n;
-      continue;
-    }
-    if (c == '"') {
-      const bool raw = !s.tokens.empty() && last_tok_end == i &&
-                       s.tokens.back().kind == Tok::Ident &&
-                       s.tokens.back().text.back() == 'R';
-      std::string content;
-      if (raw) {
-        s.tokens.pop_back();  // the R / u8R prefix is part of the literal
-        std::size_t j = i + 1;
-        std::string delim;
-        while (j < n && text[j] != '(') delim += text[j++];
-        ++j;  // past '('
-        const std::string close = ")" + delim + "\"";
-        const std::size_t end = text.find(close, j);
-        const std::size_t stop = end == std::string_view::npos ? n : end;
-        const int at = line;
-        for (std::size_t k = j; k < stop; ++k) {
-          if (text[k] == '\n')
-            ++line;
-          else
-            content += text[k];
-        }
-        i = stop == n ? n : stop + close.size();
-        s.tokens.push_back({Tok::Literal, content, at});
-      } else {
-        std::size_t j = i + 1;
-        while (j < n && text[j] != '"' && text[j] != '\n') {
-          if (text[j] == '\\' && j + 1 < n) {
-            content += text[j + 1];
-            j += 2;
-          } else {
-            content += text[j++];
-          }
-        }
-        s.tokens.push_back({Tok::Literal, content, line});
-        i = (j < n && text[j] == '"') ? j + 1 : j;
-      }
-      last_tok_end = i;
-      continue;
-    }
-    if (c == '\'') {
-      std::size_t j = i + 1;
-      while (j < n && text[j] != '\'' && text[j] != '\n') {
-        j += (text[j] == '\\' && j + 1 < n) ? 2 : 1;
-      }
-      s.tokens.push_back({Tok::Number, "", line});
-      i = (j < n && text[j] == '\'') ? j + 1 : j;
-      last_tok_end = i;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(text[j])) ++j;
-      s.tokens.push_back(
-          {Tok::Ident, std::string(text.substr(i, j - i)), line});
-      i = j;
-      last_tok_end = i;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      // Numbers swallow digit separators (1'000'000) so a separator quote
-      // is never mistaken for a char literal.
-      std::size_t j = i + 1;
-      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
-                       text[j] == '\'')) {
-        ++j;
-      }
-      s.tokens.push_back({Tok::Number, "", line});
-      i = j;
-      last_tok_end = i;
-      continue;
-    }
-    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
-      s.tokens.push_back({Tok::Punct, "::", line});
-      i += 2;
-      last_tok_end = i;
-      continue;
-    }
-    s.tokens.push_back({Tok::Punct, std::string(1, c), line});
-    ++i;
-    last_tok_end = i;
-  }
-  return s;
-}
-
-// ---------------------------------------------------------------------------
-// Path-based rule scoping.
-// ---------------------------------------------------------------------------
-
-std::string normalize_path(std::string p) {
-  std::replace(p.begin(), p.end(), '\\', '/');
-  while (p.substr(0, 2) == "./") p = p.substr(2);
-  return p;
-}
-
-// "src/include/mth/rap/rap.hpp" -> "rap"; "src/rap/rap.cpp" -> "rap";
-// "tools/mth_flow.cpp" -> "".
-std::string module_of(const std::string& file) {
-  static const std::string kHdr = "src/include/mth/";
-  static const std::string kSrc = "src/";
-  std::string rest;
-  if (file.compare(0, kHdr.size(), kHdr) == 0) {
-    rest = file.substr(kHdr.size());
-  } else if (file.compare(0, kSrc.size(), kSrc) == 0) {
-    rest = file.substr(kSrc.size());
-  } else {
-    return "";
-  }
-  const std::size_t slash = rest.find('/');
-  return slash == std::string::npos ? "" : rest.substr(0, slash);
-}
-
-bool is_det_module(const std::string& module) {
-  // Deterministic subsystems: everything whose byte-exact output feeds the
-  // golden tests and the 1-vs-8-thread diff — including serialization (io,
-  // ser), the job server (serve: cached replays and tenant scheduling must
-  // be byte-reproducible) and testcase synthesis (synth).
-  static const std::set<std::string> kDet = {"rap",  "cluster", "lp",
-                                            "ilp",  "legal",   "flows",
-                                            "verify", "io",    "synth",
-                                            "ser",  "serve"};
-  return kDet.count(module) != 0;
-}
-
-bool is_public_header(const std::string& file) {
-  return file.compare(0, 16, "src/include/mth/") == 0;
-}
-
-// ---------------------------------------------------------------------------
-// Inline suppressions:  // mth-lint: allow(rule-a, rule-b): justification
-// A suppression covers its own line and the next one, so it can sit either
-// trailing the offending line or alone on the line above it.
-// ---------------------------------------------------------------------------
-
-std::vector<std::set<Rule>> parse_suppressions(const Scan& s) {
-  std::vector<std::set<Rule>> allowed(s.lines.size());
-  for (std::size_t li = 0; li < s.comments.size(); ++li) {
-    const std::string& com = s.comments[li];
-    std::size_t at = com.find("mth-lint:");
-    if (at == std::string::npos) continue;
-    at = com.find("allow(", at);
-    if (at == std::string::npos) continue;
-    const std::size_t close = com.find(')', at);
-    if (close == std::string::npos) continue;
-    std::string ids = com.substr(at + 6, close - at - 6);
-    std::replace(ids.begin(), ids.end(), ',', ' ');
-    std::istringstream iss(ids);
-    std::string id;
-    while (iss >> id) {
-      if (const auto r = rule_from_string(id)) allowed[li].insert(*r);
-    }
-  }
-  return allowed;
-}
-
-// ---------------------------------------------------------------------------
-// JSON: a writer and a minimal recursive-descent reader. The reader accepts
-// the subset the writers emit (objects, arrays, strings, integers, bools)
-// plus arbitrary whitespace; good enough for baseline/registry round-trips
-// without a third-party dependency.
-// ---------------------------------------------------------------------------
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-struct JValue {
-  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JValue> arr;
-  std::map<std::string, JValue> obj;
-
-  const JValue* find(const std::string& key) const {
-    const auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-};
-
-class JParser {
- public:
-  explicit JParser(std::string_view text) : t_(text) {}
-
-  bool parse(JValue& out, std::string* error) {
-    const bool ok = value(out) && (skip_ws(), i_ == t_.size());
-    if (!ok && error != nullptr) {
-      *error = "invalid JSON near offset " + std::to_string(i_);
-    }
-    return ok;
-  }
-
- private:
-  void skip_ws() {
-    while (i_ < t_.size() &&
-           std::isspace(static_cast<unsigned char>(t_[i_]))) {
-      ++i_;
-    }
-  }
-  bool lit(std::string_view s) {
-    if (t_.substr(i_, s.size()) != s) return false;
-    i_ += s.size();
-    return true;
-  }
-  bool string(std::string& out) {
-    if (i_ >= t_.size() || t_[i_] != '"') return false;
-    ++i_;
-    while (i_ < t_.size() && t_[i_] != '"') {
-      char c = t_[i_];
-      if (c == '\\' && i_ + 1 < t_.size()) {
-        ++i_;
-        switch (t_[i_]) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u':
-            i_ += std::min<std::size_t>(4, t_.size() - i_ - 1);
-            c = '?';
-            break;
-          default: c = t_[i_];
-        }
-      }
-      out += c;
-      ++i_;
-    }
-    if (i_ >= t_.size()) return false;
-    ++i_;  // closing quote
-    return true;
-  }
-  bool value(JValue& out) {
-    skip_ws();
-    if (i_ >= t_.size()) return false;
-    const char c = t_[i_];
-    if (c == '{') {
-      ++i_;
-      out.kind = JValue::Obj;
-      skip_ws();
-      if (i_ < t_.size() && t_[i_] == '}') return ++i_, true;
-      while (true) {
-        skip_ws();
-        std::string key;
-        if (!string(key)) return false;
-        skip_ws();
-        if (i_ >= t_.size() || t_[i_] != ':') return false;
-        ++i_;
-        if (!value(out.obj[key])) return false;
-        skip_ws();
-        if (i_ < t_.size() && t_[i_] == ',') {
-          ++i_;
-          continue;
-        }
-        break;
-      }
-      skip_ws();
-      if (i_ >= t_.size() || t_[i_] != '}') return false;
-      return ++i_, true;
-    }
-    if (c == '[') {
-      ++i_;
-      out.kind = JValue::Arr;
-      skip_ws();
-      if (i_ < t_.size() && t_[i_] == ']') return ++i_, true;
-      while (true) {
-        if (!value(out.arr.emplace_back())) return false;
-        skip_ws();
-        if (i_ < t_.size() && t_[i_] == ',') {
-          ++i_;
-          continue;
-        }
-        break;
-      }
-      skip_ws();
-      if (i_ >= t_.size() || t_[i_] != ']') return false;
-      return ++i_, true;
-    }
-    if (c == '"') {
-      out.kind = JValue::Str;
-      return string(out.str);
-    }
-    if (c == 't') return out.kind = JValue::Bool, out.b = true, lit("true");
-    if (c == 'f') return out.kind = JValue::Bool, out.b = false, lit("false");
-    if (c == 'n') return out.kind = JValue::Null, lit("null");
-    // number
-    std::size_t j = i_;
-    while (j < t_.size() &&
-           (std::isdigit(static_cast<unsigned char>(t_[j])) || t_[j] == '-' ||
-            t_[j] == '+' || t_[j] == '.' || t_[j] == 'e' || t_[j] == 'E')) {
-      ++j;
-    }
-    if (j == i_) return false;
-    out.kind = JValue::Num;
-    out.num = std::stod(std::string(t_.substr(i_, j - i_)));
-    i_ = j;
-    return true;
-  }
-
-  std::string_view t_;
-  std::size_t i_ = 0;
-};
-
-std::string trimmed(const std::string& s) {
-  std::size_t a = 0;
-  std::size_t b = s.size();
-  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
-  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
-  return s.substr(a, b - a);
-}
-
-// ---------------------------------------------------------------------------
-// Rule engine.
-// ---------------------------------------------------------------------------
-
-struct Ctx {
-  const std::string& file;
-  const Scan& scan;
-  const std::vector<std::set<Rule>>& allowed;
-  std::vector<Finding>& out;
-
-  void report(Rule rule, int line, std::string message) {
-    const std::size_t li = static_cast<std::size_t>(line - 1);
-    if (li < allowed.size()) {
-      if (allowed[li].count(rule) != 0) return;
-      if (li > 0 && allowed[li - 1].count(rule) != 0) return;
-    }
-    Finding f;
-    f.rule = rule;
-    f.file = file;
-    f.line = line;
-    f.message = std::move(message);
-    if (li < scan.lines.size()) f.snippet = trimmed(scan.lines[li]);
-    out.push_back(std::move(f));
-  }
-};
-
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == Tok::Punct && t.text == text;
-}
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == Tok::Ident && t.text == text;
-}
 
 void rule_det_rand(Ctx& ctx) {
   // Unseeded randomness and wall-clock entropy. util::Rng (explicit seed)
@@ -512,7 +74,7 @@ bool is_unordered_ident(const Token& t) {
 }
 
 void rule_det_unordered(Ctx& ctx, const std::string& module) {
-  if (!is_det_module(module)) return;
+  if (!detail::is_det_module(module)) return;
   const auto& T = ctx.scan.tokens;
   for (const Token& t : T) {
     if (is_unordered_ident(t)) {
@@ -642,7 +204,7 @@ void rule_ab_doc(Ctx& ctx, const std::string& module) {
   // The unified A/B-knob doc convention (observability PR): any doc block in
   // the public lp/ilp/rap/ser/serve headers that advertises an A/B knob must
   // say where the A/B lives — a bench binary or a tools/ entry point.
-  if (!is_public_header(ctx.file)) return;
+  if (!detail::is_public_header(ctx.file)) return;
   if (module != "lp" && module != "ilp" && module != "rap" &&
       module != "ser" && module != "serve") {
     return;
@@ -817,6 +379,58 @@ const char* to_string(Rule r) {
     case Rule::SimdMerge: return "simd-merge";
     case Rule::IhpwlFullScan: return "ihpwl-full-scan";
     case Rule::RowRescan: return "row-rescan";
+    case Rule::ParCaptureRace: return "par-capture-race";
+    case Rule::FpOrderedMerge: return "fp-ordered-merge";
+    case Rule::LayerCycle: return "layer-cycle";
+    case Rule::LayerViolation: return "layer-violation";
+  }
+  return "?";
+}
+
+const char* rule_description(Rule r) {
+  switch (r) {
+    case Rule::DetRand:
+      return "Unseeded randomness or wall-clock entropy; util::Rng and "
+             "util::Timer are the sanctioned sources.";
+    case Rule::DetThread:
+      return "Raw std::thread/std::async outside util::ThreadPool breaks "
+             "the deterministic chunk-geometry contract.";
+    case Rule::DetUnordered:
+      return "Unordered container in a deterministic subsystem; hash order "
+             "must never be observable.";
+    case Rule::UnorderedIter:
+      return "Iteration over an unordered container is "
+             "hash-order-dependent.";
+    case Rule::TraceRegistry:
+      return "Span/counter literal not in the checked-in span registry "
+             "(tools/trace_spans.json).";
+    case Rule::AbDoc:
+      return "A/B knob doc without a bench or tools/ reference (unified "
+             "bench+flag convention).";
+    case Rule::SimdMerge:
+      return "Vector intrinsic outside mth::simd, or a horizontal "
+             "lane-merge intrinsic (shuffle-order reassociation).";
+    case Rule::IhpwlFullScan:
+      return "total_hpwl() full-netlist rescan inside a rap/legal loop; "
+             "per-move costing goes through db::IncrementalHpwl.";
+    case Rule::RowRescan:
+      return "row_at_y / sort inside the detailed-placement sweeps; "
+             "neighbor queries go through legal::RowList.";
+    case Rule::ParCaptureRace:
+      return "Parallel worker lambda writes through a by-reference capture "
+             "to shared non-atomic state not indexed by a chunk/index "
+             "parameter — a data race TSan can only see if the interleaving "
+             "executes.";
+    case Rule::FpOrderedMerge:
+      return "Floating-point accumulation on captured state inside a "
+             "parallel worker body bypasses the ordered per-chunk merge "
+             "that keeps results bit-identical at any MTH_THREADS.";
+    case Rule::LayerCycle:
+      return "Include cycle, in the file-level include graph or in the "
+             "declared module DAG (tools/lint_layers.json).";
+    case Rule::LayerViolation:
+      return "Include edge outside the transitive closure of the module's "
+             "declared dependencies (tools/lint_layers.json).";
   }
   return "?";
 }
@@ -832,6 +446,10 @@ std::optional<Rule> rule_from_string(std::string_view id) {
       {"simd-merge", Rule::SimdMerge},
       {"ihpwl-full-scan", Rule::IhpwlFullScan},
       {"row-rescan", Rule::RowRescan},
+      {"par-capture-race", Rule::ParCaptureRace},
+      {"fp-ordered-merge", Rule::FpOrderedMerge},
+      {"layer-cycle", Rule::LayerCycle},
+      {"layer-violation", Rule::LayerViolation},
   };
   const auto it = kIds.find(id);
   return it == kIds.end() ? std::nullopt : std::optional<Rule>(it->second);
@@ -844,10 +462,10 @@ std::string finding_key(const Finding& f) {
 std::vector<Finding> lint_source(const std::string& file,
                                  std::string_view text,
                                  const Options& options) {
-  const std::string path = normalize_path(file);
-  const std::string module = module_of(path);
-  const Scan scan = scan_source(text);
-  const std::vector<std::set<Rule>> allowed = parse_suppressions(scan);
+  const std::string path = detail::normalize_path(file);
+  const std::string module = detail::module_of(path);
+  const Scan scan = detail::scan_source(text);
+  const std::vector<std::set<Rule>> allowed = detail::parse_suppressions(scan);
 
   std::vector<Finding> out;
   Ctx ctx{path, scan, allowed, out};
@@ -860,6 +478,7 @@ std::vector<Finding> lint_source(const std::string& file,
   rule_simd_merge(ctx);
   rule_ihpwl_full_scan(ctx, module);
   rule_row_rescan(ctx, module);
+  detail::rule_parallel_capture(ctx);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {
@@ -869,7 +488,7 @@ std::vector<Finding> lint_source(const std::string& file,
 }
 
 TraceUses collect_trace_uses(std::string_view text) {
-  const Scan scan = scan_source(text);
+  const Scan scan = detail::scan_source(text);
   TraceUses uses;
   std::set<std::string> seen_spans, seen_counters;
   for_each_trace_literal(
@@ -882,15 +501,27 @@ TraceUses collect_trace_uses(std::string_view text) {
 }
 
 std::string findings_to_json(const std::vector<Finding>& findings) {
+  // Schema v2 (extends v1 with per-rule counts and a per-finding module
+  // label): consumed by tools/lint_smoke.sh's schema check and CI artifact
+  // tooling, round-tripped by parse_findings_json below.
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[to_string(f.rule)];
   std::ostringstream os;
-  os << "{\n \"version\": 1,\n \"total\": " << findings.size()
-     << ",\n \"findings\": [";
+  os << "{\n \"version\": 2,\n \"total\": " << findings.size()
+     << ",\n \"counts\": {";
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    os << (first ? "" : ", ") << '"' << rule << "\": " << n;
+    first = false;
+  }
+  os << "},\n \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "  {\"rule\": \"" << to_string(f.rule) << "\", \"file\": \""
        << json_escape(f.file) << "\", \"line\": " << f.line
-       << ", \"message\": \"" << json_escape(f.message)
+       << ", \"module\": \"" << json_escape(detail::module_of(f.file))
+       << "\", \"message\": \"" << json_escape(f.message)
        << "\", \"snippet\": \"" << json_escape(f.snippet) << "\"}";
   }
   os << (findings.empty() ? "]\n}\n" : "\n ]\n}\n");
@@ -908,8 +539,8 @@ std::optional<std::vector<Finding>> parse_findings_json(std::string_view json,
   if (doc.kind != JValue::Obj) return fail("top level must be an object");
   const JValue* version = doc.find("version");
   if (version == nullptr || version->kind != JValue::Num ||
-      version->num != 1.0) {
-    return fail("missing or unsupported 'version' (want 1)");
+      (version->num != 1.0 && version->num != 2.0)) {
+    return fail("missing or unsupported 'version' (want 1 or 2)");
   }
   const JValue* arr = doc.find("findings");
   if (arr == nullptr || arr->kind != JValue::Arr) {
@@ -921,6 +552,7 @@ std::optional<std::vector<Finding>> parse_findings_json(std::string_view json,
     return fail("'total' must match the findings count");
   }
   std::vector<Finding> out;
+  std::map<std::string, int> counts;
   for (const JValue& v : arr->arr) {
     if (v.kind != JValue::Obj) return fail("finding must be an object");
     Finding f;
@@ -943,7 +575,27 @@ std::optional<std::vector<Finding>> parse_findings_json(std::string_view json,
     f.line = static_cast<int>(line->num);
     f.message = message->str;
     f.snippet = snippet->str;
+    ++counts[rule->str];
     out.push_back(std::move(f));
+  }
+  if (version->num == 2.0) {
+    // v2 requires the per-rule counts block and holds it consistent with the
+    // findings array, so truncated artifacts are rejected loudly.
+    const JValue* cv = doc.find("counts");
+    if (cv == nullptr || cv->kind != JValue::Obj) {
+      return fail("v2 requires a 'counts' object");
+    }
+    std::size_t sum = 0;
+    for (const auto& [rule, n] : cv->obj) {
+      if (n.kind != JValue::Num || !rule_from_string(rule)) {
+        return fail("bad 'counts' entry '" + rule + "'");
+      }
+      if (counts[rule] != static_cast<int>(n.num)) {
+        return fail("'counts." + rule + "' disagrees with the findings");
+      }
+      sum += static_cast<std::size_t>(n.num);
+    }
+    if (sum != out.size()) return fail("'counts' must sum to 'total'");
   }
   return out;
 }

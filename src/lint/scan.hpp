@@ -1,0 +1,141 @@
+#pragma once
+// Private lint internals shared by the analyzer passes (lint.cpp: token
+// rules, scope.cpp: scope-aware parallel-capture rules, layers.cpp: include
+// graph + layering, sarif.cpp: SARIF emitter). Not installed; everything
+// here lives in mth::lint::detail and may change freely between PRs — the
+// stable surface is mth/lint/lint.hpp.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mth/lint/lint.hpp"
+
+namespace mth::lint::detail {
+
+// ---------------------------------------------------------------------------
+// Scanner: strips comments and string/char literals from a C++ buffer and
+// produces (a) a token stream of identifiers / punctuation / string literals
+// with line numbers, (b) per-line comment text for suppression and doc-block
+// analysis, (c) the raw lines for snippets. This is a lexer, not a compiler
+// front end — the rules are lexical/scope-lexical by design (see lint.hpp).
+// ---------------------------------------------------------------------------
+
+enum class Tok { Ident, Punct, Literal, Number };
+
+struct Token {
+  Tok kind;
+  std::string text;  // identifier / punctuation text, or literal *content*
+  int line;
+};
+
+struct Scan {
+  std::vector<std::string> lines;     // raw source, for snippets
+  std::vector<Token> tokens;
+  std::vector<std::string> comments;  // per line (index line-1), '\n'-joined
+  std::vector<bool> doc;              // line carries a /// doc comment
+};
+
+Scan scan_source(std::string_view text);
+
+inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::Punct && t.text == text;
+}
+inline bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::Ident && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// Path-based rule scoping.
+// ---------------------------------------------------------------------------
+
+std::string normalize_path(std::string p);
+
+// "src/include/mth/rap/rap.hpp" -> "rap"; "src/rap/rap.cpp" -> "rap";
+// "tools/mth_flow.cpp" -> "".
+std::string module_of(const std::string& file);
+
+// "mth/rap/rap.hpp" (an include target) -> "rap"; anything that does not
+// start with "mth/" -> "".
+std::string module_of_include(const std::string& target);
+
+bool is_det_module(const std::string& module);
+bool is_public_header(const std::string& file);
+
+// ---------------------------------------------------------------------------
+// Inline suppressions:  // mth-lint: allow(rule-a, rule-b): justification
+// A suppression covers its own line and the next one, so it can sit either
+// trailing the offending line or alone on the line above it.
+// ---------------------------------------------------------------------------
+
+std::vector<std::set<Rule>> parse_suppressions(const Scan& s);
+
+inline bool suppressed(const std::vector<std::set<Rule>>& allowed, Rule rule,
+                       int line) {
+  const std::size_t li = static_cast<std::size_t>(line - 1);
+  if (li >= allowed.size()) return false;
+  if (allowed[li].count(rule) != 0) return true;
+  return li > 0 && allowed[li - 1].count(rule) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule-engine context: dedups suppression handling and snippet extraction.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+  const std::string& file;
+  const Scan& scan;
+  const std::vector<std::set<Rule>>& allowed;
+  std::vector<Finding>& out;
+
+  void report(Rule rule, int line, std::string message);
+};
+
+// Scope-aware parallel-worker analysis (scope.cpp): par-capture-race and
+// fp-ordered-merge over the worker lambdas of parallel_for / parallel_chunks
+// / parallel_reduce call sites.
+void rule_parallel_capture(Ctx& ctx);
+
+// ---------------------------------------------------------------------------
+// JSON: a writer helper and a minimal recursive-descent reader. The reader
+// accepts the subset the writers emit (objects, arrays, strings, integers,
+// bools) plus arbitrary whitespace; good enough for baseline / registry /
+// layer-config round-trips without a third-party dependency.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(std::string_view s);
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JParser {
+ public:
+  explicit JParser(std::string_view text) : t_(text) {}
+  bool parse(JValue& out, std::string* error);
+
+ private:
+  void skip_ws();
+  bool lit(std::string_view s);
+  bool string(std::string& out);
+  bool value(JValue& out);
+
+  std::string_view t_;
+  std::size_t i_ = 0;
+};
+
+std::string trimmed(const std::string& s);
+
+}  // namespace mth::lint::detail

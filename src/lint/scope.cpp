@@ -1,0 +1,392 @@
+// Scope-aware parallel-worker analysis: the par-capture-race and
+// fp-ordered-merge rules. This is the "semantic" half of the linter — a
+// lightweight scope parser over the token stream that recovers, for every
+// worker lambda handed to util::parallel_for / parallel_chunks /
+// parallel_reduce, its capture list, parameter names and body-local
+// declarations, then classifies every write the body performs through a
+// by-reference capture:
+//
+//   * indexed by a value derived from a lambda parameter (chunk/index) —
+//     the sanctioned per-chunk disjoint-slot pattern; clean.
+//   * to a std::atomic — data-race-free (though still order-sensitive for
+//     FP; atomics are left to the det-* rules and TSan); clean.
+//   * anything else — par-capture-race, or fp-ordered-merge when it is a
+//     +=/-=/*=//= on a name declared with a floating-point type (the
+//     accumulation shape that bypasses the ordered per-chunk merge).
+//
+// "Derived from a parameter" is propagated through local declarations: in
+//   const std::size_t row = begin + r;   // begin is a lambda param
+//   hist[row] += 1;                      // indexed-ok
+// `row` joins the index set because its initializer mentions `begin`. This
+// is a lexical over-approximation in both directions (a param-derived value
+// that escapes through a struct is lost; `i % 3` still counts as derived)
+// — deliberate, see the design notes in lint.hpp. Pointer laundering is out
+// of reach; TSan stays the dynamic backstop.
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scan.hpp"
+
+namespace mth::lint::detail {
+
+namespace {
+
+// Keywords that may directly precede an identifier without declaring it —
+// filters the "Ident Ident" declaration heuristic.
+bool is_nontype_keyword(const std::string& id) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "new",      "delete", "case",    "goto",   "throw",
+      "else",     "do",       "break",  "continue", "using",  "namespace",
+      "struct",   "class",    "enum",   "typename", "template", "operator",
+      "public",   "private",  "protected", "sizeof", "co_return", "co_yield",
+  };
+  return kKeywords.count(id) != 0;
+}
+
+// Skip a balanced <...> starting at T[i] == '<'; returns the index one past
+// the matching '>'. Lexical: every '<'/'>' counts, which is what we want for
+// the template-argument positions this is used in.
+std::size_t skip_angles(const std::vector<Token>& T, std::size_t i) {
+  int depth = 0;
+  do {
+    if (is_punct(T[i], "<")) ++depth;
+    if (is_punct(T[i], ">")) --depth;
+    ++i;
+  } while (i < T.size() && depth > 0);
+  return i;
+}
+
+struct Worker {
+  bool default_ref = false;          // [&]
+  bool default_val = false;          // [=]
+  std::set<std::string> ref_caps;    // [&x] or [&x = init]
+  std::set<std::string> val_caps;    // [x] or [x = init]
+  std::set<std::string> params;      // named lambda parameters
+  std::size_t body_begin = 0;        // first token inside the body braces
+  std::size_t body_end = 0;          // token index of the closing '}'
+};
+
+// Parse the lambda introducer + parameter list starting at T[open] == '['.
+// Returns false if this isn't a lambda with a braced body we can delimit.
+bool parse_worker(const std::vector<Token>& T, std::size_t open, Worker& w) {
+  // Capture list: split at depth-0 commas (depth over () [] {} so capture
+  // initializers like [&acc = parts[0]] don't split early).
+  std::size_t i = open + 1;
+  int depth = 0;
+  std::vector<std::vector<std::size_t>> segments(1);
+  while (i < T.size()) {
+    if (depth == 0 && is_punct(T[i], "]")) break;
+    if (is_punct(T[i], "(") || is_punct(T[i], "[") || is_punct(T[i], "{")) {
+      ++depth;
+    } else if (is_punct(T[i], ")") || is_punct(T[i], "]") ||
+               is_punct(T[i], "}")) {
+      --depth;
+    }
+    if (depth == 0 && is_punct(T[i], ",")) {
+      segments.emplace_back();
+    } else {
+      segments.back().push_back(i);
+    }
+    ++i;
+  }
+  if (i >= T.size()) return false;
+  for (const auto& seg : segments) {
+    if (seg.empty()) continue;
+    const Token& first = T[seg[0]];
+    if (is_punct(first, "&")) {
+      if (seg.size() == 1) {
+        w.default_ref = true;
+      } else if (T[seg[1]].kind == Tok::Ident && !is_ident(T[seg[1]], "this")) {
+        w.ref_caps.insert(T[seg[1]].text);
+      }
+    } else if (is_punct(first, "=") && seg.size() == 1) {
+      w.default_val = true;
+    } else if (is_punct(first, "*")) {
+      // [*this] — by-value copy; member writes hit the copy, not shared
+      // state, so nothing to track.
+    } else if (first.kind == Tok::Ident && !is_ident(first, "this")) {
+      w.val_caps.insert(first.text);
+    }
+  }
+  i += 1;  // past ']'
+
+  // Parameter list (optional for a lambda, but every parallel_* worker has
+  // one). Segments split at depth-1 commas; the declared name is the last
+  // token of a segment when it is an identifier that isn't the tail of a
+  // qualified type name (prev != '::') and isn't the whole segment.
+  if (i < T.size() && is_punct(T[i], "(")) {
+    std::size_t j = i + 1;
+    int d = 1;
+    std::vector<std::size_t> seg;
+    const auto flush = [&]() {
+      if (seg.size() > 1 && T[seg.back()].kind == Tok::Ident &&
+          !is_punct(T[seg[seg.size() - 2]], "::")) {
+        w.params.insert(T[seg.back()].text);
+      }
+      seg.clear();
+    };
+    while (j < T.size() && d > 0) {
+      if (is_punct(T[j], "(") || is_punct(T[j], "[") || is_punct(T[j], "{") ||
+          is_punct(T[j], "<")) {
+        ++d;
+      } else if (is_punct(T[j], ")") || is_punct(T[j], "]") ||
+                 is_punct(T[j], "}") || is_punct(T[j], ">")) {
+        --d;
+      }
+      if (d == 0 || (d == 1 && is_punct(T[j], ","))) {
+        flush();
+      } else {
+        seg.push_back(j);
+      }
+      ++j;
+    }
+    i = j;
+  }
+
+  // Skip specifiers (mutable, noexcept(...), -> ret) up to the body brace.
+  while (i < T.size() && !is_punct(T[i], "{")) ++i;
+  if (i >= T.size()) return false;
+  std::size_t j = i + 1;
+  int d = 1;
+  while (j < T.size() && d > 0) {
+    if (is_punct(T[j], "{")) ++d;
+    if (is_punct(T[j], "}")) --d;
+    ++j;
+  }
+  w.body_begin = i + 1;
+  w.body_end = j - 1;  // the closing '}'
+  return true;
+}
+
+void analyze_worker(Ctx& ctx, const Worker& w,
+                    const std::set<std::string>& fp_names,
+                    const std::set<std::string>& atomic_names) {
+  const auto& T = ctx.scan.tokens;
+
+  // Declaration pass: body-local names, and the index set (params plus
+  // locals whose initializer mentions an index-set member).
+  std::set<std::string> locals = w.params;
+  std::set<std::string> index_set = w.params;
+  for (std::size_t t = w.body_begin; t < w.body_end; ++t) {
+    if (T[t].kind != Tok::Ident || t == w.body_begin || t + 1 >= w.body_end) {
+      continue;
+    }
+    const Token& prev = T[t - 1];
+    const bool type_prev =
+        (prev.kind == Tok::Ident && !is_nontype_keyword(prev.text)) ||
+        is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&");
+    if (!type_prev) continue;
+    const Token& next = T[t + 1];
+    const bool decl_next = is_punct(next, "=") || is_punct(next, ";") ||
+                           is_punct(next, "(") || is_punct(next, "{") ||
+                           is_punct(next, ":");
+    if (!decl_next) continue;
+    locals.insert(T[t].text);
+    // Initializer scan: '=' runs to the ';' at depth 0, '('/'{' to the
+    // matching close; a mention of an index-set name marks this local as
+    // index-derived. ';' and ':' (range-for) have no initializer here —
+    // the range-for value iterates data, not indices.
+    std::size_t j = t + 1;
+    bool derived = false;
+    if (is_punct(next, "=")) {
+      int d = 0;
+      ++j;
+      while (j < w.body_end && !(d == 0 && (is_punct(T[j], ";") ||
+                                            is_punct(T[j], ",")))) {
+        if (is_punct(T[j], "(") || is_punct(T[j], "[") || is_punct(T[j], "{"))
+          ++d;
+        if (is_punct(T[j], ")") || is_punct(T[j], "]") || is_punct(T[j], "}"))
+          --d;
+        if (T[j].kind == Tok::Ident && index_set.count(T[j].text) != 0)
+          derived = true;
+        ++j;
+      }
+    } else if (is_punct(next, "(") || is_punct(next, "{")) {
+      int d = 1;
+      ++j;
+      while (j < w.body_end && d > 0) {
+        if (is_punct(T[j], "(") || is_punct(T[j], "{")) ++d;
+        if (is_punct(T[j], ")") || is_punct(T[j], "}")) --d;
+        if (T[j].kind == Tok::Ident && index_set.count(T[j].text) != 0)
+          derived = true;
+        ++j;
+      }
+    }
+    if (derived) index_set.insert(T[t].text);
+  }
+
+  // Container methods that mutate shared state when called on a captured
+  // reference outside a per-chunk slot.
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "insert", "erase",  "clear",
+      "resize",    "assign",       "pop_back", "reserve"};
+
+  // Write pass.
+  for (std::size_t t = w.body_begin; t < w.body_end; ++t) {
+    if (T[t].kind != Tok::Ident) continue;
+    const std::string& name = T[t].text;
+    if (t > 0 && (is_punct(T[t - 1], ".") || is_punct(T[t - 1], "::"))) {
+      continue;  // member/qualified — the chain owner was already visited
+    }
+    if (t > 1 && is_punct(T[t - 1], ">") && is_punct(T[t - 2], "-")) {
+      continue;  // p->name
+    }
+    if (locals.count(name) != 0) continue;
+    const bool by_ref = w.ref_caps.count(name) != 0 ||
+                        (w.default_ref && w.val_caps.count(name) == 0);
+    if (!by_ref) continue;
+
+    // Prefix ++/-- applies to the whole postfix chain that follows.
+    bool write =
+        t >= w.body_begin + 2 &&
+        ((is_punct(T[t - 1], "+") && is_punct(T[t - 2], "+")) ||
+         (is_punct(T[t - 1], "-") && is_punct(T[t - 2], "-")));
+
+    // Walk the postfix chain: subscripts (recording whether any index is
+    // param-derived) and member selections (recording the trailing name for
+    // the mutating-method check).
+    std::size_t p = t + 1;
+    bool idx_ok = false;
+    std::string member;
+    while (p < w.body_end) {
+      if (is_punct(T[p], "[")) {
+        int d = 1;
+        ++p;
+        while (p < w.body_end && d > 0) {
+          if (is_punct(T[p], "[")) ++d;
+          if (is_punct(T[p], "]")) --d;
+          if (T[p].kind == Tok::Ident && index_set.count(T[p].text) != 0)
+            idx_ok = true;
+          ++p;
+        }
+        continue;
+      }
+      if (is_punct(T[p], ".") && p + 1 < w.body_end &&
+          T[p + 1].kind == Tok::Ident) {
+        member = T[p + 1].text;
+        p += 2;
+        continue;
+      }
+      if (is_punct(T[p], "-") && p + 2 < w.body_end &&
+          is_punct(T[p + 1], ">") && T[p + 2].kind == Tok::Ident) {
+        member = T[p + 2].text;
+        p += 3;
+        continue;
+      }
+      break;
+    }
+
+    // Classify the token after the chain.
+    char op = 0;
+    if (p < w.body_end) {
+      const Token& a = T[p];
+      const bool has_b = p + 1 < w.body_end;
+      if (is_punct(a, "=") && !(has_b && is_punct(T[p + 1], "="))) {
+        write = true;
+        op = '=';
+      } else if (a.kind == Tok::Punct && a.text.size() == 1 &&
+                 std::strchr("+-*/%|&^", a.text[0]) != nullptr && has_b &&
+                 is_punct(T[p + 1], "=")) {
+        write = true;
+        op = a.text[0];
+      } else if (has_b && ((is_punct(a, "+") && is_punct(T[p + 1], "+")) ||
+                           (is_punct(a, "-") && is_punct(T[p + 1], "-")))) {
+        // Postfix ++/--; `c + ++i` shows the same token pair, so require
+        // that no operand follows it.
+        if (!(p + 2 < w.body_end && (T[p + 2].kind == Tok::Ident ||
+                                     T[p + 2].kind == Tok::Number))) {
+          write = true;
+        }
+      } else if (!member.empty() && is_punct(a, "(") &&
+                 kMutators.count(member) != 0) {
+        write = true;
+      }
+    }
+
+    if (!write || idx_ok || atomic_names.count(name) != 0) continue;
+    const bool fp_accum = (op == '+' || op == '-' || op == '*' || op == '/') &&
+                          fp_names.count(name) != 0;
+    if (fp_accum) {
+      ctx.report(Rule::FpOrderedMerge, T[t].line,
+                 std::string("floating-point '") + op + "=' on captured '" +
+                     name +
+                     "' inside a parallel worker bypasses the ordered "
+                     "per-chunk merge; accumulate into a per-chunk slot and "
+                     "merge in chunk-index order (util::parallel_reduce), "
+                     "or justify with mth-lint: allow(fp-ordered-merge)");
+    } else {
+      ctx.report(Rule::ParCaptureRace, T[t].line,
+                 "parallel worker writes captured '" + name +
+                     "' without indexing by a chunk/index parameter; give "
+                     "each chunk a disjoint slot (util/threadpool.hpp "
+                     "determinism rules) or justify with mth-lint: "
+                     "allow(par-capture-race)");
+    }
+  }
+}
+
+}  // namespace
+
+void rule_parallel_capture(Ctx& ctx) {
+  const auto& T = ctx.scan.tokens;
+
+  // File-level type hints, gathered lexically over the whole buffer so
+  // captures declared in the enclosing function are covered:
+  //  * names declared with a floating-point type (feeds fp-ordered-merge);
+  //  * names declared std::atomic<...> (exempt from par-capture-race).
+  std::set<std::string> fp_names;
+  std::set<std::string> atomic_names;
+  for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+    if (T[i].kind != Tok::Ident) continue;
+    if (T[i].text == "double" || T[i].text == "float") {
+      std::size_t j = i + 1;
+      while (j < T.size() && (is_punct(T[j], "*") || is_punct(T[j], "&") ||
+                              is_punct(T[j], ">") || is_ident(T[j], "const"))) {
+        ++j;
+      }
+      if (j < T.size() && T[j].kind == Tok::Ident) fp_names.insert(T[j].text);
+    } else if (T[i].text == "atomic" && is_punct(T[i + 1], "<")) {
+      std::size_t j = skip_angles(T, i + 1);
+      while (j < T.size() && (is_punct(T[j], "&") || is_punct(T[j], "*"))) ++j;
+      if (j < T.size() && T[j].kind == Tok::Ident)
+        atomic_names.insert(T[j].text);
+    }
+  }
+
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != Tok::Ident) continue;
+    const std::string& id = T[i].text;
+    if (id != "parallel_for" && id != "parallel_chunks" &&
+        id != "parallel_reduce") {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < T.size() && is_punct(T[j], "<")) j = skip_angles(T, j);
+    if (j >= T.size() || !is_punct(T[j], "(")) continue;
+
+    // First lambda at argument depth 1 is the worker body. parallel_reduce's
+    // merge lambda runs serially in chunk-index order by contract, so it is
+    // exempt by construction.
+    int depth = 1;
+    std::size_t k = j + 1;
+    std::size_t lam = 0;
+    while (k < T.size() && depth > 0) {
+      if (is_punct(T[k], "(")) ++depth;
+      else if (is_punct(T[k], ")")) --depth;
+      else if (depth == 1 && is_punct(T[k], "[") &&
+               (is_punct(T[k - 1], "(") || is_punct(T[k - 1], ","))) {
+        lam = k;
+        break;
+      }
+      ++k;
+    }
+    if (lam == 0) continue;
+    Worker w;
+    if (parse_worker(T, lam, w)) analyze_worker(ctx, w, fp_names, atomic_names);
+  }
+}
+
+}  // namespace mth::lint::detail

@@ -5,6 +5,8 @@
 
 #include "mth/lint/lint.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -582,6 +584,355 @@ TEST(Registry, RoundTripSortsAndDeduplicates) {
   ASSERT_EQ(parsed->counters.size(), 1u);
 }
 
+// --- par-capture-race -----------------------------------------------------
+
+TEST(ParCaptureRace, UnindexedByRefWritePositiveHit) {
+  const auto f = run("src/rap/shard.cpp", R"cpp(
+    void f(std::size_t n, std::vector<double>& out) {
+      util::parallel_chunks(n, opt,
+          [&](std::size_t chunk, std::size_t b, std::size_t e) {
+            out.push_back(1.0);
+          });
+    }
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::ParCaptureRace);
+  EXPECT_NE(f[0].message.find("'out'"), std::string::npos);
+  EXPECT_NE(f[0].snippet.find("push_back"), std::string::npos);
+}
+
+TEST(ParCaptureRace, PostfixIncrementAndNamedRefCaptureAreCaught) {
+  EXPECT_TRUE(has_rule(run("src/rap/rap.cpp", R"cpp(
+    long done = 0;
+    util::parallel_for(n, [&](std::int64_t i) { done++; });
+  )cpp"),
+                       Rule::ParCaptureRace));
+  EXPECT_TRUE(has_rule(run("src/rap/rap.cpp", R"cpp(
+    long done = 0;
+    util::parallel_for(n, [&done](std::int64_t i) { ++done; });
+  )cpp"),
+                       Rule::ParCaptureRace));
+}
+
+TEST(ParCaptureRace, IndexedWriteIsClean) {
+  EXPECT_TRUE(run("src/rap/rap.cpp", R"cpp(
+    util::parallel_for(n, [&](std::int64_t i) { out[i] = 1.0; });
+  )cpp")
+                  .empty());
+}
+
+TEST(ParCaptureRace, ParamDerivedIndexIsClean) {
+  // `r` joins the index set because its initializer mentions `begin`.
+  EXPECT_TRUE(run("src/rap/shard.cpp", R"cpp(
+    util::parallel_chunks(n, opt,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) out[r] = cost(r);
+        });
+  )cpp")
+                  .empty());
+}
+
+TEST(ParCaptureRace, ValueCapturesAndBodyLocalsAreClean) {
+  EXPECT_TRUE(run("src/rap/rap.cpp", R"cpp(
+    util::parallel_for(n, [&, total](std::int64_t i) mutable {
+      total += 1.0;
+      double best = 0.0;
+      best += vals[i];
+      out[i] = best + total;
+    });
+  )cpp")
+                  .empty());
+}
+
+TEST(ParCaptureRace, AtomicTargetsAreExempt) {
+  EXPECT_TRUE(run("src/rap/rap.cpp", R"cpp(
+    std::atomic<long> hits{0};
+    util::parallel_for(n, [&](std::int64_t i) { hits += 2; });
+  )cpp")
+                  .empty());
+}
+
+TEST(ParCaptureRace, ReduceWorkerAccumulatorParamIsClean) {
+  // parallel_reduce's worker writes its accumulator *parameter* (a per-chunk
+  // slot by contract) and the merge lambda runs serially in chunk-index
+  // order — neither may be flagged.
+  EXPECT_TRUE(run("src/db/metrics.cpp", R"cpp(
+    const double s = util::parallel_reduce<double>(
+        n, 0.0, [&](double& acc, std::int64_t i) { acc += vals[i]; },
+        [](double a, double b) { return a + b; });
+  )cpp")
+                  .empty());
+}
+
+TEST(ParCaptureRace, SuppressedHit) {
+  EXPECT_TRUE(run("src/rap/rap.cpp", R"cpp(
+    util::parallel_for(n, [&](std::int64_t i) {
+      flag = true;  // mth-lint: allow(par-capture-race): fixture
+    });
+  )cpp")
+                  .empty());
+}
+
+// --- fp-ordered-merge -----------------------------------------------------
+
+TEST(FpOrderedMerge, CapturedDoubleAccumulationPositiveHit) {
+  const auto f = run("src/db/metrics.cpp", R"cpp(
+    double total = 0.0;
+    util::parallel_for(n, [&](std::int64_t i) { total += vals[i]; });
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::FpOrderedMerge);
+  EXPECT_NE(f[0].message.find("ordered"), std::string::npos);
+}
+
+TEST(FpOrderedMerge, IntegerAccumulationIsParCaptureRaceInstead) {
+  const auto f = run("src/rap/rap.cpp", R"cpp(
+    long total = 0;
+    util::parallel_for(n, [&](std::int64_t i) { total += vals[i]; });
+  )cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::ParCaptureRace);
+}
+
+TEST(FpOrderedMerge, PerChunkSlotIsClean) {
+  EXPECT_TRUE(run("src/rap/shard.cpp", R"cpp(
+    std::vector<double> partial(chunks, 0.0);
+    util::parallel_chunks(n, opt,
+        [&](std::size_t chunk, std::size_t b, std::size_t e) {
+          partial[chunk] += weight(b, e);
+        });
+  )cpp")
+                  .empty());
+}
+
+TEST(FpOrderedMerge, SuppressedHit) {
+  EXPECT_TRUE(run("src/db/metrics.cpp", R"cpp(
+    double total = 0.0;
+    util::parallel_for(n, [&](std::int64_t i) {
+      total += vals[i];  // mth-lint: allow(fp-ordered-merge): fixture
+    });
+  )cpp")
+                  .empty());
+}
+
+// --- layer-violation / layer-cycle ----------------------------------------
+
+namespace {
+
+lint::LayerConfig layers_of(const std::string& json) {
+  std::string error;
+  const auto cfg = lint::parse_layers(json, &error);
+  EXPECT_TRUE(cfg.has_value()) << error;
+  return cfg.value_or(lint::LayerConfig{});
+}
+
+lint::FileIncludes file_with(const std::string& label,
+                             const std::string& text) {
+  return {label, lint::collect_includes(text)};
+}
+
+}  // namespace
+
+TEST(Layers, CollectIncludesSkipsAngleAndCommentedIncludes) {
+  const auto inc = lint::collect_includes(
+      "#include <vector>\n"
+      "#include \"mth/rap/rap.hpp\"\n"
+      "// #include \"mth/serve/api.hpp\"\n"
+      "#include \"scan.hpp\"\n");
+  ASSERT_EQ(inc.size(), 2u);
+  EXPECT_EQ(inc[0].target, "mth/rap/rap.hpp");
+  EXPECT_EQ(inc[0].line, 2);
+  EXPECT_EQ(inc[1].target, "scan.hpp");
+}
+
+TEST(Layers, ConfigRoundTrip) {
+  const std::string json =
+      "{\n \"version\": 1,\n \"modules\": {\n  \"db\": [\"util\"],\n"
+      "  \"util\": []\n }\n}\n";
+  const lint::LayerConfig cfg = layers_of(json);
+  ASSERT_EQ(cfg.modules.size(), 2u);
+  EXPECT_EQ(layers_of(lint::layers_to_json(cfg)).modules, cfg.modules);
+}
+
+TEST(Layers, UndeclaredEdgeIsViolation) {
+  const auto cfg = layers_of(
+      R"({"version": 1, "modules": {"rap": ["util"], "serve": [], "util": []}})");
+  const auto f = lint::check_layers(
+      {file_with("src/rap/x.cpp", "#include \"mth/serve/api.hpp\"\n")}, cfg,
+      "tools/lint_layers.json");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::LayerViolation);
+  EXPECT_EQ(f[0].file, "src/rap/x.cpp");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_NE(f[0].message.find("'serve'"), std::string::npos);
+}
+
+TEST(Layers, TransitiveClosureAllowsIndirectDeps) {
+  const auto cfg = layers_of(
+      R"({"version": 1, "modules": {"a": ["b"], "b": ["c"], "c": []}})");
+  EXPECT_TRUE(lint::check_layers(
+                  {file_with("src/a/x.cpp", "#include \"mth/c/y.hpp\"\n")},
+                  cfg, "cfg.json")
+                  .empty());
+}
+
+TEST(Layers, ToolsAndTestFilesAreExemptFromViolations) {
+  const auto cfg =
+      layers_of(R"({"version": 1, "modules": {"rap": [], "serve": []}})");
+  EXPECT_TRUE(lint::check_layers({file_with("tools/mth_flow.cpp",
+                                            "#include \"mth/serve/api.hpp\"\n"
+                                            "#include \"mth/rap/rap.hpp\"\n")},
+                                 cfg, "cfg.json")
+                  .empty());
+}
+
+TEST(Layers, BadConfigIsAFindingAgainstTheConfigFile) {
+  const auto undeclared =
+      layers_of(R"({"version": 1, "modules": {"a": ["zzz"]}})");
+  auto f = lint::check_layers({}, undeclared, "tools/lint_layers.json");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::LayerViolation);
+  EXPECT_EQ(f[0].file, "tools/lint_layers.json");
+  EXPECT_EQ(f[0].line, 0);
+
+  const auto cyclic =
+      layers_of(R"({"version": 1, "modules": {"a": ["b"], "b": ["a"]}})");
+  f = lint::check_layers({}, cyclic, "tools/lint_layers.json");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::LayerCycle);
+  EXPECT_NE(f[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(Layers, FileIncludeCycleIsReportedWithFullPath) {
+  const auto cfg = layers_of(R"({"version": 1, "modules": {"db": []}})");
+  const auto f = lint::check_layers(
+      {file_with("src/include/mth/db/a.hpp", "#include \"mth/db/b.hpp\"\n"),
+       file_with("src/include/mth/db/b.hpp", "#include \"mth/db/a.hpp\"\n")},
+      cfg, "cfg.json");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::LayerCycle);
+  EXPECT_NE(f[0].message.find("a.hpp"), std::string::npos);
+  EXPECT_NE(f[0].message.find("b.hpp"), std::string::npos);
+}
+
+TEST(Layers, InlineSuppressionsCoverBothLayerRules) {
+  const auto cfg =
+      layers_of(R"({"version": 1, "modules": {"rap": [], "serve": []}})");
+  EXPECT_TRUE(
+      lint::check_layers(
+          {file_with("src/rap/x.cpp",
+                     "// mth-lint: allow(layer-violation): fixture\n"
+                     "#include \"mth/serve/api.hpp\"\n")},
+          cfg, "cfg.json")
+          .empty());
+  EXPECT_TRUE(
+      lint::check_layers(
+          {file_with("src/include/mth/rap/a.hpp",
+                     "#include \"mth/rap/b.hpp\"  "
+                     "// mth-lint: allow(layer-cycle): fixture\n"),
+           file_with("src/include/mth/rap/b.hpp",
+                     "#include \"mth/rap/a.hpp\"  "
+                     "// mth-lint: allow(layer-cycle): fixture\n")},
+          cfg, "cfg.json")
+          .empty());
+}
+
+// --- rule ids, JSON v2, SARIF ---------------------------------------------
+
+TEST(RuleIds, EveryRuleRoundTripsAndHasADescription) {
+  const Rule all[] = {
+      Rule::DetRand,        Rule::DetThread,      Rule::DetUnordered,
+      Rule::UnorderedIter,  Rule::TraceRegistry,  Rule::AbDoc,
+      Rule::SimdMerge,      Rule::IhpwlFullScan,  Rule::RowRescan,
+      Rule::ParCaptureRace, Rule::FpOrderedMerge, Rule::LayerCycle,
+      Rule::LayerViolation,
+  };
+  for (Rule r : all) {
+    const auto back = lint::rule_from_string(lint::to_string(r));
+    ASSERT_TRUE(back.has_value()) << lint::to_string(r);
+    EXPECT_EQ(*back, r);
+    EXPECT_GT(std::string(lint::rule_description(r)).size(), 10u);
+  }
+}
+
+TEST(JsonOutput, V2EmitsCountsAndModule) {
+  Finding a;
+  a.rule = Rule::ParCaptureRace;
+  a.file = "src/rap/shard.cpp";
+  a.line = 3;
+  a.message = "m";
+  a.snippet = "s";
+  Finding b = a;
+  b.line = 9;
+  const std::string js = lint::findings_to_json({a, b});
+  EXPECT_NE(js.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(js.find("\"par-capture-race\": 2"), std::string::npos);
+  EXPECT_NE(js.find("\"module\": \"rap\""), std::string::npos);
+  std::string error;
+  const auto parsed = lint::parse_findings_json(js, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(JsonOutput, V1IsStillAccepted) {
+  const std::string v1 =
+      "{\"version\": 1, \"total\": 1, \"findings\": [{\"rule\": "
+      "\"det-rand\", \"file\": \"a.cpp\", \"line\": 4, \"message\": \"m\", "
+      "\"snippet\": \"s\"}]}";
+  std::string error;
+  const auto parsed = lint::parse_findings_json(v1, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->at(0).rule, Rule::DetRand);
+}
+
+TEST(JsonOutput, InconsistentV2CountsAreRejected) {
+  Finding a;
+  a.rule = Rule::LayerCycle;
+  a.file = "x.hpp";
+  a.message = "m";
+  a.snippet = "s";
+  std::string js = lint::findings_to_json({a});
+  const std::string key = "\"layer-cycle\": 1";
+  const std::size_t at = js.find(key);
+  ASSERT_NE(at, std::string::npos);
+  js.replace(at, key.size(), "\"layer-cycle\": 7");
+  std::string error;
+  EXPECT_FALSE(lint::parse_findings_json(js, &error).has_value());
+  EXPECT_NE(error.find("counts"), std::string::npos);
+}
+
+TEST(Sarif, EmitterListsRulesAndClampsFileLevelFindings) {
+  Finding f;
+  f.rule = Rule::LayerCycle;
+  f.file = "tools/lint_layers.json";
+  f.line = 0;  // file-level — must clamp to startLine 1
+  f.message = "declared module dependencies form a cycle";
+  const std::string s = lint::findings_to_sarif({f});
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"mth_lint\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleId\": \"layer-cycle\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"uri\": \"tools/lint_layers.json\""),
+            std::string::npos);
+  // Every rule is listed in the driver metadata, even unused ones.
+  EXPECT_NE(s.find("\"id\": \"par-capture-race\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\": \"fp-ordered-merge\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\": \"det-rand\""), std::string::npos);
+  const std::string empty = lint::findings_to_sarif({});
+  EXPECT_NE(empty.find("\"results\": []"), std::string::npos);
+}
+
+// --- tree scope: bench/tools/tests are first-class lint targets -----------
+
+TEST(TreeScope, BenchToolsAndTestPathsAreInScopeForDetRules) {
+  EXPECT_TRUE(has_rule(run("bench/bench_foo.cpp", "int x = std::rand();"),
+                       Rule::DetRand));
+  EXPECT_TRUE(
+      has_rule(run("tools/gen.cpp", "std::thread t;"), Rule::DetThread));
+  EXPECT_TRUE(has_rule(run("tests/foo_test.cpp", "srand(7);"),
+                       Rule::DetRand));
+}
+
 // --- acceptance: seeded mutation against the real tree --------------------
 
 #ifdef MTH_LINT_SRC_DIR
@@ -592,6 +943,26 @@ std::string slurp(const std::string& path) {
   std::ostringstream ss;
   ss << f.rdbuf();
   return ss.str();
+}
+
+// Include edges of every source file under <dir>/src, labeled repo-relative
+// and sorted, mirroring the CLI's tree walk.
+std::vector<lint::FileIncludes> collect_src_includes(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<lint::FileIncludes> out;
+  for (const auto& entry : fs::recursive_directory_iterator(dir + "/src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+    const std::string label =
+        fs::relative(entry.path(), dir).generic_string();
+    out.push_back({label, lint::collect_includes(slurp(entry.path().string()))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const lint::FileIncludes& a, const lint::FileIncludes& b) {
+              return a.file < b.file;
+            });
+  return out;
 }
 }  // namespace
 
@@ -627,5 +998,62 @@ TEST(Acceptance, CheckedInRegistryMatchesTheRapSources) {
     EXPECT_TRUE(run(std::string(rel).substr(1), slurp(file), options).empty())
         << file << " has unregistered trace names";
   }
+}
+
+TEST(Acceptance, SeededParallelMutationsInRealRapSiteAreCaught) {
+  // Kill-switch test for the semantic rules: inject an unindexed by-ref
+  // capture write and an FP accumulation into the real parallel_chunks
+  // worker in src/rap/rap.cpp and assert both rules fire.
+  const std::string dir = MTH_LINT_SRC_DIR;
+  const std::string original = slurp(dir + "/src/rap/rap.cpp");
+  const std::string anchor = "std::vector<double> dh(nrz);";
+  const std::size_t at = original.find(anchor);
+  ASSERT_NE(at, std::string::npos)
+      << "parallel_chunks worker anchor moved; update this test";
+  std::string mutated = original;
+  mutated.insert(at + anchor.size(), " full_cost[0] = 0.0; beta += 1.0;");
+  const auto f = run("src/rap/rap.cpp", mutated);
+  EXPECT_TRUE(has_rule(f, Rule::ParCaptureRace));
+  EXPECT_TRUE(has_rule(f, Rule::FpOrderedMerge));
+}
+
+TEST(Acceptance, RealParallelWorkersAreClean) {
+  const std::string dir = MTH_LINT_SRC_DIR;
+  for (const char* rel :
+       {"/src/rap/shard.cpp", "/src/db/metrics.cpp",
+        "/src/cluster/kmeans.cpp", "/src/ilp/solver.cpp"}) {
+    const auto f = run(std::string(rel).substr(1), slurp(dir + rel));
+    EXPECT_TRUE(f.empty()) << rel << ": "
+                           << (f.empty() ? "" : f[0].message);
+  }
+}
+
+TEST(Acceptance, CheckedInLayerConfigProvesTreeLayeredAndAcyclic) {
+  const std::string dir = MTH_LINT_SRC_DIR;
+  std::string error;
+  const auto cfg =
+      lint::parse_layers(slurp(dir + "/tools/lint_layers.json"), &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto files = collect_src_includes(dir);
+  ASSERT_GT(files.size(), 50u);
+  const auto f = lint::check_layers(files, *cfg, "tools/lint_layers.json");
+  EXPECT_TRUE(f.empty()) << (f.empty() ? "" : f[0].file + ": " + f[0].message);
+}
+
+TEST(Acceptance, DroppedDagEdgeInRealConfigIsCaught) {
+  // Removing rap's declared dependency on ilp must surface the real
+  // rap -> ilp includes as layer violations.
+  const std::string dir = MTH_LINT_SRC_DIR;
+  std::string json = slurp(dir + "/tools/lint_layers.json");
+  const std::string edge = "\"ilp\", ";
+  const std::size_t at = json.find(edge);
+  ASSERT_NE(at, std::string::npos) << "rap's ilp edge moved; update test";
+  json.erase(at, edge.size());
+  std::string error;
+  const auto cfg = lint::parse_layers(json, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto f = lint::check_layers(collect_src_includes(dir), *cfg,
+                                    "tools/lint_layers.json");
+  EXPECT_TRUE(has_rule(f, Rule::LayerViolation));
 }
 #endif  // MTH_LINT_SRC_DIR

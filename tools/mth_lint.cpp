@@ -1,7 +1,10 @@
-// mth_lint — tree walker + baseline/registry plumbing around mth::lint.
+// mth_lint — tree walker + baseline/registry/layers plumbing around
+// mth::lint.
 //
 //   mth_lint --root . --baseline tools/lint_baseline.json
-//            --registry tools/trace_spans.json [--json out.json] [paths...]
+//            --registry tools/trace_spans.json
+//            --layers tools/lint_layers.json
+//            [--json out.json] [--sarif out.sarif] [paths...]
 //
 // With no explicit paths, lints every .cpp/.hpp/.h under src/, tools/,
 // tests/, bench/ and examples/ (sorted, so output order is deterministic).
@@ -10,6 +13,13 @@
 //
 //   --update-baseline   rewrite the baseline to suppress current findings
 //   --update-registry   rewrite the span registry from the tree's literals
+//   --layers FILE       check include edges against the declared module DAG
+//                       (layer-violation) and the include graph for cycles
+//                       (layer-cycle)
+//   --layers-only       run only the include-graph analysis (fast acyclicity
+//                       gate; requires --layers)
+//   --sarif FILE        also write findings as SARIF 2.1.0 (GitHub code
+//                       scanning / inline PR annotations)
 
 #include <algorithm>
 #include <filesystem>
@@ -30,19 +40,23 @@ namespace {
 struct Args {
   std::string root = ".";
   std::string json_out;
+  std::string sarif_out;
   std::string baseline_path;
   std::string registry_path;
+  std::string layers_path;
   bool update_baseline = false;
   bool update_registry = false;
+  bool layers_only = false;
   std::vector<std::string> paths;
 };
 
 int usage(const char* msg) {
   if (msg != nullptr) std::cerr << "mth_lint: " << msg << "\n";
   std::cerr << "usage: mth_lint [--root DIR] [--baseline FILE]"
-               " [--registry FILE]\n"
-               "                [--json FILE] [--update-baseline]"
-               " [--update-registry] [paths...]\n";
+               " [--registry FILE] [--layers FILE]\n"
+               "                [--json FILE] [--sarif FILE]"
+               " [--update-baseline] [--update-registry]\n"
+               "                [--layers-only] [paths...]\n";
   return 2;
 }
 
@@ -101,14 +115,20 @@ int main(int argc, char** argv) {
       if (!value(args.root)) return usage("--root needs a value");
     } else if (a == "--json") {
       if (!value(args.json_out)) return usage("--json needs a value");
+    } else if (a == "--sarif") {
+      if (!value(args.sarif_out)) return usage("--sarif needs a value");
     } else if (a == "--baseline") {
       if (!value(args.baseline_path)) return usage("--baseline needs a value");
     } else if (a == "--registry") {
       if (!value(args.registry_path)) return usage("--registry needs a value");
+    } else if (a == "--layers") {
+      if (!value(args.layers_path)) return usage("--layers needs a value");
     } else if (a == "--update-baseline") {
       args.update_baseline = true;
     } else if (a == "--update-registry") {
       args.update_registry = true;
+    } else if (a == "--layers-only") {
+      args.layers_only = true;
     } else if (a == "--help" || a == "-h") {
       return usage(nullptr);
     } else if (!a.empty() && a[0] == '-') {
@@ -122,6 +142,28 @@ int main(int argc, char** argv) {
   if (!fs::is_directory(root)) {
     std::cerr << "mth_lint: not a directory: " << root << "\n";
     return 2;
+  }
+
+  if (args.layers_only && args.layers_path.empty()) {
+    return usage("--layers-only needs --layers FILE");
+  }
+
+  mth::lint::LayerConfig layers;
+  if (!args.layers_path.empty()) {
+    std::string text;
+    if (!read_file(args.layers_path, text)) {
+      std::cerr << "mth_lint: cannot read layers config " << args.layers_path
+                << "\n";
+      return 2;
+    }
+    std::string error;
+    const auto cfg = mth::lint::parse_layers(text, &error);
+    if (!cfg) {
+      std::cerr << "mth_lint: bad layers config " << args.layers_path << ": "
+                << error << "\n";
+      return 2;
+    }
+    layers = *cfg;
   }
 
   mth::lint::Options options;
@@ -155,6 +197,7 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings;
   mth::lint::Registry used;
+  std::vector<mth::lint::FileIncludes> include_graph;
   for (const fs::path& file : files) {
     std::string text;
     if (!read_file(file, text)) {
@@ -162,6 +205,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string label = rel_label(file, root);
+    if (!args.layers_path.empty()) {
+      include_graph.push_back({label, mth::lint::collect_includes(text)});
+    }
+    if (args.layers_only) continue;
     for (Finding& f : mth::lint::lint_source(label, text, options)) {
       findings.push_back(std::move(f));
     }
@@ -169,6 +216,13 @@ int main(int argc, char** argv) {
     used.spans.insert(used.spans.end(), uses.spans.begin(), uses.spans.end());
     used.counters.insert(used.counters.end(), uses.counters.begin(),
                          uses.counters.end());
+  }
+
+  if (!args.layers_path.empty()) {
+    for (Finding& f : mth::lint::check_layers(include_graph, layers,
+                                              args.layers_path)) {
+      findings.push_back(std::move(f));
+    }
   }
 
   if (args.update_registry) {
@@ -180,7 +234,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cout << "mth_lint: wrote " << args.registry_path << "\n";
-  } else if (!options.registry.empty() && args.paths.empty()) {
+  } else if (!options.registry.empty() && args.paths.empty() &&
+             !args.layers_only) {
     // Stale-entry check (full-tree runs only: a partial file list would see
     // every other file's spans as stale).
     const std::set<std::string> used_spans(used.spans.begin(),
@@ -244,6 +299,13 @@ int main(int argc, char** argv) {
   if (!args.json_out.empty()) {
     if (!write_file(args.json_out, mth::lint::findings_to_json(findings))) {
       std::cerr << "mth_lint: cannot write " << args.json_out << "\n";
+      return 2;
+    }
+  }
+  if (!args.sarif_out.empty()) {
+    if (!write_file(args.sarif_out,
+                    mth::lint::findings_to_sarif(findings))) {
+      std::cerr << "mth_lint: cannot write " << args.sarif_out << "\n";
       return 2;
     }
   }
